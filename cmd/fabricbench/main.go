@@ -1,0 +1,68 @@
+// Command fabricbench regenerates the paper's tables and figures: it runs
+// each experiment's real laptop-scale workload through the full system,
+// scales the recorded resource trace to the paper's data sizes, replays it
+// through the testbed simulator, and prints the resulting rows next to what
+// the paper reports.
+//
+// Usage:
+//
+//	fabricbench                 # run every experiment
+//	fabricbench -exp fig6       # run one (fig6, table2, fig7, fig8, fig9,
+//	                            # table3, fig10, fig11, fig12, table4, md,
+//	                            # ablation_locality, ablation_encoding)
+//	fabricbench -list           # list experiments
+//	fabricbench -rows 100000    # override the real-run row count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vsfabric/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	rows := flag.Int64("rows", 0, "real-run row count override (0 = per-experiment default)")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.RunConfig{RealRows: *rows, Verbose: *verbose}
+
+	var toRun []bench.Experiment
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fabricbench: no experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	} else {
+		toRun = bench.All()
+	}
+
+	failed := false
+	for _, e := range toRun {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabricbench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(real run took %.1f s)\n\n", time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// ML pipeline: the full analytics loop of Figure 1 — V2S loads warehouse
+// data into Spark, MLlib trains three model classes, each is exported to
+// PMML and deployed into the database (MD), and predictions run in-database
+// through the PMMLPredict UDx.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/core"
+	"vsfabric/internal/mllib"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/vertica"
+	"vsfabric/internal/workload"
+)
+
+func main() {
+	cluster, err := vertica.NewCluster(vertica.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.InstallPMMLSupport(cluster); err != nil {
+		log.Fatal(err)
+	}
+	sc := spark.NewContext(spark.Conf{NumExecutors: 4, CoresPerExecutor: 4})
+	core.NewDefaultSource(client.InProc(cluster)).Register()
+	host := cluster.Node(0).Addr
+
+	// Warehouse data already lives in the database.
+	sess, err := cluster.Connect(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Execute("CREATE TABLE iristable (sepal_length FLOAT, sepal_width FLOAT, petal_length FLOAT, petal_width FLOAT, species INTEGER) SEGMENTED BY HASH(species)"); err != nil {
+		log.Fatal(err)
+	}
+	var vals []string
+	for _, r := range workload.IrisRows(4000, 11) {
+		vals = append(vals, fmt.Sprintf("(%s, %s, %s, %s, %s)", r[0], r[1], r[2], r[3], r[4]))
+		if len(vals) == 500 {
+			if _, err := sess.Execute("INSERT INTO iristable VALUES " + strings.Join(vals, ", ")); err != nil {
+				log.Fatal(err)
+			}
+			vals = nil
+		}
+	}
+
+	// V2S: pull the training set into Spark with projection pushdown.
+	df, err := sc.Read().Format(core.DefaultSourceName).Options(map[string]string{
+		"host": host, "table": "iristable", "numPartitions": "8",
+	}).Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("V2S loaded %d training rows\n", len(rows))
+
+	var labeled []mllib.LabeledPoint
+	var vectors []mllib.Vector
+	var regPoints []mllib.LabeledPoint
+	for _, r := range rows {
+		x := mllib.Vector{r[0].F, r[1].F, r[2].F, r[3].F}
+		labeled = append(labeled, mllib.LabeledPoint{Label: float64(r[4].I), Features: x})
+		vectors = append(vectors, x)
+		// Regression target: petal_width from the other three features.
+		regPoints = append(regPoints, mllib.LabeledPoint{Label: r[3].F, Features: mllib.Vector{r[0].F, r[1].F, r[2].F}})
+	}
+	features := []string{"sepal_length", "sepal_width", "petal_length", "petal_width"}
+
+	// Train, export, deploy all three model classes the paper names (§3.3:
+	// "k-means, SVM, logistic regression, etc").
+	logit, err := mllib.TrainLogisticRegression(spark.Parallelize(sc, labeled, 8), 150, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logitDoc, _ := logit.ToPMML(features, "species")
+	if err := core.DeployPMMLModel(cluster, "iris_classifier", logitDoc); err != nil {
+		log.Fatal(err)
+	}
+
+	km, err := mllib.TrainKMeans(spark.Parallelize(sc, vectors, 8), 2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kmDoc, _ := km.ToPMML(features)
+	if err := core.DeployPMMLModel(cluster, "iris_clusters", kmDoc); err != nil {
+		log.Fatal(err)
+	}
+
+	lin, err := mllib.TrainLinearRegression(spark.Parallelize(sc, regPoints, 8), 4000, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linDoc, _ := lin.ToPMML([]string{"sepal_length", "sepal_width", "petal_length"}, "petal_width")
+	if err := core.DeployPMMLModel(cluster, "petal_width_model", linDoc); err != nil {
+		log.Fatal(err)
+	}
+
+	models, err := core.ListModels(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed models:")
+	for _, m := range models {
+		fmt.Printf("  %-18s %-20s %d features, %d bytes\n", m.Name, m.Type, m.NumFeatures, m.SizeBytes)
+	}
+
+	// In-database predictions with all three, via plain SQL.
+	queries := []string{
+		"SELECT PMMLPredict(sepal_length, sepal_width, petal_length, petal_width USING PARAMETERS model_name='iris_classifier') AS pred, species FROM iristable LIMIT 3",
+		"SELECT PMMLPredict(sepal_length, sepal_width, petal_length, petal_width USING PARAMETERS model_name='iris_clusters') AS cluster_id, species FROM iristable LIMIT 3",
+		"SELECT PMMLPredict(sepal_length, sepal_width, petal_length USING PARAMETERS model_name='petal_width_model') AS predicted, petal_width FROM iristable LIMIT 3",
+	}
+	for _, q := range queries {
+		res, err := sess.Execute(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", q[:80]+"...")
+		for _, r := range res.Rows {
+			fmt.Printf("  -> %v\n", r)
+		}
+	}
+
+	// Classifier accuracy over the whole table, in-database.
+	res, err := sess.Execute("SELECT PMMLPredict(sepal_length, sepal_width, petal_length, petal_width USING PARAMETERS model_name='iris_classifier') AS pred, species FROM iristable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, r := range res.Rows {
+		if int64(r[0].F) == r[1].I {
+			correct++
+		}
+	}
+	fmt.Printf("in-database classifier accuracy: %.3f over %d rows\n", float64(correct)/float64(len(res.Rows)), len(res.Rows))
+}

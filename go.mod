@@ -1,0 +1,3 @@
+module vsfabric
+
+go 1.22

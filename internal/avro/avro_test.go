@@ -1,0 +1,210 @@
+package avro
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vsfabric/internal/types"
+)
+
+var testSchema = Schema{Name: "row", Fields: []Field{
+	{Name: "id", Type: types.Int64},
+	{Name: "x", Type: types.Float64},
+	{Name: "name", Type: types.Varchar},
+	{Name: "ok", Type: types.Bool},
+}}
+
+var testRows = []types.Row{
+	{types.IntValue(1), types.FloatValue(0.5), types.StringValue("hello"), types.BoolValue(true)},
+	{types.IntValue(-1 << 40), types.NullValue(types.Float64), types.StringValue(""), types.BoolValue(false)},
+	{types.NullValue(types.Int64), types.FloatValue(math.Pi), types.NullValue(types.Varchar), types.NullValue(types.Bool)},
+}
+
+func rowsEqual(a, b types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Null != b[i].Null {
+			return false
+		}
+		if !a[i].Null && types.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round-trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	data, err := json.Marshal(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != 4 || got.Fields[1].Type != types.Float64 {
+		t.Errorf("parsed schema = %+v", got)
+	}
+}
+
+func TestSchemaTypesConversion(t *testing.T) {
+	ts := types.NewSchema(types.Column{Name: "a", T: types.Int64}, types.Column{Name: "b", T: types.Varchar})
+	s := FromTypes(ts)
+	if !s.ToTypes().Equal(ts) {
+		t.Error("FromTypes/ToTypes round-trip failed")
+	}
+}
+
+func TestRowBinaryRoundTrip(t *testing.T) {
+	for _, r := range testRows {
+		data, err := EncodeRow(nil, r, testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRow(&byteReader{r: bytes.NewReader(data)}, testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(r, got) {
+			t.Errorf("round-trip: %v -> %v", r, got)
+		}
+	}
+}
+
+func TestOCFRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{CodecNull, CodecDeflate} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, testSchema, codec, 2) // small blocks to exercise boundaries
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range testRows {
+			if err := w.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		schema, rows, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("codec %s: %v", codec, err)
+		}
+		if !schema.ToTypes().Equal(testSchema.ToTypes()) {
+			t.Errorf("codec %s: schema mismatch", codec)
+		}
+		if len(rows) != len(testRows) {
+			t.Fatalf("codec %s: %d rows, want %d", codec, len(rows), len(testRows))
+		}
+		for i := range rows {
+			if !rowsEqual(rows[i], testRows[i]) {
+				t.Errorf("codec %s row %d: %v != %v", codec, i, rows[i], testRows[i])
+			}
+		}
+	}
+}
+
+func TestOCFEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testSchema, CodecNull, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("empty file yielded %d rows", len(rows))
+	}
+}
+
+func TestOCFDeflateCompresses(t *testing.T) {
+	s := Schema{Name: "row", Fields: []Field{{Name: "s", Type: types.Varchar}}}
+	row := types.Row{types.StringValue("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")}
+	size := func(codec Codec) int {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, s, codec, 0)
+		for i := 0; i < 1000; i++ {
+			if err := w.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	if nd, dd := size(CodecNull), size(CodecDeflate); dd >= nd/2 {
+		t.Errorf("deflate (%d) should be much smaller than null (%d) on repetitive data", dd, nd)
+	}
+}
+
+func TestOCFBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestOCFTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema, CodecNull, 0)
+	for _, r := range testRows {
+		_ = w.Append(r)
+	}
+	_ = w.Close()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-4]))
+	if err == nil {
+		for {
+			if _, err = r.Next(); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil || err == io.EOF {
+		t.Error("truncated file should surface an error")
+	}
+}
+
+func TestRowBinaryQuick(t *testing.T) {
+	s := Schema{Name: "row", Fields: []Field{{Name: "a", Type: types.Int64}, {Name: "b", Type: types.Varchar}}}
+	f := func(a int64, b string) bool {
+		r := types.Row{types.IntValue(a), types.StringValue(b)}
+		data, err := EncodeRow(nil, r, s)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRow(&byteReader{r: bytes.NewReader(data)}, s)
+		return err == nil && got[0].I == a && got[1].S == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRowSchemaMismatch(t *testing.T) {
+	if _, err := EncodeRow(nil, types.Row{types.IntValue(1)}, testSchema); err == nil {
+		t.Error("short row should fail")
+	}
+}

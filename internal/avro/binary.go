@@ -1,0 +1,142 @@
+package avro
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"vsfabric/internal/types"
+)
+
+// zigzag encodes a signed integer the Avro way.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// writeLong writes an Avro long (zigzag varint).
+func writeLong(w *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], zigzag(v))
+	w.Write(tmp[:n])
+}
+
+// readLong reads an Avro long.
+func readLong(r io.ByteReader) (int64, error) {
+	u, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// EncodeRow appends the Avro binary encoding of a row (each field a
+// ["null", primitive] union) to buf and returns the extended buffer.
+func EncodeRow(buf []byte, r types.Row, s Schema) ([]byte, error) {
+	if len(r) != len(s.Fields) {
+		return nil, fmt.Errorf("avro: row has %d fields, schema has %d", len(r), len(s.Fields))
+	}
+	var b bytes.Buffer
+	for i, f := range s.Fields {
+		v := r[i]
+		if v.Null {
+			writeLong(&b, 0) // union branch 0: null
+			continue
+		}
+		writeLong(&b, 1) // union branch 1: value
+		switch f.Type {
+		case types.Int64:
+			writeLong(&b, v.AsInt())
+		case types.Float64:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.AsFloat()))
+			b.Write(tmp[:])
+		case types.Varchar:
+			writeLong(&b, int64(len(v.S)))
+			b.WriteString(v.S)
+		case types.Bool:
+			if v.AsBool() {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		default:
+			return nil, fmt.Errorf("avro: unsupported field type %v", f.Type)
+		}
+	}
+	return append(buf, b.Bytes()...), nil
+}
+
+// byteReader adapts an io.Reader providing ReadByte and bulk reads.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+func (b *byteReader) ReadFull(p []byte) error {
+	_, err := io.ReadFull(b.r, p)
+	return err
+}
+
+// DecodeRow reads one row in Avro binary encoding.
+func DecodeRow(r *byteReader, s Schema) (types.Row, error) {
+	row := make(types.Row, len(s.Fields))
+	for i, f := range s.Fields {
+		branch, err := readLong(r)
+		if err != nil {
+			return nil, err
+		}
+		switch branch {
+		case 0:
+			row[i] = types.NullValue(f.Type)
+			continue
+		case 1:
+		default:
+			return nil, fmt.Errorf("avro: field %q: bad union branch %d", f.Name, branch)
+		}
+		switch f.Type {
+		case types.Int64:
+			v, err := readLong(r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = types.IntValue(v)
+		case types.Float64:
+			var tmp [8]byte
+			if err := r.ReadFull(tmp[:]); err != nil {
+				return nil, err
+			}
+			row[i] = types.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(tmp[:])))
+		case types.Varchar:
+			n, err := readLong(r)
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 || n > 1<<30 {
+				return nil, fmt.Errorf("avro: field %q: bad string length %d", f.Name, n)
+			}
+			b := make([]byte, n)
+			if err := r.ReadFull(b); err != nil {
+				return nil, err
+			}
+			row[i] = types.StringValue(string(b))
+		case types.Bool:
+			c, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = types.BoolValue(c != 0)
+		default:
+			return nil, fmt.Errorf("avro: unsupported field type %v", f.Type)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,309 @@
+package avro
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vsfabric/internal/types"
+)
+
+// Codec names an OCF block compression codec.
+type Codec string
+
+// Supported codecs.
+const (
+	CodecNull    Codec = "null"
+	CodecDeflate Codec = "deflate"
+)
+
+var magic = []byte{'O', 'b', 'j', 1}
+
+// Writer produces an Avro Object Container File: header with schema and
+// codec metadata, then compressed blocks separated by a sync marker.
+type Writer struct {
+	w         io.Writer
+	schema    Schema
+	codec     Codec
+	sync      [16]byte
+	buf       []byte
+	count     int64
+	blockRows int
+	wroteHdr  bool
+	err       error
+}
+
+// NewWriter creates an OCF writer. blockRows is the number of rows per block
+// (0 uses a default of 4096).
+func NewWriter(w io.Writer, schema Schema, codec Codec, blockRows int) (*Writer, error) {
+	switch codec {
+	case CodecNull, CodecDeflate:
+	default:
+		return nil, fmt.Errorf("avro: unsupported codec %q", codec)
+	}
+	if blockRows <= 0 {
+		blockRows = 4096
+	}
+	ww := &Writer{w: w, schema: schema, codec: codec, blockRows: blockRows}
+	if _, err := rand.Read(ww.sync[:]); err != nil {
+		return nil, err
+	}
+	return ww, nil
+}
+
+func (w *Writer) writeHeader() error {
+	if w.wroteHdr {
+		return nil
+	}
+	schemaJSON, err := json.Marshal(w.schema)
+	if err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	b.Write(magic)
+	// Metadata map: one block of 2 entries, then end-of-map.
+	writeLong(&b, 2)
+	for _, kv := range [][2][]byte{
+		{[]byte("avro.schema"), schemaJSON},
+		{[]byte("avro.codec"), []byte(w.codec)},
+	} {
+		writeLong(&b, int64(len(kv[0])))
+		b.Write(kv[0])
+		writeLong(&b, int64(len(kv[1])))
+		b.Write(kv[1])
+	}
+	writeLong(&b, 0)
+	b.Write(w.sync[:])
+	if _, err := w.w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	w.wroteHdr = true
+	return nil
+}
+
+// Append encodes one row into the current block.
+func (w *Writer) Append(r types.Row) error {
+	if w.err != nil {
+		return w.err
+	}
+	buf, err := EncodeRow(w.buf, r, w.schema)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = buf
+	w.count++
+	if int(w.count)%w.blockRows == 0 {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.count == 0 || len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.writeHeader(); err != nil {
+		w.err = err
+		return err
+	}
+	data := w.buf
+	if w.codec == CodecDeflate {
+		var cb bytes.Buffer
+		fw, err := flate.NewWriter(&cb, flate.DefaultCompression)
+		if err != nil {
+			w.err = err
+			return err
+		}
+		if _, err := fw.Write(data); err != nil {
+			w.err = err
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			w.err = err
+			return err
+		}
+		data = cb.Bytes()
+	}
+	var b bytes.Buffer
+	writeLong(&b, w.count)
+	writeLong(&b, int64(len(data)))
+	b.Write(data)
+	b.Write(w.sync[:])
+	if _, err := w.w.Write(b.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.count = 0
+	return nil
+}
+
+// Close flushes the final block (and the header, so empty files are valid).
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	return w.flushBlock()
+}
+
+// Reader consumes an Avro Object Container File.
+type Reader struct {
+	br     *byteReader
+	schema Schema
+	codec  Codec
+	sync   [16]byte
+
+	block     *byteReader
+	remaining int64
+}
+
+// NewReader parses the OCF header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := &byteReader{r: r}
+	head := make([]byte, 4)
+	if err := br.ReadFull(head); err != nil {
+		return nil, fmt.Errorf("avro: short magic: %w", err)
+	}
+	if !bytes.Equal(head, magic) {
+		return nil, fmt.Errorf("avro: bad magic %v", head)
+	}
+	rd := &Reader{br: br, codec: CodecNull}
+	for {
+		n, err := readLong(br)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		if n < 0 { // negative count: size follows, per spec
+			n = -n
+			if _, err := readLong(br); err != nil {
+				return nil, err
+			}
+		}
+		for i := int64(0); i < n; i++ {
+			key, err := readBytesField(br)
+			if err != nil {
+				return nil, err
+			}
+			val, err := readBytesField(br)
+			if err != nil {
+				return nil, err
+			}
+			switch string(key) {
+			case "avro.schema":
+				s, err := ParseSchema(val)
+				if err != nil {
+					return nil, err
+				}
+				rd.schema = s
+			case "avro.codec":
+				rd.codec = Codec(val)
+			}
+		}
+	}
+	if err := br.ReadFull(rd.sync[:]); err != nil {
+		return nil, err
+	}
+	if len(rd.schema.Fields) == 0 {
+		return nil, fmt.Errorf("avro: file has no schema")
+	}
+	switch rd.codec {
+	case CodecNull, CodecDeflate:
+	default:
+		return nil, fmt.Errorf("avro: unsupported codec %q", rd.codec)
+	}
+	return rd, nil
+}
+
+func readBytesField(br *byteReader) ([]byte, error) {
+	n, err := readLong(br)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<30 {
+		return nil, fmt.Errorf("avro: bad bytes length %d", n)
+	}
+	b := make([]byte, n)
+	if err := br.ReadFull(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Schema returns the file's record schema.
+func (r *Reader) Schema() Schema { return r.schema }
+
+// Next returns the next row, or io.EOF at end of file.
+func (r *Reader) Next() (types.Row, error) {
+	for r.remaining == 0 {
+		count, err := readLong(r.br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		size, err := readLong(r.br)
+		if err != nil {
+			return nil, err
+		}
+		if size < 0 || size > 1<<31 {
+			return nil, fmt.Errorf("avro: bad block size %d", size)
+		}
+		data := make([]byte, size)
+		if err := r.br.ReadFull(data); err != nil {
+			return nil, err
+		}
+		var sync [16]byte
+		if err := r.br.ReadFull(sync[:]); err != nil {
+			return nil, err
+		}
+		if sync != r.sync {
+			return nil, fmt.Errorf("avro: sync marker mismatch")
+		}
+		if r.codec == CodecDeflate {
+			fr := flate.NewReader(bytes.NewReader(data))
+			dec, err := io.ReadAll(fr)
+			if err != nil {
+				return nil, fmt.Errorf("avro: deflate: %w", err)
+			}
+			data = dec
+		}
+		r.block = &byteReader{r: bytes.NewReader(data)}
+		r.remaining = count
+	}
+	row, err := DecodeRow(r.block, r.schema)
+	if err != nil {
+		return nil, err
+	}
+	r.remaining--
+	return row, nil
+}
+
+// ReadAll decodes every row of an OCF stream.
+func ReadAll(rd io.Reader) (Schema, []types.Row, error) {
+	r, err := NewReader(rd)
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	var rows []types.Row
+	for {
+		row, err := r.Next()
+		if err == io.EOF {
+			return r.schema, rows, nil
+		}
+		if err != nil {
+			return Schema{}, nil, err
+		}
+		rows = append(rows, row)
+	}
+}

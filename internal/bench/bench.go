@@ -1,0 +1,233 @@
+// Package bench regenerates every table and figure of the paper's §4. Each
+// experiment runs the real system at laptop scale (real rows through the
+// real connector, engine, and baselines) while the components record their
+// resource usage; the recorded trace — scaled to the paper's data sizes —
+// is then replayed through the flow-level simulator over a model of the
+// paper's testbed (§4.1: 4:8 Vertica:Spark, 1 GbE, 16-core nodes). Reported
+// seconds are simulated; EXPERIMENTS.md compares them against the paper.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/core"
+	"vsfabric/internal/hdfs"
+	"vsfabric/internal/jdbcsource"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/vertica"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// RealRows is the number of rows the real (laptop-scale) run moves;
+	// everything above it is simulated scaling. 0 uses the per-experiment
+	// default.
+	RealRows int64
+	// Verbose prints progress lines.
+	Verbose bool
+}
+
+// Report is a regenerated table/figure.
+type Report struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports, for side-by-side reading
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fabric is one experiment's system under test: a database cluster, a Spark
+// context with an attached trace, the connector, the JDBC baseline, and
+// optionally an HDFS cluster.
+type fabric struct {
+	cluster *vertica.Cluster
+	sc      *spark.Context
+	trace   *sim.Trace
+	model   *sim.CostModel
+	topo    sim.Topology
+	hfs     *hdfs.FS
+	host    string
+}
+
+// newFabric builds a fresh fabric. hNodes=0 skips HDFS.
+func newFabric(vNodes, sNodes, hNodes int) (*fabric, error) {
+	cl, err := vertica.NewCluster(vertica.Config{Nodes: vNodes})
+	if err != nil {
+		return nil, err
+	}
+	f := &fabric{
+		cluster: cl,
+		model:   sim.DefaultModel(),
+		topo:    sim.Topology{VerticaNodes: vNodes, SparkNodes: sNodes, HDFSNodes: hNodes},
+		host:    cl.Node(0).Addr,
+	}
+	if hNodes > 0 {
+		f.hfs, err = hdfs.New(hdfs.Config{DataNodes: hNodes, Replication: 3})
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.resetTrace()
+	core.NewDefaultSource(client.InProc(cl)).Register()
+	jdbcsource.New(client.InProc(cl)).Register()
+	return f, nil
+}
+
+// resetTrace swaps in a fresh trace and Spark context, so one fabric can
+// seed data untraced and then measure cleanly.
+func (f *fabric) resetTrace() {
+	f.trace = sim.NewTrace()
+	f.sc = spark.NewContext(spark.Conf{
+		NumExecutors:     f.topo.SparkNodes,
+		CoresPerExecutor: 32, // real-run concurrency; the simulated slot count comes from the cost model
+		MaxTaskFailures:  4,
+		Trace:            f.trace,
+	})
+}
+
+// simulate replays the current trace at the given scale and returns total
+// simulated seconds (parallel task makespan plus serial driver work) and the
+// raw simulation result.
+func (f *fabric) simulate(scale float64, cfg sim.Config) (float64, *sim.Result, error) {
+	sys := f.model.BuildSystem(f.topo)
+	all := f.model.BuildTasks(f.trace, scale)
+	tasks := all[:0]
+	serial := 0.0
+	for _, t := range all {
+		if strings.HasPrefix(t.ID, "driver-") {
+			continue
+		}
+		tasks = append(tasks, t)
+	}
+	for _, rec := range f.trace.Tasks() {
+		if strings.HasPrefix(rec.ID, "driver-") {
+			// Driver work is control-plane (DDL, status rows, catalog
+			// queries): its size does not grow with the dataset, so it is
+			// not scaled.
+			serial += f.model.SerialSeconds(sys, rec, 1)
+		}
+	}
+	if len(tasks) == 0 {
+		return serial, &sim.Result{}, nil
+	}
+	res, err := sim.Simulate(sys, tasks, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Makespan + serial, res, nil
+}
+
+// sql runs setup statements against node 0.
+func (f *fabric) sql(stmts ...string) error {
+	s, err := f.cluster.Connect(0)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for _, stmt := range stmts {
+		if _, err := s.Execute(stmt); err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.0f s", v) }
+
+func logf(cfg RunConfig, format string, args ...any) {
+	if cfg.Verbose {
+		fmt.Printf("  [bench] "+format+"\n", args...)
+	}
+}
+
+// connectorOpts builds the standard connector option map.
+func (f *fabric) connectorOpts(table string, parts int, extra map[string]string) map[string]string {
+	m := map[string]string{
+		"host": f.host, "table": table, "user": "dbadmin",
+		"numPartitions": fmt.Sprint(parts),
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return m
+}
+
+// bytesReader adapts a byte slice to io.Reader without importing bytes at
+// every call site.
+func bytesReader(b []byte) *strings.Reader { return strings.NewReader(string(b)) }

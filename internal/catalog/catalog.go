@@ -1,0 +1,299 @@
+// Package catalog implements the cluster-wide metadata store: table
+// definitions with segmentation layout, views, and the atomic DDL operations
+// (create / drop / rename) the S2V commit protocol depends on (§3.2.1 phase
+// 5: overwrite mode commits by atomically renaming the staging table to the
+// target table).
+//
+// The segmentation layout — which node owns which contiguous hash range — is
+// exactly the information the V2S connector queries from the system catalog
+// to formulate node-local partition queries (§3.1.2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+)
+
+// TableDef is the user-visible definition of a table.
+type TableDef struct {
+	Name   string
+	Schema types.Schema
+	// SegCols are the SEGMENTED BY HASH(...) columns. Empty with
+	// Segmented=true means "segment by all columns" (the engine default);
+	// Segmented=false means an unsegmented table, replicated on every node.
+	SegCols   []string
+	Segmented bool
+	// KSafety is the number of buddy replicas kept for segmented tables.
+	KSafety int
+	// Temp marks connector-internal temporary tables (the S2V staging and
+	// status tables), excluded from user-facing listings.
+	Temp bool
+}
+
+// Table is a live table: its definition plus the per-node segment stores.
+type Table struct {
+	Def    TableDef
+	SegIdx []int // schema indexes of the segmentation columns
+
+	// Stores[i] is node i's primary store: for segmented tables the segment
+	// whose hash range is Segments(n)[i]; for unsegmented tables a full
+	// replica.
+	Stores []*storage.Store
+	// Buddies[r][i] is node i's r-th buddy replica, holding the segment of
+	// node (i-r-1) mod n, so the cluster tolerates KSafety node losses.
+	Buddies [][]*storage.Store
+
+	CreatedEpoch uint64
+}
+
+// NumNodes returns the number of nodes the table spans.
+func (t *Table) NumNodes() int { return len(t.Stores) }
+
+// SegmentRanges returns the hash range owned by each node. Unsegmented
+// tables report the full ring for every node (any node can serve any range
+// locally) — this is what lets V2S use synthetic hash ranges for them.
+func (t *Table) SegmentRanges() []vhash.Range {
+	n := len(t.Stores)
+	if !t.Def.Segmented {
+		out := make([]vhash.Range, n)
+		for i := range out {
+			out[i] = vhash.Range{Lo: 0, Hi: vhash.RingSize}
+		}
+		return out
+	}
+	return vhash.Segments(n)
+}
+
+// HomeNode returns the node index owning the given row hash.
+func (t *Table) HomeNode(h uint32) int {
+	if !t.Def.Segmented {
+		return 0
+	}
+	return vhash.SegmentOf(h, len(t.Stores))
+}
+
+// RowHash computes the segmentation hash of a row of this table.
+func (t *Table) RowHash(r types.Row) uint32 {
+	return vhash.HashRow(r, t.SegIdx)
+}
+
+// View is a named stored query. The engine re-plans the definition at query
+// time; V2S loads views by wrapping them in synthetic-hash partition
+// predicates (§3.1.1: views enable join/aggregation pushdown).
+type View struct {
+	Name      string
+	SelectSQL string
+}
+
+// Catalog is the cluster metadata store.
+type Catalog struct {
+	mu       sync.RWMutex
+	numNodes int
+	tables   map[string]*Table
+	views    map[string]*View
+}
+
+// New creates a catalog for a cluster of numNodes nodes.
+func New(numNodes int) *Catalog {
+	return &Catalog{
+		numNodes: numNodes,
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*View),
+	}
+}
+
+// NumNodes returns the cluster size.
+func (c *Catalog) NumNodes() int { return c.numNodes }
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable creates a table, resolving the segmentation columns and
+// allocating per-node stores. It fails if a table or view with the name
+// exists.
+func (c *Catalog) CreateTable(def TableDef, epoch uint64) (*Table, error) {
+	segIdx := make([]int, 0, len(def.SegCols))
+	for _, col := range def.SegCols {
+		i := def.Schema.ColIndex(col)
+		if i < 0 {
+			return nil, fmt.Errorf("catalog: segmentation column %q not in schema", col)
+		}
+		segIdx = append(segIdx, i)
+	}
+	if def.KSafety < 0 || def.KSafety >= c.numNodes {
+		return nil, fmt.Errorf("catalog: k-safety %d invalid for %d nodes", def.KSafety, c.numNodes)
+	}
+	t := &Table{Def: def, SegIdx: segIdx, CreatedEpoch: epoch}
+	t.Stores = make([]*storage.Store, c.numNodes)
+	for i := range t.Stores {
+		t.Stores[i] = storage.NewStore(def.Schema, segIdx)
+	}
+	if def.Segmented && def.KSafety > 0 {
+		t.Buddies = make([][]*storage.Store, def.KSafety)
+		for r := range t.Buddies {
+			t.Buddies[r] = make([]*storage.Store, c.numNodes)
+			for i := range t.Buddies[r] {
+				t.Buddies[r][i] = storage.NewStore(def.Schema, segIdx)
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(def.Name)
+	if _, ok := c.tables[k]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", def.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return nil, fmt.Errorf("catalog: view %q already exists", def.Name)
+	}
+	c.tables[k] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// DropTable removes a table. Missing tables are an error unless ifExists.
+func (c *Catalog) DropTable(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// RenameTable atomically renames a table; the destination must not exist.
+// Combined with DropTable under the caller's transaction-level serialization
+// this provides S2V's atomic staging→target switch.
+func (c *Catalog) RenameTable(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ok, nk := key(oldName), key(newName)
+	t, exists := c.tables[ok]
+	if !exists {
+		return fmt.Errorf("catalog: table %q does not exist", oldName)
+	}
+	if _, exists := c.tables[nk]; exists {
+		return fmt.Errorf("catalog: table %q already exists", newName)
+	}
+	if _, exists := c.views[nk]; exists {
+		return fmt.Errorf("catalog: view %q already exists", newName)
+	}
+	delete(c.tables, ok)
+	// Copy-on-write: concurrent readers hold *Table pointers (sessions
+	// mid-scan); mutating the shared Def would race with them. The stores
+	// are shared by reference, so data written through either struct is the
+	// same data.
+	nt := *t
+	nt.Def.Name = newName
+	nt.Def.Temp = false
+	c.tables[nk] = &nt
+	return nil
+}
+
+// SwapTables atomically replaces target with source (source is renamed to
+// target; any previous target is dropped). This is the one-step overwrite
+// commit used by S2V overwrite mode.
+func (c *Catalog) SwapTables(source, target string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk, tk := key(source), key(target)
+	st, ok := c.tables[sk]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", source)
+	}
+	delete(c.tables, sk)
+	delete(c.tables, tk)
+	nt := *st
+	nt.Def.Name = target
+	nt.Def.Temp = false
+	c.tables[tk] = &nt
+	return nil
+}
+
+// CreateView registers a view definition.
+func (c *Catalog) CreateView(name, selectSQL string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	c.views[k] = &View{Name: name, SelectSQL: selectSQL}
+	return nil
+}
+
+// View looks up a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.views[k]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.views, k)
+	return nil
+}
+
+// Tables returns all tables (including temp tables), sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]*Table, 0, len(names))
+	for _, k := range names {
+		out = append(out, c.tables[k])
+	}
+	return out
+}
+
+// Views returns all views sorted by name.
+func (c *Catalog) Views() []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.views))
+	for k := range c.views {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]*View, 0, len(names))
+	for _, k := range names {
+		out = append(out, c.views[k])
+	}
+	return out
+}

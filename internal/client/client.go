@@ -1,0 +1,92 @@
+// Package client defines the database driver contract the connector and the
+// baselines program against — the role JDBC plays in the paper. Two
+// implementations exist: the in-process connector returned by InProc (used
+// by the connector, tests, and benchmarks) and the TCP wire-protocol client
+// in package server (used by the vsql shell and the network integration
+// tests). Keeping the connector on this interface preserves the paper's
+// layering: the connector only ever talks SQL over a connection.
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"vsfabric/internal/sim"
+	"vsfabric/internal/vertica"
+)
+
+// Conn is one database session.
+type Conn interface {
+	// Execute runs one SQL statement.
+	Execute(sql string) (*vertica.Result, error)
+	// CopyFrom runs COPY ... FROM STDIN feeding the statement from r —
+	// the VerticaCopyStream bulk-load API (§3.2.2).
+	CopyFrom(sql string, r io.Reader) (*vertica.Result, error)
+	// SetRecorder attaches a resource recorder for the performance layer.
+	SetRecorder(rec *sim.TaskRec, clientNode string)
+	// Close releases the session, aborting any open transaction.
+	Close()
+}
+
+// Connector opens sessions by node address.
+type Connector interface {
+	Connect(addr string) (Conn, error)
+}
+
+// inproc connects directly to an in-process cluster.
+type inproc struct {
+	cluster *vertica.Cluster
+}
+
+// InProc returns a Connector wired straight into the given cluster; addr
+// must be one of the cluster's node addresses.
+func InProc(c *vertica.Cluster) Connector { return &inproc{cluster: c} }
+
+// Connect implements Connector.
+func (p *inproc) Connect(addr string) (Conn, error) {
+	s, err := p.cluster.ConnectAddr(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return s, nil
+}
+
+// CopyStream is a push-style writer over a COPY statement, mirroring the
+// VerticaCopyStream Java API: create it, Write encoded bytes any number of
+// times, then Finish to complete the load and get the result.
+type CopyStream struct {
+	pw   *io.PipeWriter
+	done chan struct{}
+	res  *vertica.Result
+	err  error
+}
+
+// NewCopyStream starts a COPY ... FROM STDIN on the connection and returns
+// the stream to feed it.
+func NewCopyStream(conn Conn, sql string) *CopyStream {
+	pr, pw := io.Pipe()
+	cs := &CopyStream{pw: pw, done: make(chan struct{})}
+	go func() {
+		defer close(cs.done)
+		cs.res, cs.err = conn.CopyFrom(sql, pr)
+		// Unblock any in-flight Write if the server stopped reading early.
+		pr.CloseWithError(cs.err)
+	}()
+	return cs
+}
+
+// Write feeds encoded bytes to the load.
+func (cs *CopyStream) Write(p []byte) (int, error) { return cs.pw.Write(p) }
+
+// Finish signals end of data and waits for the load to complete.
+func (cs *CopyStream) Finish() (*vertica.Result, error) {
+	_ = cs.pw.Close()
+	<-cs.done
+	return cs.res, cs.err
+}
+
+// Abort cancels the load.
+func (cs *CopyStream) Abort(err error) {
+	_ = cs.pw.CloseWithError(err)
+	<-cs.done
+}

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/vertica"
+)
+
+func cluster(t *testing.T) *vertica.Cluster {
+	t.Helper()
+	c, err := vertica.NewCluster(vertica.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInProcConnect(t *testing.T) {
+	c := cluster(t)
+	pool := InProc(c)
+	conn, err := pool.Connect(c.Node(1).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Execute("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Execute("SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Errorf("count = %v, %v", res, err)
+	}
+	if _, err := pool.Connect("no-such-host"); err == nil {
+		t.Error("bad address should fail")
+	}
+}
+
+func TestCopyStream(t *testing.T) {
+	c := cluster(t)
+	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCopyStream(conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
+	for i := 0; i < 3; i++ {
+		if _, err := cs.Write([]byte("1,a\n2,b\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cs.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copy.Loaded != 6 {
+		t.Errorf("loaded = %d", res.Copy.Loaded)
+	}
+}
+
+func TestCopyStreamAbort(t *testing.T) {
+	c := cluster(t)
+	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Execute("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCopyStream(conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
+	if _, err := cs.Write([]byte("1\n")); err != nil {
+		t.Fatal(err)
+	}
+	cs.Abort(errors.New("client gave up"))
+	// The aborted copy must not have loaded anything (the stream error
+	// fails the statement).
+	res, err := conn.Execute("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("aborted copy loaded %v rows", res.Rows[0][0])
+	}
+}
+
+func TestCopyStreamBadStatement(t *testing.T) {
+	c := cluster(t)
+	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cs := NewCopyStream(conn, "COPY missing FROM STDIN FORMAT CSV")
+	// Writes may fail fast once the server side rejects the statement.
+	_, _ = cs.Write([]byte(strings.Repeat("1\n", 10)))
+	if _, err := cs.Finish(); err == nil {
+		t.Error("copy into missing table should fail")
+	}
+}

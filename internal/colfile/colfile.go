@@ -1,0 +1,240 @@
+// Package colfile implements the columnar file format of the HDFS baseline
+// (§4.7.2 reads/writes Parquet through Spark's native path): row groups of
+// column chunks, each chunk serialized with the storage package's encodings
+// (plain/RLE/delta/dictionary), framed with a magic header and per-group
+// row counts so readers can stream group by group.
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+var magic = []byte("VCF1")
+
+// DefaultRowGroup is the default rows-per-group.
+const DefaultRowGroup = 8192
+
+// Writer streams rows into a colfile.
+type Writer struct {
+	w        io.Writer
+	schema   types.Schema
+	groupSz  int
+	buf      []types.Row
+	wroteHdr bool
+}
+
+// NewWriter creates a writer; groupRows <= 0 uses DefaultRowGroup.
+func NewWriter(w io.Writer, schema types.Schema, groupRows int) *Writer {
+	if groupRows <= 0 {
+		groupRows = DefaultRowGroup
+	}
+	return &Writer{w: w, schema: schema, groupSz: groupRows}
+}
+
+func (w *Writer) header() error {
+	if w.wroteHdr {
+		return nil
+	}
+	var b bytes.Buffer
+	b.Write(magic)
+	writeUvarint(&b, uint64(w.schema.NumCols()))
+	for _, c := range w.schema.Cols {
+		writeUvarint(&b, uint64(len(c.Name)))
+		b.WriteString(c.Name)
+		b.WriteByte(byte(c.T))
+	}
+	if _, err := w.w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	w.wroteHdr = true
+	return nil
+}
+
+// Append buffers one row, flushing a row group when full.
+func (w *Writer) Append(r types.Row) error {
+	if len(r) != w.schema.NumCols() {
+		return fmt.Errorf("colfile: row has %d cols, schema %d", len(r), w.schema.NumCols())
+	}
+	w.buf = append(w.buf, r)
+	if len(w.buf) >= w.groupSz {
+		return w.flushGroup()
+	}
+	return nil
+}
+
+func (w *Writer) flushGroup() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	cols, err := storage.ColumnsFromRows(w.buf, w.schema)
+	if err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	writeUvarint(&b, uint64(len(w.buf)))
+	for _, c := range cols {
+		chunk, err := storage.EncodeColumn(c, storage.ChooseEncoding(c))
+		if err != nil {
+			return err
+		}
+		writeUvarint(&b, uint64(len(chunk)))
+		b.Write(chunk)
+	}
+	if _, err := w.w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the final group (and header for empty files).
+func (w *Writer) Close() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.flushGroup()
+}
+
+// WriteAll serializes rows in one call.
+func WriteAll(schema types.Schema, rows []types.Row, groupRows int) ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, schema, groupRows)
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Reader streams rows out of a colfile.
+type Reader struct {
+	r      *bytes.Reader
+	schema types.Schema
+
+	group []types.Row
+	pos   int
+}
+
+// NewReader parses the header.
+func NewReader(data []byte) (*Reader, error) {
+	r := bytes.NewReader(data)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("colfile: short magic: %w", err)
+	}
+	if !bytes.Equal(head, magic) {
+		return nil, fmt.Errorf("colfile: bad magic %q", head)
+	}
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{r: r}
+	for i := uint64(0); i < ncols; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rd.schema.Cols = append(rd.schema.Cols, types.Column{Name: string(name), T: types.Type(tb)})
+	}
+	return rd, nil
+}
+
+// Schema returns the file schema.
+func (r *Reader) Schema() types.Schema { return r.schema }
+
+// Next returns the next row or io.EOF.
+func (r *Reader) Next() (types.Row, error) {
+	for r.pos >= len(r.group) {
+		if err := r.loadGroup(); err != nil {
+			return nil, err
+		}
+	}
+	row := r.group[r.pos]
+	r.pos++
+	return row, nil
+}
+
+func (r *Reader) loadGroup() error {
+	nRows, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("colfile: bad group header: %w", err)
+	}
+	cols := make([]storage.Column, r.schema.NumCols())
+	for i := range cols {
+		sz, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return err
+		}
+		chunk := make([]byte, sz)
+		if _, err := io.ReadFull(r.r, chunk); err != nil {
+			return err
+		}
+		col, err := storage.DecodeColumn(chunk)
+		if err != nil {
+			return err
+		}
+		if col.Len() != int(nRows) {
+			return fmt.Errorf("colfile: column %d has %d rows, group declares %d", i, col.Len(), nRows)
+		}
+		cols[i] = col
+	}
+	r.group = make([]types.Row, nRows)
+	for i := 0; i < int(nRows); i++ {
+		row := make(types.Row, len(cols))
+		for j, c := range cols {
+			row[j] = c.Get(i)
+		}
+		r.group[i] = row
+	}
+	r.pos = 0
+	return nil
+}
+
+// ReadAll decodes every row.
+func ReadAll(data []byte) (types.Schema, []types.Row, error) {
+	r, err := NewReader(data)
+	if err != nil {
+		return types.Schema{}, nil, err
+	}
+	var rows []types.Row
+	for {
+		row, err := r.Next()
+		if err == io.EOF {
+			return r.schema, rows, nil
+		}
+		if err != nil {
+			return types.Schema{}, nil, err
+		}
+		rows = append(rows, row)
+	}
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}

@@ -1,0 +1,133 @@
+package colfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsfabric/internal/types"
+)
+
+var schema = types.NewSchema(
+	types.Column{Name: "id", T: types.Int64},
+	types.Column{Name: "x", T: types.Float64},
+	types.Column{Name: "s", T: types.Varchar},
+	types.Column{Name: "b", T: types.Bool},
+)
+
+func rowsN(n int) []types.Row {
+	out := make([]types.Row, n)
+	for i := range out {
+		out[i] = types.Row{
+			types.IntValue(int64(i)),
+			types.FloatValue(float64(i) / 3),
+			types.StringValue([]string{"a", "bb", "ccc"}[i%3]),
+			types.BoolValue(i%2 == 0),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, groupRows := range []int{0, 1, 3, 1000} {
+		rows := rowsN(10)
+		data, err := WriteAll(schema, rows, groupRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSchema, got, err := ReadAll(data)
+		if err != nil {
+			t.Fatalf("groupRows=%d: %v", groupRows, err)
+		}
+		if !gotSchema.Equal(schema) {
+			t.Errorf("schema mismatch: %v", gotSchema)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("groupRows=%d: %d rows", groupRows, len(got))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if !types.Equal(rows[i][j], got[i][j]) {
+					t.Errorf("row %d col %d: %v != %v", i, j, got[i][j], rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	data, err := WriteAll(schema, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, got, err := ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || !gotSchema.Equal(schema) {
+		t.Errorf("empty file: %d rows, schema %v", len(got), gotSchema)
+	}
+}
+
+func TestNullsSurvive(t *testing.T) {
+	rows := []types.Row{
+		{types.NullValue(types.Int64), types.FloatValue(1), types.NullValue(types.Varchar), types.NullValue(types.Bool)},
+	}
+	data, err := WriteAll(schema, rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0][0].Null || !got[0][2].Null || !got[0][3].Null {
+		t.Errorf("nulls lost: %v", got[0])
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := NewReader([]byte("nope")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	data, _ := WriteAll(schema, rowsN(5), 0)
+	if _, _, err := ReadAll(data[:len(data)-2]); err == nil {
+		t.Error("truncated file should fail")
+	}
+}
+
+func TestWrongWidthRow(t *testing.T) {
+	w := NewWriter(nil, schema, 0)
+	if err := w.Append(types.Row{types.IntValue(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := types.NewSchema(types.Column{Name: "a", T: types.Int64}, types.Column{Name: "b", T: types.Varchar})
+	f := func(ints []int64, strsSeed uint8) bool {
+		rows := make([]types.Row, len(ints))
+		for i, v := range ints {
+			rows[i] = types.Row{types.IntValue(v), types.StringValue(string(rune('a' + (uint8(i)+strsSeed)%26)))}
+		}
+		data, err := WriteAll(s, rows, 4)
+		if err != nil {
+			return false
+		}
+		_, got, err := ReadAll(data)
+		if err != nil || len(got) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if got[i][0].I != rows[i][0].I || got[i][1].S != rows[i][1].S {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the Vertica connector
+// for the Spark substrate. It provides V2S (§3.1) — parallel, data-locality-
+// aware, epoch-consistent loads with filter/projection/count pushdown — S2V
+// (§3.2) — exactly-once parallel saves through a five-phase staging-table
+// protocol — and MD (§3.3) — PMML model deployment into the database for
+// in-database scoring.
+//
+// The connector registers as a Spark data source under DefaultSourceName and
+// is driven through the External Data Source API exactly as in Table 1 of
+// the paper.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultSourceName is the format name the connector registers under,
+// matching the paper's "com.vertica.spark.datasource.DefaultSource".
+const DefaultSourceName = "com.vertica.spark.datasource.DefaultSource"
+
+// Options are the key=value options of the External Data Source API calls
+// (the `opts` of Table 1).
+type Options struct {
+	// Table is the target table (or, for loads, a view name).
+	Table string
+	// Host is the address of any one cluster node; the connector discovers
+	// the rest from the system catalog (§3.2: "Although the user provides
+	// only a single Vertica hostname to the API, all Vertica node IPs are
+	// looked up during setup").
+	Host string
+	// User, Password and DB are accepted for API fidelity.
+	User, Password, DB string
+	// NumPartitions is the requested parallelism. For V2S it defaults to 16
+	// (a practical value per §4.2); for S2V it defaults to the DataFrame's
+	// current partitioning.
+	NumPartitions int
+	// FailedRowsPercentTolerance is S2V's rejected-row budget in [0,1]
+	// (§3.2: "user control to specify a tolerance for the number of rows
+	// rejected").
+	FailedRowsPercentTolerance float64
+	// JobName optionally names the S2V job in the permanent status table.
+	JobName string
+	// DisableLocality turns off V2S's hash-ring locality (each task still
+	// gets a unique range but connects to the "wrong" node), the ablation
+	// for the §3.1.2 optimization. Option: disable_locality_optimization.
+	DisableLocality bool
+	// CopyFormat selects the S2V task encoding: "avro" (default, §3.2.2) or
+	// "csv" — the encoding ablation. Option: copy_format.
+	CopyFormat string
+}
+
+// ParseOptions validates and extracts connector options.
+func ParseOptions(m map[string]string) (Options, error) {
+	o := Options{NumPartitions: 0, FailedRowsPercentTolerance: 0}
+	get := func(k string) string {
+		for mk, v := range m {
+			if strings.EqualFold(mk, k) {
+				return v
+			}
+		}
+		return ""
+	}
+	o.Table = get("table")
+	o.Host = get("host")
+	o.User = get("user")
+	o.Password = get("password")
+	o.DB = get("db")
+	o.JobName = get("jobname")
+	if o.Table == "" {
+		return o, fmt.Errorf("core: option \"table\" is required")
+	}
+	if o.Host == "" {
+		return o, fmt.Errorf("core: option \"host\" is required")
+	}
+	if v := get("numpartitions"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return o, fmt.Errorf("core: bad numPartitions %q", v)
+		}
+		o.NumPartitions = n
+	}
+	if v := get("disable_locality_optimization"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return o, fmt.Errorf("core: bad disable_locality_optimization %q", v)
+		}
+		o.DisableLocality = b
+	}
+	switch cf := strings.ToLower(get("copy_format")); cf {
+	case "", "avro":
+		o.CopyFormat = "avro"
+	case "csv":
+		o.CopyFormat = "csv"
+	default:
+		return o, fmt.Errorf("core: bad copy_format %q (want avro or csv)", cf)
+	}
+	if v := get("failedrowspercenttolerance"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return o, fmt.Errorf("core: bad failedRowsPercentTolerance %q (want [0,1])", v)
+		}
+		o.FailedRowsPercentTolerance = f
+	}
+	return o, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+)
+
+// TestS2VExactlyOnceRandomFailures is the adversarial property test for the
+// five-phase protocol: random failure schedules — arbitrary tasks killed at
+// arbitrary phase boundaries on arbitrary attempts, plus random speculative
+// duplicates — must never produce a partial or duplicate load. Every seed is
+// deterministic, so a failing seed reproduces exactly.
+func TestS2VExactlyOnceRandomFailures(t *testing.T) {
+	checkpoints := []string{
+		"s2v.task_start",
+		"s2v.phase1.before_copy",
+		"s2v.phase1.after_copy",
+		"s2v.phase1.after_commit",
+		"s2v.phase2.all_done",
+		"s2v.phase3.after",
+		"s2v.phase5.before_commit",
+		"s2v.phase5.after_commit",
+	}
+	const trials = 25
+	for seed := 0; seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			parts := 2 + rng.Intn(7)
+			rows := 100 + rng.Intn(400)
+			inj := spark.NewFailureInjector()
+			// Up to 3 injected failures; attempts 0-1 so the task always
+			// has retries left (MaxTaskFailures is 4).
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				inj.FailTaskAt(rng.Intn(parts), rng.Intn(2), checkpoints[rng.Intn(len(checkpoints))], 1)
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				inj.Speculate(rng.Intn(parts))
+			}
+			h := newHarness(t, 1+rng.Intn(4), 1+rng.Intn(4), inj)
+			df := testDF(h, rows, parts)
+			err := saveDF(t, h, df, spark.SaveOverwrite, "target", parts, map[string]string{
+				"jobname": fmt.Sprintf("prop_%d", seed),
+			})
+			if err != nil {
+				t.Fatalf("save: %v (injected: %v)", err, inj.Log())
+			}
+			if got := h.count(t, "target"); got != int64(rows) {
+				t.Fatalf("rows = %d, want %d (injected: %v)", got, rows, inj.Log())
+			}
+			wantSum := float64(rows*(rows-1))/2 + 0.25*float64(rows)
+			if got := h.sumCol(t, "target", "val"); got != wantSum {
+				t.Fatalf("sum = %v, want %v — duplicate or partial load (injected: %v)", got, wantSum, inj.Log())
+			}
+		})
+	}
+}
+
+// TestS2VAppendExactlyOnceRandomFailures covers the append-mode commit path
+// (INSERT..SELECT inside the phase-5 transaction) under the same adversary.
+func TestS2VAppendExactlyOnceRandomFailures(t *testing.T) {
+	checkpoints := []string{
+		"s2v.phase1.after_copy", "s2v.phase1.after_commit",
+		"s2v.phase5.before_commit", "s2v.phase5.after_commit",
+	}
+	for seed := 0; seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + seed)))
+			parts := 2 + rng.Intn(5)
+			rows := 100 + rng.Intn(200)
+			inj := spark.NewFailureInjector()
+			inj.FailTaskAt(rng.Intn(parts), 0, checkpoints[rng.Intn(len(checkpoints))], 1)
+			if rng.Intn(2) == 0 {
+				inj.Speculate(rng.Intn(parts))
+			}
+			h := newHarness(t, 4, 2, inj)
+			h.sql(t, "CREATE TABLE target (id INTEGER, val FLOAT) SEGMENTED BY HASH(id)",
+				"INSERT INTO target VALUES (1000000, 0.5)")
+			err := saveDF(t, h, testDF(h, rows, parts), spark.SaveAppend, "target", parts, map[string]string{
+				"jobname": fmt.Sprintf("prop_append_%d", seed),
+			})
+			if err != nil {
+				t.Fatalf("append: %v (injected: %v)", err, inj.Log())
+			}
+			if got := h.count(t, "target"); got != int64(rows)+1 {
+				t.Fatalf("rows = %d, want %d (injected: %v)", got, rows+1, inj.Log())
+			}
+		})
+	}
+}
+
+// TestV2SExactlyOnceRandomShapes: arbitrary cluster shapes, partition counts
+// and retry schedules must load every row exactly once at one epoch.
+func TestV2SExactlyOnceRandomShapes(t *testing.T) {
+	for seed := 0; seed < 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + seed)))
+			vNodes := 1 + rng.Intn(6)
+			parts := 1 + rng.Intn(40)
+			rows := 50 + rng.Intn(500)
+			inj := spark.NewFailureInjector()
+			for i := 0; i < rng.Intn(3); i++ {
+				inj.FailTaskAt(rng.Intn(parts), 0, "v2s.task_start", 1)
+			}
+			h := newHarness(t, vNodes, 1+rng.Intn(3), inj)
+			h.seedTable(t, "d1", rows)
+			df, err := h.sc.Read().Format(DefaultSourceName).Options(loadOpts(h, "d1", parts)).Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := df.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != rows {
+				t.Fatalf("nodes=%d parts=%d: got %d rows, want %d", vNodes, parts, len(got), rows)
+			}
+			seen := make(map[int64]bool, rows)
+			for _, r := range got {
+				if seen[r[0].I] {
+					t.Fatalf("duplicate id %d (nodes=%d parts=%d)", r[0].I, vNodes, parts)
+				}
+				seen[r[0].I] = true
+			}
+		})
+	}
+}
+
+// TestConcurrentS2VJobs: two independent saves into different tables share
+// the permanent status table and the cluster without interfering.
+func TestConcurrentS2VJobs(t *testing.T) {
+	h := newHarness(t, 4, 4, nil)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			df := testDF(h, 300, 4)
+			errs <- saveDF(t, h, df, spark.SaveOverwrite, fmt.Sprintf("t%d", i), 4, map[string]string{
+				"jobname": fmt.Sprintf("conc_%d", i),
+			})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.count(t, "t0") != 300 || h.count(t, "t1") != 300 {
+		t.Error("concurrent jobs corrupted each other")
+	}
+	s, _ := h.cluster.Connect(0)
+	defer s.Close()
+	res, err := s.Execute("SELECT COUNT(*) FROM s2v_job_status WHERE status = 'SUCCESS'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.I != 2 {
+		t.Errorf("job records = %v, want 2", v)
+	}
+}
+
+// TestV2SSchemaTypesPreserved: every supported column type round-trips
+// through S2V (Avro) and V2S (text wire) unchanged.
+func TestV2SSchemaTypesPreserved(t *testing.T) {
+	h := newHarness(t, 2, 2, nil)
+	schema := types.NewSchema(
+		types.Column{Name: "i", T: types.Int64},
+		types.Column{Name: "f", T: types.Float64},
+		types.Column{Name: "s", T: types.Varchar},
+		types.Column{Name: "b", T: types.Bool},
+	)
+	rows := []types.Row{
+		{types.IntValue(-5), types.FloatValue(2.5), types.StringValue("héllo, world"), types.BoolValue(true)},
+		{types.NullValue(types.Int64), types.NullValue(types.Float64), types.NullValue(types.Varchar), types.NullValue(types.Bool)},
+		{types.IntValue(1 << 60), types.FloatValue(-0.001), types.StringValue(""), types.BoolValue(false)},
+	}
+	df := spark.CreateDataFrame(h.sc, schema, rows, 2)
+	if err := saveDF(t, h, df, spark.SaveOverwrite, "alltypes", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := h.sc.Read().Format(DefaultSourceName).Options(loadOpts(h, "alltypes", 2)).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(schema) {
+		t.Fatalf("schema round trip: %v", back.Schema())
+	}
+	got, err := back.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	matched := 0
+	for _, want := range rows {
+		for _, g := range got {
+			same := true
+			for c := range want {
+				if want[c].Null != g[c].Null || (!want[c].Null && types.Compare(want[c], g[c]) != 0) {
+					same = false
+					break
+				}
+			}
+			if same {
+				matched++
+				break
+			}
+		}
+	}
+	if matched != len(rows) {
+		t.Errorf("only %d/%d rows survived the round trip: %v", matched, len(rows), got)
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vsfabric/internal/avro"
+	"vsfabric/internal/client"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+)
+
+// JobStatusTable is the permanent record of every S2V job (§3.2: "This table
+// serves as a record of all S2V jobs and is not deleted upon termination"),
+// the table a user consults after a total Spark failure.
+const JobStatusTable = "s2v_job_status"
+
+// ErrToleranceExceeded reports that more rows were rejected than the user's
+// failedRowsPercentTolerance allows; the save is marked FAILED and the
+// target table is untouched.
+var ErrToleranceExceeded = errors.New("core: rejected rows exceed failedRowsPercentTolerance")
+
+// s2vWriter runs one S2V job (§3.2).
+type s2vWriter struct {
+	pool client.Connector
+	opts Options
+	mode spark.SaveMode
+
+	staging   string
+	status    string
+	committer string
+	addrs     []string
+	schema    types.Schema
+}
+
+// taskReport is what each partition's task returns to the driver.
+type taskReport struct {
+	Loaded         int64
+	Rejected       int64
+	RejectedSample []string
+}
+
+// run executes setup, the parallel five-phase task protocol, and teardown.
+func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
+	trace := sc.Conf().Trace
+	setupRec := trace.Task("driver-00-setup", "")
+
+	conn, err := w.pool.Connect(w.opts.Host)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetRecorder(setupRec, "driver")
+	setupRec.Fixed(sim.FixedConnect)
+
+	if w.opts.NumPartitions > 0 {
+		df, err = df.Repartition(w.opts.NumPartitions)
+		if err != nil {
+			return err
+		}
+	}
+	rdd, err := df.RDD()
+	if err != nil {
+		return err
+	}
+	nParts := rdd.NumPartitions()
+	w.schema = df.Schema()
+
+	if err := w.setup(conn, nParts); err != nil {
+		return err
+	}
+
+	reports := spark.MapPartitions(rdd, func(tc *spark.TaskContext, p int, rows []types.Row) ([]taskReport, error) {
+		rep, err := w.runTask(tc, p, rows)
+		if err != nil {
+			return nil, err
+		}
+		return []taskReport{rep}, nil
+	})
+	_, jobErr := reports.Collect()
+
+	teardownRec := trace.Task("driver-99-teardown", "")
+	conn.SetRecorder(teardownRec, "driver")
+	if jobErr != nil {
+		// Total failure or a task out of retries: the staging table is
+		// abandoned, the target is untouched, and the permanent status
+		// table records the failure (best effort — if Vertica is also gone
+		// the row simply stays unfinished, §3.2).
+		w.markFailed(conn)
+		w.dropTemp(conn, true)
+		return fmt.Errorf("core: S2V job %q failed: %w", w.opts.JobName, jobErr)
+	}
+
+	// The job's tasks all completed; the last committer has decided the
+	// outcome. Read it back and clean up.
+	res, err := conn.Execute(fmt.Sprintf(
+		"SELECT status, failed_rows_percent FROM %s WHERE job_name = '%s'", JobStatusTable, sqlEscape(w.opts.JobName)))
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) != 1 {
+		return fmt.Errorf("core: job %q missing from %s", w.opts.JobName, JobStatusTable)
+	}
+	status, pct := res.Rows[0][0].S, res.Rows[0][1].F
+	w.dropTemp(conn, status != "SUCCESS")
+	if status != "SUCCESS" {
+		return fmt.Errorf("%w: %.4f%% rejected (job %q)", ErrToleranceExceeded, pct*100, w.opts.JobName)
+	}
+	return nil
+}
+
+// setup creates the staging table, the three bookkeeping tables, and the
+// per-task status rows (§3.2: "3 temporary tables, and 1 permanent table").
+func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
+	job := sanitizeIdent(w.opts.JobName)
+	w.staging = "s2v_stage_" + job
+	w.status = "s2v_task_status_" + job
+	w.committer = "s2v_last_committer_" + job
+
+	targetExists, err := w.tableExists(conn, w.opts.Table)
+	if err != nil {
+		return err
+	}
+	switch w.mode {
+	case spark.SaveErrorIfExists:
+		if targetExists {
+			return fmt.Errorf("core: table %q already exists (mode: errorIfExists)", w.opts.Table)
+		}
+	case spark.SaveAppend:
+		if !targetExists {
+			return fmt.Errorf("core: table %q does not exist (mode: append)", w.opts.Table)
+		}
+		lay, err := discoverLayout(conn, w.opts.Table)
+		if err != nil {
+			return err
+		}
+		if !lay.schema.Equal(w.schema) {
+			return fmt.Errorf("core: DataFrame schema %s does not match target %s", w.schema, lay.schema)
+		}
+	case spark.SaveOverwrite:
+		// Always allowed; the commit swaps staging over the target.
+	}
+
+	for _, stmt := range []string{
+		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.staging),
+		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.status),
+		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.committer),
+	} {
+		if _, err := conn.Execute(stmt); err != nil {
+			return err
+		}
+	}
+	stagingDDL := fmt.Sprintf("CREATE TEMP TABLE %s %s", w.staging, ddlColumns(w.schema))
+	if w.mode == spark.SaveAppend {
+		// Staging mirrors the target's definition so the final
+		// INSERT..SELECT is segment-aligned.
+		stagingDDL = fmt.Sprintf("CREATE TEMP TABLE %s LIKE %s", w.staging, w.opts.Table)
+	}
+	ddl := []string{
+		stagingDDL,
+		fmt.Sprintf("CREATE TEMP TABLE %s (task_id INTEGER, rows_inserted INTEGER, rows_rejected INTEGER, done BOOLEAN) UNSEGMENTED ALL NODES", w.status),
+		fmt.Sprintf("CREATE TEMP TABLE %s (task_id INTEGER) UNSEGMENTED ALL NODES", w.committer),
+		fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s (job_name VARCHAR, failed_rows_percent FLOAT, finished BOOLEAN, status VARCHAR) UNSEGMENTED ALL NODES", JobStatusTable),
+		fmt.Sprintf("INSERT INTO %s VALUES (-1)", w.committer),
+		fmt.Sprintf("INSERT INTO %s VALUES ('%s', 0.0, FALSE, 'RUNNING')", JobStatusTable, sqlEscape(w.opts.JobName)),
+	}
+	var taskRows []string
+	for p := 0; p < nParts; p++ {
+		taskRows = append(taskRows, fmt.Sprintf("(%d, 0, 0, FALSE)", p))
+	}
+	ddl = append(ddl, fmt.Sprintf("INSERT INTO %s VALUES %s", w.status, strings.Join(taskRows, ", ")))
+	for _, stmt := range ddl {
+		if _, err := conn.Execute(stmt); err != nil {
+			return err
+		}
+	}
+
+	lay, err := discoverLayout(conn, w.staging)
+	if err != nil {
+		return err
+	}
+	w.addrs = lay.addrs
+	return nil
+}
+
+// runTask is one task attempt's walk through the five phases of Figure 5.
+// It is safe to run any number of times for the same partition, concurrently
+// or after failures at any point — the status tables arbitrate.
+func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (taskReport, error) {
+	var rep taskReport
+	if err := tc.Checkpoint("s2v.task_start"); err != nil {
+		return rep, err
+	}
+	// Balance connections across the cluster; retries shift to another node
+	// so a single bad node cannot wedge a task.
+	addr := w.addrs[(p+tc.Attempt)%len(w.addrs)]
+	conn, err := w.pool.Connect(addr)
+	if err != nil {
+		return rep, err
+	}
+	defer conn.Close()
+	conn.SetRecorder(tc.Rec, tc.ExecNode)
+	tc.Rec.Fixed(sim.FixedConnect)
+
+	// A restarted attempt first inquires the state of progress (§3.2: tasks
+	// "utilize these tables to inquire the state of progress of all other
+	// tasks"). If the job already committed, the staging table is gone and
+	// there is nothing left to do; if this task's earlier attempt already
+	// saved its data, skip straight to phase 2.
+	res0, err := conn.Execute(fmt.Sprintf(
+		"SELECT finished FROM %s WHERE job_name = '%s'", JobStatusTable, sqlEscape(w.opts.JobName)))
+	if err != nil {
+		return rep, err
+	}
+	if len(res0.Rows) == 1 && res0.Rows[0][0].AsBool() {
+		return rep, nil
+	}
+	res0, err = conn.Execute(fmt.Sprintf(
+		"SELECT done FROM %s WHERE task_id = %d", w.status, p))
+	if err != nil {
+		return rep, err
+	}
+	alreadyDone := len(res0.Rows) == 1 && res0.Rows[0][0].AsBool()
+
+	// ---- Phase 1: save this partition into the staging table and flip the
+	// task's done flag, both under one transaction.
+	if !alreadyDone {
+		if err := w.phase1(tc, conn, p, rows, &rep); err != nil {
+			return rep, err
+		}
+	}
+	// ---- Phase 2: are all tasks done?
+	res, err := conn.Execute(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE done = FALSE", w.status))
+	if err != nil {
+		return rep, err
+	}
+	notDone, err := singleInt(res)
+	if err != nil {
+		return rep, err
+	}
+	if notDone > 0 {
+		return rep, nil // someone else will commit
+	}
+	if err := tc.Checkpoint("s2v.phase2.all_done"); err != nil {
+		return rep, err
+	}
+
+	// ---- Phase 3: race to become the last committer (leader election via
+	// conditional update).
+	if _, err := conn.Execute("BEGIN"); err != nil {
+		return rep, err
+	}
+	res, err = conn.Execute(fmt.Sprintf(
+		"UPDATE %s SET task_id = %d WHERE task_id = -1", w.committer, p))
+	if err != nil {
+		return rep, err
+	}
+	if res.RowsAffected == 1 {
+		if _, err := conn.Execute("COMMIT"); err != nil {
+			return rep, err
+		}
+	} else if _, err := conn.Execute("ROLLBACK"); err != nil {
+		return rep, err
+	}
+	if err := tc.Checkpoint("s2v.phase3.after"); err != nil {
+		return rep, err
+	}
+
+	// ---- Phase 4: did this task win?
+	res, err = conn.Execute(fmt.Sprintf("SELECT task_id FROM %s", w.committer))
+	if err != nil {
+		return rep, err
+	}
+	winner, err := singleInt(res)
+	if err != nil {
+		return rep, err
+	}
+	if winner != int64(p) {
+		return rep, nil
+	}
+
+	// ---- Phase 5: the last committer checks the tolerance and atomically
+	// publishes staging into the target together with the final status.
+	res, err = conn.Execute(fmt.Sprintf(
+		"SELECT SUM(rows_inserted), SUM(rows_rejected) FROM %s", w.status))
+	if err != nil {
+		return rep, err
+	}
+	inserted := res.Rows[0][0].AsFloat()
+	rejected := res.Rows[0][1].AsFloat()
+	pct := 0.0
+	if inserted+rejected > 0 {
+		pct = rejected / (inserted + rejected)
+	}
+	if err := tc.Checkpoint("s2v.phase5.before_commit"); err != nil {
+		return rep, err
+	}
+	if pct > w.opts.FailedRowsPercentTolerance {
+		if _, err := conn.Execute(fmt.Sprintf(
+			"UPDATE %s SET finished = TRUE, failed_rows_percent = %g, status = 'FAILED' WHERE job_name = '%s' AND finished = FALSE",
+			JobStatusTable, pct, sqlEscape(w.opts.JobName))); err != nil {
+			return rep, err
+		}
+		return rep, nil // driver surfaces the FAILED status
+	}
+	if _, err := conn.Execute("BEGIN"); err != nil {
+		return rep, err
+	}
+	res, err = conn.Execute(fmt.Sprintf(
+		"UPDATE %s SET finished = TRUE, failed_rows_percent = %g, status = 'SUCCESS' WHERE job_name = '%s' AND finished = FALSE",
+		JobStatusTable, pct, sqlEscape(w.opts.JobName)))
+	if err != nil {
+		return rep, err
+	}
+	if res.RowsAffected != 1 {
+		// A duplicate (or an earlier attempt of this very task) already
+		// committed; nothing left to do.
+		_, err := conn.Execute("ROLLBACK")
+		return rep, err
+	}
+	if w.mode == spark.SaveAppend {
+		// One atomic server-side move of the staging data (§5 discusses its
+		// cost; the transaction keeps it exactly-once).
+		if _, err := conn.Execute(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", w.opts.Table, w.staging)); err != nil {
+			return rep, err
+		}
+	} else {
+		// Overwrite: the staging table atomically becomes the target.
+		if _, err := conn.Execute(fmt.Sprintf("DROP TABLE IF EXISTS %s", w.opts.Table)); err != nil {
+			return rep, err
+		}
+		if _, err := conn.Execute(fmt.Sprintf("ALTER TABLE %s RENAME TO %s", w.staging, w.opts.Table)); err != nil {
+			return rep, err
+		}
+	}
+	if _, err := conn.Execute("COMMIT"); err != nil {
+		return rep, err
+	}
+	if err := tc.Checkpoint("s2v.phase5.after_commit"); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// phase1 copies the partition into the staging table and flips this task's
+// done flag, both in one transaction. A duplicate that loses the conditional
+// update aborts, discarding its copy.
+func (w *s2vWriter) phase1(tc *spark.TaskContext, conn client.Conn, p int, rows []types.Row, rep *taskReport) error {
+	if _, err := conn.Execute("BEGIN"); err != nil {
+		return err
+	}
+	if err := tc.Checkpoint("s2v.phase1.before_copy"); err != nil {
+		return err
+	}
+	format := "AVRO"
+	if w.opts.CopyFormat == "csv" {
+		format = "CSV"
+	}
+	cs := client.NewCopyStream(conn, fmt.Sprintf(
+		"COPY %s FROM STDIN FORMAT %s DIRECT REJECTMAX %d", w.staging, format, int64(1)<<40))
+	if err := w.encodeRows(cs, rows); err != nil {
+		cs.Abort(err)
+		return err
+	}
+	cres, err := cs.Finish()
+	if err != nil {
+		return err
+	}
+	rep.Loaded, rep.Rejected = cres.Copy.Loaded, cres.Copy.Rejected
+	rep.RejectedSample = cres.Copy.RejectedSample
+	if err := tc.Checkpoint("s2v.phase1.after_copy"); err != nil {
+		return err
+	}
+	res, err := conn.Execute(fmt.Sprintf(
+		"UPDATE %s SET done = TRUE, rows_inserted = %d, rows_rejected = %d WHERE task_id = %d AND done = FALSE",
+		w.status, rep.Loaded, rep.Rejected, p))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 1 {
+		if _, err := conn.Execute("COMMIT"); err != nil {
+			return err
+		}
+	} else {
+		// A duplicate of this task already saved its data; abort discards
+		// this attempt's copy so nothing is staged twice.
+		if _, err := conn.Execute("ROLLBACK"); err != nil {
+			return err
+		}
+		rep.Loaded, rep.Rejected = 0, 0
+	}
+	return tc.Checkpoint("s2v.phase1.after_commit")
+}
+
+// encodeRows streams the partition's rows in the configured task encoding:
+// Avro object-container blocks with deflate (§3.2.2) or CSV lines (the
+// encoding ablation).
+func (w *s2vWriter) encodeRows(cs *client.CopyStream, rows []types.Row) error {
+	if w.opts.CopyFormat == "csv" {
+		for _, r := range rows {
+			if _, err := cs.Write([]byte(types.FormatCSV(r, ',') + "\n")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	aw, err := avro.NewWriter(cs, avro.FromTypes(w.schema), avro.CodecDeflate, 4096)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := aw.Append(r); err != nil {
+			return err
+		}
+	}
+	return aw.Close()
+}
+
+func (w *s2vWriter) tableExists(conn client.Conn, name string) (bool, error) {
+	res, err := conn.Execute(fmt.Sprintf(
+		"SELECT table_name FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(name)))
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+// markFailed best-effort records a failed job in the permanent status table.
+func (w *s2vWriter) markFailed(conn client.Conn) {
+	_, _ = conn.Execute(fmt.Sprintf(
+		"UPDATE %s SET finished = TRUE, status = 'FAILED' WHERE job_name = '%s' AND finished = FALSE",
+		JobStatusTable, sqlEscape(w.opts.JobName)))
+}
+
+// dropTemp removes the bookkeeping tables; withStaging also removes the
+// staging table (it is gone already after a successful overwrite rename).
+func (w *s2vWriter) dropTemp(conn client.Conn, withStaging bool) {
+	stmts := []string{
+		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.status),
+		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.committer),
+	}
+	if withStaging || w.mode == spark.SaveAppend {
+		stmts = append(stmts, fmt.Sprintf("DROP TABLE IF EXISTS %s", w.staging))
+	}
+	for _, s := range stmts {
+		_, _ = conn.Execute(s)
+	}
+}
+
+// ddlColumns renders a schema as a CREATE TABLE column list.
+func ddlColumns(s types.Schema) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.T.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// sanitizeIdent keeps job-derived table names to identifier characters.
+func sanitizeIdent(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vertica"
+)
+
+// DefaultSource is the connector's data source implementation: the read side
+// creates V2S relations, the write side runs the S2V protocol.
+type DefaultSource struct {
+	pool   client.Connector
+	jobSeq atomic.Uint64
+}
+
+// NewDefaultSource builds a source over a driver connector.
+func NewDefaultSource(pool client.Connector) *DefaultSource {
+	return &DefaultSource{pool: pool}
+}
+
+// Register installs the source under DefaultSourceName.
+func (d *DefaultSource) Register() { spark.RegisterSource(DefaultSourceName, d) }
+
+// CreateRelation implements spark.RelationProvider (the LOAD half of
+// Table 1).
+func (d *DefaultSource) CreateRelation(sc *spark.Context, options map[string]string) (spark.BaseRelation, error) {
+	opts, err := ParseOptions(options)
+	if err != nil {
+		return nil, err
+	}
+	return newV2SRelation(sc, d.pool, opts)
+}
+
+// SaveRelation implements spark.CreatableRelationProvider (the SAVE half of
+// Table 1).
+func (d *DefaultSource) SaveRelation(sc *spark.Context, mode spark.SaveMode, options map[string]string, df *spark.DataFrame) error {
+	opts, err := ParseOptions(options)
+	if err != nil {
+		return err
+	}
+	if opts.JobName == "" {
+		opts.JobName = fmt.Sprintf("s2v_job_%d", d.jobSeq.Add(1))
+	}
+	w := &s2vWriter{pool: d.pool, opts: opts, mode: mode}
+	return w.run(sc, df)
+}
+
+// clusterLayout is what the driver discovers from the system catalog during
+// setup: every node address plus the target's segmentation metadata.
+type clusterLayout struct {
+	addrs     []string
+	segmented bool
+	isView    bool
+	schema    types.Schema
+	// segments[i] is the hash range owned by addrs[i] (segmented tables).
+	segLo, segHi []uint64
+}
+
+// discoverLayout reads v_catalog.nodes / tables / columns / segments through
+// one connection.
+func discoverLayout(conn client.Conn, table string) (*clusterLayout, error) {
+	lay := &clusterLayout{}
+	res, err := conn.Execute("SELECT node_address FROM v_catalog.nodes")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		lay.addrs = append(lay.addrs, r[0].S)
+	}
+	if len(lay.addrs) == 0 {
+		return nil, fmt.Errorf("core: cluster reports no nodes")
+	}
+
+	res, err = conn.Execute(fmt.Sprintf("SELECT is_segmented FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(table)))
+	if err != nil {
+		return nil, err
+	}
+	switch len(res.Rows) {
+	case 0:
+		// Not a table: maybe a view.
+		vres, err := conn.Execute(fmt.Sprintf("SELECT view_name FROM v_catalog.views WHERE view_name = '%s'", sqlEscape(table)))
+		if err != nil {
+			return nil, err
+		}
+		if len(vres.Rows) == 0 {
+			return nil, fmt.Errorf("core: relation %q does not exist in Vertica", table)
+		}
+		lay.isView = true
+	default:
+		lay.segmented = res.Rows[0][0].AsBool()
+	}
+
+	if lay.isView {
+		// Views have no catalog columns; take the schema from a zero-row
+		// probe.
+		probe, err := conn.Execute(fmt.Sprintf("SELECT * FROM %s LIMIT 0", table))
+		if err != nil {
+			return nil, err
+		}
+		lay.schema = probe.Schema
+	} else {
+		cres, err := conn.Execute(fmt.Sprintf(
+			"SELECT column_name, data_type FROM v_catalog.columns WHERE table_name = '%s'", sqlEscape(table)))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range cres.Rows {
+			t, err := types.ParseType(r[1].S)
+			if err != nil {
+				return nil, err
+			}
+			lay.schema.Cols = append(lay.schema.Cols, types.Column{Name: r[0].S, T: t})
+		}
+		if lay.schema.NumCols() == 0 {
+			return nil, fmt.Errorf("core: table %q has no columns in catalog", table)
+		}
+	}
+
+	if lay.segmented {
+		sres, err := conn.Execute(fmt.Sprintf(
+			"SELECT node_address, segment_lower_bound, segment_upper_bound FROM v_catalog.segments WHERE table_name = '%s'",
+			sqlEscape(table)))
+		if err != nil {
+			return nil, err
+		}
+		if len(sres.Rows) != len(lay.addrs) {
+			return nil, fmt.Errorf("core: catalog reports %d segments for %d nodes", len(sres.Rows), len(lay.addrs))
+		}
+		// The catalog returns segments ordered by node id; align addresses.
+		lay.addrs = lay.addrs[:0]
+		for _, r := range sres.Rows {
+			lay.addrs = append(lay.addrs, r[0].S)
+			lay.segLo = append(lay.segLo, uint64(r[1].I))
+			lay.segHi = append(lay.segHi, uint64(r[2].I))
+		}
+	}
+	return lay, nil
+}
+
+func sqlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// segmentationExpr returns the SQL hash expression matching the table's
+// segmentation, read from the catalog.
+func segmentationExpr(conn client.Conn, table string) (string, error) {
+	res, err := conn.Execute(fmt.Sprintf(
+		"SELECT segment_expression FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(table)))
+	if err != nil {
+		return "", err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].S == "" {
+		return "HASH(*)", nil
+	}
+	return res.Rows[0][0].S, nil
+}
+
+// resultToRows adapts engine results (used by small control queries).
+func singleInt(res *vertica.Result) (int64, error) {
+	v, err := res.Value()
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt(), nil
+}

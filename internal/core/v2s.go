@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+)
+
+// querySpec is one node-local pull: a query against addr restricted to a
+// hash range owned by that node. A partition executes one or more specs
+// (Figure 4(a): with fewer partitions than segments, one task covers several
+// whole segments, each pulled locally from its own node).
+type querySpec struct {
+	addr string
+	lo   uint64
+	hi   uint64
+	// mod is used instead of a hash range for views: the synthetic
+	// MOD(HASH(*), P) = mod partition predicate (§3.1.1). -1 = unused.
+	mod  int
+	modP int
+}
+
+// v2sRelation implements the read side (V2S, §3.1): Schema discovery from
+// the catalog, pruned/filtered scans pinned to one epoch with hash-ring
+// locality, and COUNT pushdown.
+type v2sRelation struct {
+	sc      *spark.Context
+	pool    client.Connector
+	opts    Options
+	lay     *clusterLayout
+	segExpr string
+}
+
+func newV2SRelation(sc *spark.Context, pool client.Connector, opts Options) (*v2sRelation, error) {
+	conn, err := pool.Connect(opts.Host)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	lay, err := discoverLayout(conn, opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	r := &v2sRelation{sc: sc, pool: pool, opts: opts, lay: lay}
+	if lay.segmented {
+		expr, err := segmentationExpr(conn, opts.Table)
+		if err != nil {
+			return nil, err
+		}
+		r.segExpr = expr
+	} else {
+		r.segExpr = "HASH(*)"
+	}
+	if r.opts.NumPartitions == 0 {
+		r.opts.NumPartitions = 16
+	}
+	return r, nil
+}
+
+// Schema implements spark.BaseRelation.
+func (r *v2sRelation) Schema() (types.Schema, error) { return r.lay.schema, nil }
+
+// filterSQL translates a pushdown filter into engine SQL.
+func filterSQL(f spark.Filter) (string, error) {
+	lit := func(v types.Value) string {
+		if v.Null {
+			return "NULL"
+		}
+		if v.T == types.Varchar {
+			return "'" + sqlEscape(v.S) + "'"
+		}
+		return v.String()
+	}
+	switch ff := f.(type) {
+	case spark.EqualTo:
+		return fmt.Sprintf("%s = %s", ff.Col, lit(ff.Value)), nil
+	case spark.GreaterThan:
+		return fmt.Sprintf("%s > %s", ff.Col, lit(ff.Value)), nil
+	case spark.GreaterThanOrEqual:
+		return fmt.Sprintf("%s >= %s", ff.Col, lit(ff.Value)), nil
+	case spark.LessThan:
+		return fmt.Sprintf("%s < %s", ff.Col, lit(ff.Value)), nil
+	case spark.LessThanOrEqual:
+		return fmt.Sprintf("%s <= %s", ff.Col, lit(ff.Value)), nil
+	case spark.IsNull:
+		return fmt.Sprintf("%s IS NULL", ff.Col), nil
+	case spark.IsNotNull:
+		return fmt.Sprintf("%s IS NOT NULL", ff.Col), nil
+	default:
+		return "", fmt.Errorf("core: filter %T cannot be pushed down", f)
+	}
+}
+
+func filtersSQL(filters []spark.Filter) (string, error) {
+	var parts []string
+	for _, f := range filters {
+		s, err := filterSQL(f)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " AND "), nil
+}
+
+// planPartitions computes the per-partition query specs from the discovered
+// layout — the heart of §3.1.2. Segmented tables split the hash ring along
+// segment boundaries so every spec is node-local; unsegmented tables (fully
+// replicated) split the synthetic whole-row hash ring and spread connections
+// round-robin; views use MOD(HASH(*), P) synthetic partitioning.
+func (r *v2sRelation) planPartitions() [][]querySpec {
+	p := r.opts.NumPartitions
+	specs := make([][]querySpec, p)
+	switch {
+	case r.lay.isView:
+		for i := 0; i < p; i++ {
+			specs[i] = []querySpec{{
+				addr: r.lay.addrs[i%len(r.lay.addrs)],
+				mod:  i, modP: p,
+			}}
+		}
+	case !r.lay.segmented:
+		// Replicated everywhere: any node answers any range locally.
+		ranges := vhash.Split(vhash.Range{Lo: 0, Hi: vhash.RingSize}, p)
+		for i := 0; i < p; i++ {
+			specs[i] = []querySpec{{
+				addr: r.lay.addrs[i%len(r.lay.addrs)],
+				lo:   ranges[i].Lo, hi: ranges[i].Hi,
+				mod: -1,
+			}}
+		}
+	default:
+		n := len(r.lay.addrs)
+		if p >= n {
+			// Figure 4(b): split each segment into ~p/n sub-ranges; each
+			// partition gets exactly one node-local range. Partition indexes
+			// interleave across segments so that however the scheduler
+			// batches tasks, every node's connection load stays balanced.
+			perSeg := make([][]vhash.Range, n)
+			for s := 0; s < n; s++ {
+				k := p/n + btoi(s < p%n)
+				perSeg[s] = vhash.Split(vhash.Range{Lo: r.lay.segLo[s], Hi: r.lay.segHi[s]}, k)
+			}
+			idx := 0
+			for slice := 0; idx < p; slice++ {
+				for s := 0; s < n && idx < p; s++ {
+					if slice >= len(perSeg[s]) {
+						continue
+					}
+					rg := perSeg[s][slice]
+					specs[idx] = []querySpec{{addr: r.lay.addrs[s], lo: rg.Lo, hi: rg.Hi, mod: -1}}
+					idx++
+				}
+			}
+		} else {
+			// Figure 4(a): each partition covers several whole segments,
+			// pulling each locally from its own node.
+			for i := 0; i < p; i++ {
+				loSeg, hiSeg := n*i/p, n*(i+1)/p
+				for s := loSeg; s < hiSeg; s++ {
+					specs[i] = append(specs[i], querySpec{
+						addr: r.lay.addrs[s], lo: r.lay.segLo[s], hi: r.lay.segHi[s], mod: -1,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func nodeIndexOf(addrs []string, addr string) int {
+	for i, a := range addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return 0
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// specSQL renders the partition query for one spec: the pinned epoch, the
+// pruned column list, the node-local hash-range (or synthetic MOD)
+// predicate, and any pushdown filters.
+func (r *v2sRelation) specSQL(spec querySpec, cols []string, pushdown string, epoch uint64, countOnly bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AT EPOCH %d SELECT ", epoch)
+	if countOnly {
+		b.WriteString("COUNT(*)")
+	} else {
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s WHERE ", r.opts.Table)
+	if spec.mod >= 0 {
+		fmt.Fprintf(&b, "MOD(HASH(*), %d) = %d", spec.modP, spec.mod)
+	} else {
+		fmt.Fprintf(&b, "%s >= %d AND %s < %d", r.segExpr, spec.lo, r.segExpr, spec.hi)
+	}
+	if pushdown != "" {
+		fmt.Fprintf(&b, " AND (%s)", pushdown)
+	}
+	return b.String()
+}
+
+// pinEpoch asks the database for the last closed epoch; every partition
+// query reads AT this epoch, giving the job one consistent snapshot no
+// matter when (or how often) its tasks run (§3.1.2).
+func (r *v2sRelation) pinEpoch() (uint64, error) {
+	conn, err := r.pool.Connect(r.opts.Host)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	res, err := conn.Execute("SELECT LAST_EPOCH()")
+	if err != nil {
+		return 0, err
+	}
+	n, err := singleInt(res)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(n), nil
+}
+
+// BuildScan implements spark.PrunedFilteredScan.
+func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (*spark.RDD[types.Row], error) {
+	if len(requiredCols) == 0 {
+		requiredCols = r.lay.schema.ColNames()
+	}
+	if _, _, err := r.lay.schema.Project(requiredCols); err != nil {
+		return nil, err
+	}
+	pushdown, err := filtersSQL(filters)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := r.pinEpoch()
+	if err != nil {
+		return nil, err
+	}
+	specs := r.planPartitions()
+	if r.opts.DisableLocality {
+		// Ablation: keep the unique non-overlapping ranges but connect each
+		// task to the next node over, so every query gathers its data
+		// across the internal network (the behaviour §3.1.2 eliminates).
+		for i := range specs {
+			for j := range specs[i] {
+				specs[i][j].addr = r.lay.addrs[(nodeIndexOf(r.lay.addrs, specs[i][j].addr)+1)%len(r.lay.addrs)]
+			}
+		}
+	}
+	pool := r.pool
+	rel := r
+	return spark.NewRDD(r.sc, len(specs), func(tc *spark.TaskContext, p int) ([]types.Row, error) {
+		if err := tc.Checkpoint("v2s.task_start"); err != nil {
+			return nil, err
+		}
+		var out []types.Row
+		for _, spec := range specs[p] {
+			conn, err := pool.Connect(spec.addr)
+			if err != nil {
+				return nil, err
+			}
+			conn.SetRecorder(tc.Rec, tc.ExecNode)
+			tc.Rec.Fixed(sim.FixedConnect)
+			res, err := conn.Execute(rel.specSQL(spec, requiredCols, pushdown, epoch, false))
+			conn.Close()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res.Rows...)
+		}
+		if err := tc.Checkpoint("v2s.task_done"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}), nil
+}
+
+// CountRows implements spark.CountableScan: COUNT(*) is pushed down and
+// executed inside the database, one node-local count per segment (§3.1.1).
+func (r *v2sRelation) CountRows(filters []spark.Filter) (int64, error) {
+	pushdown, err := filtersSQL(filters)
+	if err != nil {
+		return 0, err
+	}
+	epoch, err := r.pinEpoch()
+	if err != nil {
+		return 0, err
+	}
+	specs := r.planPartitions()
+	total := int64(0)
+	for _, group := range specs {
+		for _, spec := range group {
+			conn, err := r.pool.Connect(spec.addr)
+			if err != nil {
+				return 0, err
+			}
+			res, err := conn.Execute(r.specSQL(spec, nil, pushdown, epoch, true))
+			conn.Close()
+			if err != nil {
+				return 0, err
+			}
+			n, err := singleInt(res)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,105 @@
+// Package dfs implements the database's internal distributed file system —
+// the store the paper's model-deployment component (MD, §3.3) writes PMML
+// documents into, making them "accessible to the database query engine and
+// User-Defined Functions". Files are replicated on every node so a scoring
+// UDx can read them locally wherever it runs.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileInfo describes one stored file.
+type FileInfo struct {
+	Path     string
+	Size     int
+	Modified time.Time
+}
+
+// FS is the cluster-internal distributed file system.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	meta  map[string]FileInfo
+	// clock is injectable for deterministic tests.
+	clock func() time.Time
+}
+
+// New returns an empty DFS.
+func New() *FS {
+	return &FS{
+		files: make(map[string][]byte),
+		meta:  make(map[string]FileInfo),
+		clock: time.Now,
+	}
+}
+
+func clean(path string) string { return strings.TrimPrefix(path, "/") }
+
+// Put stores (or overwrites) a file.
+func (f *FS) Put(path string, data []byte) error {
+	p := clean(path)
+	if p == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[p] = cp
+	f.meta[p] = FileInfo{Path: p, Size: len(cp), Modified: f.clock()}
+	return nil
+}
+
+// Get reads a file.
+func (f *FS) Get(path string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	data, ok := f.files[clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Exists reports whether a file is stored.
+func (f *FS) Exists(path string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.files[clean(path)]
+	return ok
+}
+
+// Delete removes a file.
+func (f *FS) Delete(path string) error {
+	p := clean(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[p]; !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	delete(f.files, p)
+	delete(f.meta, p)
+	return nil
+}
+
+// List returns metadata for files under the given prefix, sorted by path.
+func (f *FS) List(prefix string) []FileInfo {
+	p := clean(prefix)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []FileInfo
+	for path, info := range f.meta {
+		if strings.HasPrefix(path, p) {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,68 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	fs := New()
+	data := []byte("<PMML>...</PMML>")
+	if err := fs.Put("models/m.pmml", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("models/m.pmml")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	// Returned slice is a copy: mutating it must not corrupt the store.
+	got[0] = 'X'
+	again, _ := fs.Get("models/m.pmml")
+	if again[0] != '<' {
+		t.Error("Get must return a copy")
+	}
+	// Leading slash is normalized.
+	if !fs.Exists("/models/m.pmml") {
+		t.Error("path normalization broken")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	fs := New()
+	_ = fs.Put("f", []byte("one"))
+	_ = fs.Put("f", []byte("two"))
+	got, _ := fs.Get("f")
+	if string(got) != "two" {
+		t.Errorf("overwrite = %q", got)
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := New()
+	_ = fs.Put("models/a", []byte("1"))
+	_ = fs.Put("models/b", []byte("22"))
+	_ = fs.Put("other/c", []byte("3"))
+	infos := fs.List("models/")
+	if len(infos) != 2 || infos[0].Path != "models/a" || infos[1].Size != 2 {
+		t.Errorf("list = %v", infos)
+	}
+	if err := fs.Delete("models/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("models/a") {
+		t.Error("deleted file should be gone")
+	}
+	if err := fs.Delete("models/a"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.Get("missing"); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := fs.Put("", []byte("x")); err == nil {
+		t.Error("empty path should error")
+	}
+}

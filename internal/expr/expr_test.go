@@ -1,0 +1,189 @@
+package expr
+
+import (
+	"testing"
+
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+)
+
+var testSchema = types.NewSchema(
+	types.Column{Name: "id", T: types.Int64},
+	types.Column{Name: "x", T: types.Float64},
+	types.Column{Name: "name", T: types.Varchar},
+	types.Column{Name: "done", T: types.Bool},
+)
+
+var testRow = types.Row{
+	types.IntValue(7),
+	types.FloatValue(1.5),
+	types.StringValue("alpha"),
+	types.BoolValue(false),
+}
+
+func eval(t *testing.T, e Expr) types.Value {
+	t.Helper()
+	v, err := e.Eval(testRow, &testSchema)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e.SQL(), err)
+	}
+	return v
+}
+
+func TestColAndLit(t *testing.T) {
+	if v := eval(t, &Col{Name: "id"}); v.I != 7 {
+		t.Errorf("id = %v", v)
+	}
+	if v := eval(t, &Col{Name: "NAME"}); v.S != "alpha" {
+		t.Errorf("case-insensitive col lookup failed: %v", v)
+	}
+	if _, err := (&Col{Name: "nope"}).Eval(testRow, &testSchema); err == nil {
+		t.Error("unknown column should error")
+	}
+	if v := eval(t, &Lit{V: types.FloatValue(2.5)}); v.F != 2.5 {
+		t.Errorf("lit = %v", v)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r Expr
+		want bool
+	}{
+		{EQ, &Col{Name: "id"}, &Lit{V: types.IntValue(7)}, true},
+		{NE, &Col{Name: "id"}, &Lit{V: types.IntValue(7)}, false},
+		{LT, &Col{Name: "x"}, &Lit{V: types.FloatValue(2)}, true},
+		{GE, &Col{Name: "id"}, &Lit{V: types.FloatValue(6.5)}, true},
+		{GT, &Col{Name: "name"}, &Lit{V: types.StringValue("aaa")}, true},
+	}
+	for _, c := range cases {
+		v := eval(t, &Cmp{Op: c.op, L: c.l, R: c.r})
+		if v.B != c.want {
+			t.Errorf("%s: got %v", (&Cmp{Op: c.op, L: c.l, R: c.r}).SQL(), v)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	null := &Lit{V: types.NullValue(types.Int64)}
+	v := eval(t, &Cmp{Op: EQ, L: null, R: &Lit{V: types.IntValue(1)}})
+	if !v.Null {
+		t.Error("NULL = 1 should be NULL")
+	}
+	// NULL AND false = false; NULL OR true = true (three-valued logic).
+	f := &Lit{V: types.BoolValue(false)}
+	tr := &Lit{V: types.BoolValue(true)}
+	if v := eval(t, &And{L: null, R: f}); v.Null || v.B {
+		t.Errorf("NULL AND false = %v, want false", v)
+	}
+	if v := eval(t, &Or{L: null, R: tr}); v.Null || !v.B {
+		t.Errorf("NULL OR true = %v, want true", v)
+	}
+	if v := eval(t, &And{L: null, R: tr}); !v.Null {
+		t.Errorf("NULL AND true = %v, want NULL", v)
+	}
+	if v := eval(t, &Not{E: null}); !v.Null {
+		t.Errorf("NOT NULL = %v, want NULL", v)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	null := &Lit{V: types.NullValue(types.Int64)}
+	if v := eval(t, &IsNull{E: null}); !v.B {
+		t.Error("NULL IS NULL should be true")
+	}
+	if v := eval(t, &IsNull{E: &Col{Name: "id"}, Negate: true}); !v.B {
+		t.Error("id IS NOT NULL should be true")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if v := eval(t, &Arith{Op: Add, L: &Col{Name: "id"}, R: &Lit{V: types.IntValue(3)}}); v.I != 10 || v.T != types.Int64 {
+		t.Errorf("7+3 = %v", v)
+	}
+	if v := eval(t, &Arith{Op: Div, L: &Lit{V: types.IntValue(7)}, R: &Lit{V: types.IntValue(2)}}); v.I != 3 {
+		t.Errorf("7/2 = %v (integer division)", v)
+	}
+	if v := eval(t, &Arith{Op: Mul, L: &Col{Name: "x"}, R: &Lit{V: types.IntValue(2)}}); v.F != 3.0 {
+		t.Errorf("1.5*2 = %v", v)
+	}
+	if _, err := (&Arith{Op: Div, L: &Lit{V: types.IntValue(1)}, R: &Lit{V: types.IntValue(0)}}).Eval(testRow, &testSchema); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestHashFnMatchesVhash(t *testing.T) {
+	v := eval(t, &HashFn{Args: []Expr{&Col{Name: "id"}}})
+	if uint32(v.I) != vhash.Hash(types.IntValue(7)) {
+		t.Error("HASH(id) must agree with vhash.Hash")
+	}
+	v = eval(t, &HashFn{})
+	if uint32(v.I) != vhash.Hash(testRow...) {
+		t.Error("HASH(*) must hash the whole row")
+	}
+}
+
+func TestModFn(t *testing.T) {
+	if v := eval(t, &ModFn{X: &Lit{V: types.IntValue(10)}, Y: &Lit{V: types.IntValue(3)}}); v.I != 1 {
+		t.Errorf("MOD(10,3) = %v", v)
+	}
+	if v := eval(t, &ModFn{X: &Lit{V: types.IntValue(-1)}, Y: &Lit{V: types.IntValue(3)}}); v.I != 2 {
+		t.Errorf("MOD(-1,3) = %v, want 2 (non-negative)", v)
+	}
+	if _, err := (&ModFn{X: &Lit{V: types.IntValue(1)}, Y: &Lit{V: types.IntValue(0)}}).Eval(testRow, &testSchema); err == nil {
+		t.Error("MOD by zero should error")
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	ok, err := EvalPredicate(nil, testRow, &testSchema)
+	if err != nil || !ok {
+		t.Error("nil predicate should be true")
+	}
+	null := &Lit{V: types.NullValue(types.Bool)}
+	ok, err = EvalPredicate(null, testRow, &testSchema)
+	if err != nil || ok {
+		t.Error("NULL predicate should be false")
+	}
+}
+
+func TestConjoin(t *testing.T) {
+	if Conjoin() != nil {
+		t.Error("Conjoin() should be nil")
+	}
+	a := &Cmp{Op: GT, L: &Col{Name: "id"}, R: &Lit{V: types.IntValue(1)}}
+	if Conjoin(nil, a, nil) != a {
+		t.Error("Conjoin of one expr should return it unwrapped")
+	}
+	c := Conjoin(a, a)
+	if _, ok := c.(*And); !ok {
+		t.Error("Conjoin of two should be And")
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	e := Conjoin(
+		&Cmp{Op: GE, L: &HashFn{Args: []Expr{&Col{Name: "id"}}}, R: &Lit{V: types.IntValue(0)}},
+		&Cmp{Op: LT, L: &HashFn{Args: []Expr{&Col{Name: "id"}}}, R: &Lit{V: types.IntValue(100)}},
+	)
+	want := "(HASH(id) >= 0 AND HASH(id) < 100)"
+	if got := e.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+	lit := &Lit{V: types.StringValue("o'brien")}
+	if got := lit.SQL(); got != "'o''brien'" {
+		t.Errorf("string literal SQL = %q", got)
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := &And{
+		L: &Cmp{Op: EQ, L: &Col{Name: "a"}, R: &Col{Name: "b"}},
+		R: &IsNull{E: &Col{Name: "c"}},
+	}
+	cols := e.Columns(nil)
+	if len(cols) != 3 || cols[0] != "a" || cols[1] != "b" || cols[2] != "c" {
+		t.Errorf("Columns = %v", cols)
+	}
+}

@@ -1,0 +1,145 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"vsfabric/internal/sim"
+)
+
+func newFS(t *testing.T, nodes, blockSize, repl int) *FS {
+	t.Helper()
+	fs, err := New(Config{DataNodes: nodes, BlockSize: blockSize, Replication: repl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 4, 10, 3)
+	data := []byte("hello block store, this splits into several blocks")
+	if err := fs.WriteFile("a/b.txt", data, nil, "", sim.CPUCSVFormat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("a/b.txt", nil, "", sim.CPUCSVParse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip mismatch: %q", got)
+	}
+	sz, err := fs.FileSize("a/b.txt")
+	if err != nil || sz != len(data) {
+		t.Errorf("size = %d, %v", sz, err)
+	}
+}
+
+func TestBlockLayout(t *testing.T) {
+	fs := newFS(t, 4, 10, 2)
+	data := make([]byte, 35) // 4 blocks: 10+10+10+5
+	if err := fs.WriteFile("f", data, nil, "", sim.CPUCSVFormat); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.Blocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(blocks))
+	}
+	if blocks[3].Size != 5 {
+		t.Errorf("last block size = %d", blocks[3].Size)
+	}
+	for _, b := range blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas", b.Index, len(b.Replicas))
+		}
+	}
+	if fs.TotalBlocks("") != 4 {
+		t.Errorf("TotalBlocks = %d", fs.TotalBlocks(""))
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	fs := newFS(t, 2, 10, 5)
+	if fs.Config().Replication != 2 {
+		t.Errorf("replication = %d, want capped at 2", fs.Config().Replication)
+	}
+}
+
+func TestImmutableFiles(t *testing.T) {
+	fs := newFS(t, 2, 10, 1)
+	if err := fs.WriteFile("f", []byte("x"), nil, "", sim.CPUCSVFormat); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("f", []byte("y"), nil, "", sim.CPUCSVFormat); err == nil {
+		t.Error("overwriting should fail (HDFS files are immutable)")
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := newFS(t, 2, 10, 1)
+	_ = fs.WriteFile("dir/a", []byte("1"), nil, "", sim.CPUCSVFormat)
+	_ = fs.WriteFile("dir/b", []byte("2"), nil, "", sim.CPUCSVFormat)
+	_ = fs.WriteFile("other/c", []byte("3"), nil, "", sim.CPUCSVFormat)
+	if got := fs.List("dir/"); len(got) != 2 || got[0] != "dir/a" {
+		t.Errorf("List = %v", got)
+	}
+	if err := fs.Delete("dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("dir/a", nil, "", sim.CPUCSVParse); err == nil {
+		t.Error("deleted file should be gone")
+	}
+	if err := fs.Delete("dir/a"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestRecordingEvents(t *testing.T) {
+	fs := newFS(t, 4, 8, 3)
+	tr := sim.NewTrace()
+	rec := tr.Task("w", "s0")
+	data := make([]byte, 20) // 3 blocks
+	if err := fs.WriteFile("f", data, rec, "s0", sim.CPUColfileEnc); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	writes := 0
+	for _, e := range events {
+		if e.Type == sim.BlockFlowEv && e.Write {
+			writes++
+			if len(e.Route) != 2 {
+				t.Errorf("write should record 2 replication hops, got %v", e.Route)
+			}
+		}
+	}
+	if writes != 3 {
+		t.Errorf("recorded %d write flows, want 3", writes)
+	}
+	rec2 := tr.Task("r", "s1")
+	if _, err := fs.ReadFile("f", rec2, "s1", sim.CPUColfileDec); err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, e := range rec2.Events() {
+		if e.Type == sim.BlockFlowEv && !e.Write {
+			reads++
+		}
+	}
+	if reads != 3 {
+		t.Errorf("recorded %d read flows, want 3", reads)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newFS(t, 2, 10, 1)
+	if err := fs.WriteFile("empty", nil, nil, "", sim.CPUCSVFormat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("empty", nil, "", sim.CPUCSVParse)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty file read = %v, %v", got, err)
+	}
+}

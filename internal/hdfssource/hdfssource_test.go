@@ -1,0 +1,95 @@
+package hdfssource
+
+import (
+	"testing"
+
+	"vsfabric/internal/hdfs"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+)
+
+func setup(t *testing.T) (*spark.Context, *hdfs.FS) {
+	t.Helper()
+	sc := spark.NewContext(spark.Conf{NumExecutors: 2, CoresPerExecutor: 4})
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 3, BlockSize: 2048, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, fs
+}
+
+func frame(sc *spark.Context, n, parts int) *spark.DataFrame {
+	schema := types.NewSchema(
+		types.Column{Name: "id", T: types.Int64},
+		types.Column{Name: "txt", T: types.Varchar},
+	)
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.IntValue(int64(i)), types.StringValue("row-data-payload")}
+	}
+	return spark.CreateDataFrame(sc, schema, rows, parts)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	sc, fs := setup(t)
+	df := frame(sc, 500, 4)
+	if err := Write(fs, "data/d1", df, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(sc, fs, "data/d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := back.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("round trip: %d rows", len(rows))
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].I] {
+			t.Fatalf("duplicate %d", r[0].I)
+		}
+		seen[r[0].I] = true
+	}
+	if !back.Schema().Equal(df.Schema()) {
+		t.Errorf("schema = %v", back.Schema())
+	}
+}
+
+func TestOnePartitionPerBlock(t *testing.T) {
+	sc, fs := setup(t)
+	df := frame(sc, 2000, 2)
+	// Force many small files so the read side gets many partitions.
+	if err := Write(fs, "blk/d1", df, 1024); err != nil {
+		t.Fatal(err)
+	}
+	files := len(fs.List("blk/d1/"))
+	if files < 10 {
+		t.Fatalf("expected many block files, got %d", files)
+	}
+	back, err := Read(sc, fs, "blk/d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := back.NumPartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np != files {
+		t.Errorf("partitions = %d, files = %d (want one per block)", np, files)
+	}
+	n, err := back.Count()
+	if err != nil || n != 2000 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+}
+
+func TestReadMissingDir(t *testing.T) {
+	sc, fs := setup(t)
+	if _, err := Read(sc, fs, "missing"); err == nil {
+		t.Error("missing dir should error")
+	}
+}

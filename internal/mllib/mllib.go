@@ -1,0 +1,413 @@
+// Package mllib implements the machine-learning substrate of the full
+// analytics pipeline (Figure 1): distributed training of the model classes
+// the paper deploys — linear regression, logistic regression, and k-means —
+// over RDDs, plus PMML export matching Spark MLlib's model-export feature
+// ([10] in the paper). Training uses the classic MLlib pattern: per-
+// partition gradient/statistics aggregation merged on the driver.
+package mllib
+
+import (
+	"fmt"
+	"math"
+
+	"vsfabric/internal/pmml"
+	"vsfabric/internal/spark"
+)
+
+// Vector is a dense feature vector.
+type Vector = []float64
+
+// LabeledPoint pairs a label with features, as in MLlib.
+type LabeledPoint struct {
+	Label    float64
+	Features Vector
+}
+
+func dot(a, b Vector) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// gradAcc accumulates a gradient and loss across a partition.
+type gradAcc struct {
+	grad      Vector
+	intercept float64
+	loss      float64
+	n         int64
+}
+
+func mergeAcc(a, b gradAcc) gradAcc {
+	if a.grad == nil {
+		return b
+	}
+	if b.grad == nil {
+		return a
+	}
+	for i := range a.grad {
+		a.grad[i] += b.grad[i]
+	}
+	a.intercept += b.intercept
+	a.loss += b.loss
+	a.n += b.n
+	return a
+}
+
+func dims(data *spark.RDD[LabeledPoint]) (int, error) {
+	first, err := data.Filter(func(LabeledPoint) bool { return true }).Collect()
+	if err != nil {
+		return 0, err
+	}
+	if len(first) == 0 {
+		return 0, fmt.Errorf("mllib: empty training set")
+	}
+	return len(first[0].Features), nil
+}
+
+// LinearRegressionModel is y = w·x + b.
+type LinearRegressionModel struct {
+	Weights   Vector
+	Intercept float64
+}
+
+// Predict evaluates the model.
+func (m *LinearRegressionModel) Predict(x Vector) float64 {
+	return dot(m.Weights, x) + m.Intercept
+}
+
+// TrainLinearRegression fits by full-batch gradient descent on squared
+// loss, with per-iteration distributed gradient aggregation.
+func TrainLinearRegression(data *spark.RDD[LabeledPoint], iterations int, step float64) (*LinearRegressionModel, error) {
+	d, err := dims(data)
+	if err != nil {
+		return nil, err
+	}
+	w := make(Vector, d)
+	b := 0.0
+	for it := 0; it < iterations; it++ {
+		wSnap := append(Vector(nil), w...)
+		bSnap := b
+		acc, err := spark.Aggregate(data,
+			func() gradAcc { return gradAcc{grad: make(Vector, d)} },
+			func(a gradAcc, p LabeledPoint) gradAcc {
+				pred := dot(wSnap, p.Features) + bSnap
+				diff := pred - p.Label
+				for i := range a.grad {
+					a.grad[i] += diff * p.Features[i]
+				}
+				a.intercept += diff
+				a.loss += diff * diff
+				a.n++
+				return a
+			},
+			mergeAcc,
+		)
+		if err != nil {
+			return nil, err
+		}
+		if acc.n == 0 {
+			return nil, fmt.Errorf("mllib: empty training set")
+		}
+		lr := step / float64(acc.n)
+		for i := range w {
+			w[i] -= lr * acc.grad[i]
+		}
+		b -= lr * acc.intercept
+	}
+	return &LinearRegressionModel{Weights: w, Intercept: b}, nil
+}
+
+// ToPMML exports the model in PMML 4.1 (Spark's model-export format).
+func (m *LinearRegressionModel) ToPMML(featureNames []string, target string) (*pmml.Document, error) {
+	if len(featureNames) != len(m.Weights) {
+		return nil, fmt.Errorf("mllib: %d feature names for %d weights", len(featureNames), len(m.Weights))
+	}
+	doc := baseDoc("linear regression", featureNames, target)
+	table := pmml.RegressionTable{Intercept: m.Intercept}
+	for i, n := range featureNames {
+		table.Predictors = append(table.Predictors, pmml.NumericPredictor{Name: n, Coefficient: m.Weights[i]})
+	}
+	doc.Regression = &pmml.RegressionModel{
+		ModelName:    "linear regression",
+		FunctionName: "regression",
+		MiningSchema: miningSchema(featureNames, target),
+		Tables:       []pmml.RegressionTable{table},
+	}
+	return doc, nil
+}
+
+// LogisticRegressionModel is a binary classifier p = σ(w·x + b).
+type LogisticRegressionModel struct {
+	Weights   Vector
+	Intercept float64
+}
+
+// PredictProbability returns σ(w·x + b).
+func (m *LogisticRegressionModel) PredictProbability(x Vector) float64 {
+	return 1.0 / (1.0 + math.Exp(-(dot(m.Weights, x) + m.Intercept)))
+}
+
+// Predict returns the class (0 or 1).
+func (m *LogisticRegressionModel) Predict(x Vector) float64 {
+	if m.PredictProbability(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// TrainLogisticRegression fits by full-batch gradient descent on logistic
+// loss.
+func TrainLogisticRegression(data *spark.RDD[LabeledPoint], iterations int, step float64) (*LogisticRegressionModel, error) {
+	d, err := dims(data)
+	if err != nil {
+		return nil, err
+	}
+	w := make(Vector, d)
+	b := 0.0
+	for it := 0; it < iterations; it++ {
+		wSnap := append(Vector(nil), w...)
+		bSnap := b
+		acc, err := spark.Aggregate(data,
+			func() gradAcc { return gradAcc{grad: make(Vector, d)} },
+			func(a gradAcc, p LabeledPoint) gradAcc {
+				z := dot(wSnap, p.Features) + bSnap
+				pred := 1.0 / (1.0 + math.Exp(-z))
+				diff := pred - p.Label
+				for i := range a.grad {
+					a.grad[i] += diff * p.Features[i]
+				}
+				a.intercept += diff
+				a.n++
+				return a
+			},
+			mergeAcc,
+		)
+		if err != nil {
+			return nil, err
+		}
+		if acc.n == 0 {
+			return nil, fmt.Errorf("mllib: empty training set")
+		}
+		lr := step / float64(acc.n)
+		for i := range w {
+			w[i] -= lr * acc.grad[i]
+		}
+		b -= lr * acc.intercept
+	}
+	return &LogisticRegressionModel{Weights: w, Intercept: b}, nil
+}
+
+// ToPMML exports the classifier in PMML 4.1 with the logit normalization
+// Spark uses.
+func (m *LogisticRegressionModel) ToPMML(featureNames []string, target string) (*pmml.Document, error) {
+	if len(featureNames) != len(m.Weights) {
+		return nil, fmt.Errorf("mllib: %d feature names for %d weights", len(featureNames), len(m.Weights))
+	}
+	doc := baseDoc("logistic regression", featureNames, target)
+	t1 := pmml.RegressionTable{Intercept: m.Intercept, TargetCategory: "1"}
+	for i, n := range featureNames {
+		t1.Predictors = append(t1.Predictors, pmml.NumericPredictor{Name: n, Coefficient: m.Weights[i]})
+	}
+	t0 := pmml.RegressionTable{Intercept: 0, TargetCategory: "0"}
+	doc.Regression = &pmml.RegressionModel{
+		ModelName:           "logistic regression",
+		FunctionName:        "classification",
+		NormalizationMethod: "logit",
+		MiningSchema:        miningSchema(featureNames, target),
+		Tables:              []pmml.RegressionTable{t1, t0},
+	}
+	return doc, nil
+}
+
+// KMeansModel holds the fitted centers.
+type KMeansModel struct {
+	Centers []Vector
+}
+
+// Predict returns the index of the nearest center.
+func (m *KMeansModel) Predict(x Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range m.Centers {
+		d := 0.0
+		for j := range c {
+			diff := x[j] - c[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Cost returns the within-cluster sum of squares over the data.
+func (m *KMeansModel) Cost(data *spark.RDD[Vector]) (float64, error) {
+	type acc struct{ cost float64 }
+	out, err := spark.Aggregate(data,
+		func() acc { return acc{} },
+		func(a acc, x Vector) acc {
+			c := m.Centers[m.Predict(x)]
+			for j := range c {
+				diff := x[j] - c[j]
+				a.cost += diff * diff
+			}
+			return a
+		},
+		func(a, b acc) acc { return acc{cost: a.cost + b.cost} },
+	)
+	if err != nil {
+		return 0, err
+	}
+	return out.cost, nil
+}
+
+// TrainKMeans runs distributed Lloyd iterations. Initial centers are the
+// first k distinct points (deterministic, good enough for reproduction).
+func TrainKMeans(data *spark.RDD[Vector], k, iterations int) (*KMeansModel, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mllib: k must be positive")
+	}
+	all, err := data.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var centers []Vector
+	for _, x := range all {
+		dup := false
+		for _, c := range centers {
+			if vecEq(c, x) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			centers = append(centers, append(Vector(nil), x...))
+		}
+		if len(centers) == k {
+			break
+		}
+	}
+	if len(centers) < k {
+		return nil, fmt.Errorf("mllib: only %d distinct points for k=%d", len(centers), k)
+	}
+	model := &KMeansModel{Centers: centers}
+
+	type stats struct {
+		sums   []Vector
+		counts []int64
+	}
+	d := len(centers[0])
+	for it := 0; it < iterations; it++ {
+		snap := model
+		agg, err := spark.Aggregate(data,
+			func() stats {
+				s := stats{sums: make([]Vector, k), counts: make([]int64, k)}
+				for i := range s.sums {
+					s.sums[i] = make(Vector, d)
+				}
+				return s
+			},
+			func(s stats, x Vector) stats {
+				c := snap.Predict(x)
+				for j := range x {
+					s.sums[c][j] += x[j]
+				}
+				s.counts[c]++
+				return s
+			},
+			func(a, b stats) stats {
+				if a.sums == nil {
+					return b
+				}
+				for i := range a.sums {
+					for j := range a.sums[i] {
+						a.sums[i][j] += b.sums[i][j]
+					}
+					a.counts[i] += b.counts[i]
+				}
+				return a
+			},
+		)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]Vector, k)
+		for i := range next {
+			next[i] = make(Vector, d)
+			if agg.counts[i] == 0 {
+				copy(next[i], model.Centers[i])
+				continue
+			}
+			for j := range next[i] {
+				next[i][j] = agg.sums[i][j] / float64(agg.counts[i])
+			}
+		}
+		model = &KMeansModel{Centers: next}
+	}
+	return model, nil
+}
+
+// ToPMML exports the clustering model in PMML 4.1.
+func (m *KMeansModel) ToPMML(featureNames []string) (*pmml.Document, error) {
+	if len(m.Centers) == 0 || len(featureNames) != len(m.Centers[0]) {
+		return nil, fmt.Errorf("mllib: feature name count does not match center dimensionality")
+	}
+	doc := baseDoc("k-means", featureNames, "")
+	cm := &pmml.ClusteringModel{
+		ModelName:        "k-means",
+		FunctionName:     "clustering",
+		ModelClass:       "centerBased",
+		NumberOfClusters: len(m.Centers),
+		MiningSchema:     miningSchema(featureNames, ""),
+	}
+	for i, c := range m.Centers {
+		cm.Clusters = append(cm.Clusters, pmml.Cluster{ID: fmt.Sprint(i), Array: pmml.MakeArray(c)})
+	}
+	doc.Clustering = cm
+	return doc, nil
+}
+
+func vecEq(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func baseDoc(desc string, featureNames []string, target string) *pmml.Document {
+	doc := &pmml.Document{
+		Version: "4.1",
+		Header: pmml.Header{
+			Description: desc,
+			Application: pmml.Application{Name: "vsfabric-mllib", Version: "1.0"},
+		},
+	}
+	for _, n := range featureNames {
+		doc.DataDictionary.Fields = append(doc.DataDictionary.Fields,
+			pmml.DataField{Name: n, OpType: "continuous", DataType: "double"})
+	}
+	if target != "" {
+		doc.DataDictionary.Fields = append(doc.DataDictionary.Fields,
+			pmml.DataField{Name: target, OpType: "continuous", DataType: "double"})
+	}
+	doc.DataDictionary.NumberOfFields = len(doc.DataDictionary.Fields)
+	return doc
+}
+
+func miningSchema(featureNames []string, target string) pmml.MiningSchema {
+	var ms pmml.MiningSchema
+	for _, n := range featureNames {
+		ms.Fields = append(ms.Fields, pmml.MiningField{Name: n, UsageType: "active"})
+	}
+	if target != "" {
+		ms.Fields = append(ms.Fields, pmml.MiningField{Name: target, UsageType: "target"})
+	}
+	return ms
+}

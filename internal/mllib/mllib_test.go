@@ -1,0 +1,177 @@
+package mllib
+
+import (
+	"math"
+	"testing"
+
+	"vsfabric/internal/pmml"
+	"vsfabric/internal/spark"
+)
+
+func ctx() *spark.Context {
+	return spark.NewContext(spark.Conf{NumExecutors: 3, CoresPerExecutor: 2})
+}
+
+// lcg is a tiny deterministic generator for synthetic training data.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(l.s>>11) / float64(1<<53)
+}
+
+func TestLinearRegressionRecoversPlane(t *testing.T) {
+	sc := ctx()
+	g := &lcg{s: 42}
+	var pts []LabeledPoint
+	for i := 0; i < 2000; i++ {
+		x1, x2 := g.next(), g.next()
+		pts = append(pts, LabeledPoint{Label: 3*x1 - 2*x2 + 0.5, Features: Vector{x1, x2}})
+	}
+	rdd := spark.Parallelize(sc, pts, 6)
+	m, err := TrainLinearRegression(rdd, 500, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.1 || math.Abs(m.Weights[1]+2) > 0.1 || math.Abs(m.Intercept-0.5) > 0.1 {
+		t.Errorf("fit = %v + %v, want [3 -2] + 0.5", m.Weights, m.Intercept)
+	}
+	if y := m.Predict(Vector{1, 1}); math.Abs(y-1.5) > 0.2 {
+		t.Errorf("predict(1,1) = %v", y)
+	}
+}
+
+func TestLinearRegressionToPMMLAndBack(t *testing.T) {
+	m := &LinearRegressionModel{Weights: Vector{2, -1}, Intercept: 1.5}
+	doc, err := m.ToPMML([]string{"a", "b"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := pmml.NewEvaluator(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []Vector{{0, 0}, {3, 4}, {-1, 2}} {
+		want := m.Predict(x)
+		got, err := ev.Predict(x)
+		if err != nil || math.Abs(got-want) > 1e-12 {
+			t.Errorf("PMML evaluator disagrees at %v: %v vs %v", x, got, want)
+		}
+	}
+	if _, err := m.ToPMML([]string{"only_one"}, "y"); err == nil {
+		t.Error("feature-name arity mismatch should fail")
+	}
+}
+
+func TestLogisticRegressionSeparates(t *testing.T) {
+	sc := ctx()
+	g := &lcg{s: 7}
+	var pts []LabeledPoint
+	for i := 0; i < 2000; i++ {
+		x1, x2 := g.next()*4-2, g.next()*4-2
+		label := 0.0
+		if x1+x2 > 0 {
+			label = 1
+		}
+		pts = append(pts, LabeledPoint{Label: label, Features: Vector{x1, x2}})
+	}
+	rdd := spark.Parallelize(sc, pts, 4)
+	m, err := TrainLogisticRegression(rdd, 300, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, p := range pts {
+		if m.Predict(p.Features) == p.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(pts)); acc < 0.95 {
+		t.Errorf("accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestLogisticToPMMLAgrees(t *testing.T) {
+	m := &LogisticRegressionModel{Weights: Vector{1, -1}, Intercept: 0.2}
+	doc, err := m.ToPMML([]string{"a", "b"}, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ModelType() != "logistic_regression" {
+		t.Errorf("ModelType = %q", doc.ModelType())
+	}
+	ev, err := pmml.NewEvaluator(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []Vector{{2, 0}, {-2, 0}, {0, 0.1}, {0, 0.3}} {
+		got, _ := ev.Predict(x)
+		if got != m.Predict(x) {
+			t.Errorf("PMML class at %v: %v vs %v", x, got, m.Predict(x))
+		}
+	}
+}
+
+func TestKMeansFindsClusters(t *testing.T) {
+	sc := ctx()
+	g := &lcg{s: 99}
+	centers := []Vector{{0, 0}, {10, 10}, {-10, 5}}
+	var pts []Vector
+	for i := 0; i < 900; i++ {
+		c := centers[i%3]
+		pts = append(pts, Vector{c[0] + g.next() - 0.5, c[1] + g.next() - 0.5})
+	}
+	rdd := spark.Parallelize(sc, pts, 5)
+	m, err := TrainKMeans(rdd, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center must have a fitted center within 1.0.
+	for _, c := range centers {
+		found := false
+		for _, fc := range m.Centers {
+			d := math.Hypot(fc[0]-c[0], fc[1]-c[1])
+			if d < 1.0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no fitted center near %v: %v", c, m.Centers)
+		}
+	}
+	cost, err := m.Cost(rdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost/float64(len(pts)) > 0.5 {
+		t.Errorf("mean cost too high: %v", cost/float64(len(pts)))
+	}
+}
+
+func TestKMeansToPMMLAgrees(t *testing.T) {
+	m := &KMeansModel{Centers: []Vector{{0, 0}, {5, 5}}}
+	doc, err := m.ToPMML([]string{"x1", "x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := pmml.NewEvaluator(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []Vector{{1, 1}, {4, 4}, {2.4, 2.4}} {
+		got, _ := ev.Predict(x)
+		if int(got) != m.Predict(x) {
+			t.Errorf("cluster at %v: %v vs %v", x, got, m.Predict(x))
+		}
+	}
+}
+
+func TestTrainOnEmptyFails(t *testing.T) {
+	sc := ctx()
+	if _, err := TrainLinearRegression(spark.Parallelize(sc, []LabeledPoint{}, 2), 5, 0.1); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := TrainKMeans(spark.Parallelize(sc, []Vector{{1, 1}}, 1), 3, 2); err == nil {
+		t.Error("k > distinct points should fail")
+	}
+}

@@ -1,0 +1,193 @@
+// Package pmml implements the subset of the Predictive Model Markup
+// Language (PMML 4.1) the paper's model-deployment component uses (§3.3):
+// XML marshal/unmarshal of regression, logistic-regression and clustering
+// models — the model classes Spark 1.5's MLlib can export — plus a generic
+// evaluator for models whose input is a numeric vector and whose output is
+// a number, the JPMML role in the paper's scoring UDF.
+package pmml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Document is a PMML document: a data dictionary plus exactly one model (the
+// general structure of [7] in the paper).
+type Document struct {
+	XMLName        xml.Name         `xml:"PMML"`
+	Version        string           `xml:"version,attr"`
+	Header         Header           `xml:"Header"`
+	DataDictionary DataDictionary   `xml:"DataDictionary"`
+	Regression     *RegressionModel `xml:"RegressionModel,omitempty"`
+	Clustering     *ClusteringModel `xml:"ClusteringModel,omitempty"`
+}
+
+// Header identifies the producing application.
+type Header struct {
+	Copyright   string      `xml:"copyright,attr,omitempty"`
+	Description string      `xml:"description,attr,omitempty"`
+	Application Application `xml:"Application"`
+}
+
+// Application names the producer.
+type Application struct {
+	Name    string `xml:"name,attr"`
+	Version string `xml:"version,attr,omitempty"`
+}
+
+// DataDictionary declares the fields.
+type DataDictionary struct {
+	NumberOfFields int         `xml:"numberOfFields,attr"`
+	Fields         []DataField `xml:"DataField"`
+}
+
+// DataField declares one field.
+type DataField struct {
+	Name     string `xml:"name,attr"`
+	OpType   string `xml:"optype,attr"`
+	DataType string `xml:"dataType,attr"`
+}
+
+// MiningSchema lists the fields a model consumes/produces.
+type MiningSchema struct {
+	Fields []MiningField `xml:"MiningField"`
+}
+
+// MiningField is one mining schema entry.
+type MiningField struct {
+	Name      string `xml:"name,attr"`
+	UsageType string `xml:"usageType,attr,omitempty"`
+}
+
+// RegressionModel covers both linear regression (functionName="regression")
+// and logistic regression (functionName="classification" with
+// normalizationMethod="logit" and one table per target category), matching
+// Spark MLlib's PMML export.
+type RegressionModel struct {
+	ModelName           string            `xml:"modelName,attr,omitempty"`
+	FunctionName        string            `xml:"functionName,attr"`
+	NormalizationMethod string            `xml:"normalizationMethod,attr,omitempty"`
+	MiningSchema        MiningSchema      `xml:"MiningSchema"`
+	Tables              []RegressionTable `xml:"RegressionTable"`
+}
+
+// RegressionTable holds an intercept and per-feature coefficients.
+type RegressionTable struct {
+	Intercept      float64            `xml:"intercept,attr"`
+	TargetCategory string             `xml:"targetCategory,attr,omitempty"`
+	Predictors     []NumericPredictor `xml:"NumericPredictor"`
+}
+
+// NumericPredictor is one linear term.
+type NumericPredictor struct {
+	Name        string  `xml:"name,attr"`
+	Coefficient float64 `xml:"coefficient,attr"`
+}
+
+// ClusteringModel is a k-means model: centers compared by squared Euclidean
+// distance, as Spark MLlib exports.
+type ClusteringModel struct {
+	ModelName        string       `xml:"modelName,attr,omitempty"`
+	FunctionName     string       `xml:"functionName,attr"`
+	ModelClass       string       `xml:"modelClass,attr,omitempty"`
+	NumberOfClusters int          `xml:"numberOfClusters,attr"`
+	MiningSchema     MiningSchema `xml:"MiningSchema"`
+	Clusters         []Cluster    `xml:"Cluster"`
+}
+
+// Cluster is one centroid.
+type Cluster struct {
+	ID    string `xml:"id,attr,omitempty"`
+	Array Array  `xml:"Array"`
+}
+
+// Array is PMML's space-separated numeric array.
+type Array struct {
+	N    int    `xml:"n,attr"`
+	Type string `xml:"type,attr"`
+	Body string `xml:",chardata"`
+}
+
+// Values parses the array body.
+func (a Array) Values() ([]float64, error) {
+	fields := strings.Fields(a.Body)
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pmml: bad array element %q", f)
+		}
+		out = append(out, v)
+	}
+	if a.N != 0 && a.N != len(out) {
+		return nil, fmt.Errorf("pmml: array declares %d elements, has %d", a.N, len(out))
+	}
+	return out, nil
+}
+
+// MakeArray formats a numeric array.
+func MakeArray(vals []float64) Array {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return Array{N: len(vals), Type: "real", Body: strings.Join(parts, " ")}
+}
+
+// Marshal renders the document as PMML XML.
+func Marshal(d *Document) ([]byte, error) {
+	if d.Version == "" {
+		d.Version = "4.1"
+	}
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Unmarshal parses a PMML document.
+func Unmarshal(data []byte) (*Document, error) {
+	var d Document
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("pmml: %w", err)
+	}
+	if d.Regression == nil && d.Clustering == nil {
+		return nil, fmt.Errorf("pmml: document contains no supported model")
+	}
+	return &d, nil
+}
+
+// ModelType names the model class inside a document.
+func (d *Document) ModelType() string {
+	switch {
+	case d.Regression != nil && d.Regression.FunctionName == "classification":
+		return "logistic_regression"
+	case d.Regression != nil:
+		return "linear_regression"
+	case d.Clustering != nil:
+		return "kmeans"
+	default:
+		return "unknown"
+	}
+}
+
+// ActiveFields returns the model's input field names in mining-schema order.
+func (d *Document) ActiveFields() []string {
+	var ms MiningSchema
+	switch {
+	case d.Regression != nil:
+		ms = d.Regression.MiningSchema
+	case d.Clustering != nil:
+		ms = d.Clustering.MiningSchema
+	}
+	var out []string
+	for _, f := range ms.Fields {
+		if f.UsageType == "" || f.UsageType == "active" {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package pmml
+
+import (
+	"strings"
+	"testing"
+)
+
+func linearDoc() *Document {
+	return &Document{
+		Version: "4.1",
+		Header:  Header{Application: Application{Name: "test"}},
+		DataDictionary: DataDictionary{NumberOfFields: 3, Fields: []DataField{
+			{Name: "a", OpType: "continuous", DataType: "double"},
+			{Name: "b", OpType: "continuous", DataType: "double"},
+			{Name: "y", OpType: "continuous", DataType: "double"},
+		}},
+		Regression: &RegressionModel{
+			FunctionName: "regression",
+			MiningSchema: MiningSchema{Fields: []MiningField{
+				{Name: "a", UsageType: "active"},
+				{Name: "b", UsageType: "active"},
+				{Name: "y", UsageType: "target"},
+			}},
+			Tables: []RegressionTable{{
+				Intercept: 1.5,
+				Predictors: []NumericPredictor{
+					{Name: "a", Coefficient: 2},
+					{Name: "b", Coefficient: -1},
+				},
+			}},
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	doc := linearDoc()
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<PMML") || !strings.Contains(string(data), `version="4.1"`) {
+		t.Errorf("XML missing PMML envelope: %s", data)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regression == nil || len(got.Regression.Tables[0].Predictors) != 2 {
+		t.Fatalf("round trip lost model: %+v", got)
+	}
+	if got.ModelType() != "linear_regression" {
+		t.Errorf("ModelType = %q", got.ModelType())
+	}
+	if fields := got.ActiveFields(); len(fields) != 2 || fields[0] != "a" {
+		t.Errorf("ActiveFields = %v", fields)
+	}
+}
+
+func TestUnmarshalRejectsEmpty(t *testing.T) {
+	if _, err := Unmarshal([]byte(`<PMML version="4.1"></PMML>`)); err == nil {
+		t.Error("document without models should fail")
+	}
+	if _, err := Unmarshal([]byte(`not xml`)); err == nil {
+		t.Error("bad XML should fail")
+	}
+}
+
+func TestLinearEvaluator(t *testing.T) {
+	ev, err := NewEvaluator(linearDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NumFeatures() != 2 {
+		t.Fatalf("features = %d", ev.NumFeatures())
+	}
+	y, err := ev.Predict([]float64{3, 4}) // 1.5 + 2*3 - 4 = 3.5
+	if err != nil || y != 3.5 {
+		t.Errorf("predict = %v, %v", y, err)
+	}
+	if _, err := ev.Predict([]float64{1}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestLogisticEvaluator(t *testing.T) {
+	doc := linearDoc()
+	doc.Regression.FunctionName = "classification"
+	doc.Regression.NormalizationMethod = "logit"
+	doc.Regression.Tables[0].TargetCategory = "1"
+	doc.Regression.Tables = append(doc.Regression.Tables, RegressionTable{TargetCategory: "0"})
+	ev, err := NewEvaluator(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z = 1.5 + 2a - b: a=3,b=1 → z=6.5 → class 1; a=-3,b=1 → z=-5.5 → 0.
+	if y, _ := ev.Predict([]float64{3, 1}); y != 1 {
+		t.Errorf("positive case = %v", y)
+	}
+	if y, _ := ev.Predict([]float64{-3, 1}); y != 0 {
+		t.Errorf("negative case = %v", y)
+	}
+}
+
+func TestClusteringEvaluator(t *testing.T) {
+	doc := &Document{
+		DataDictionary: DataDictionary{NumberOfFields: 2, Fields: []DataField{
+			{Name: "x1", OpType: "continuous", DataType: "double"},
+			{Name: "x2", OpType: "continuous", DataType: "double"},
+		}},
+		Clustering: &ClusteringModel{
+			FunctionName:     "clustering",
+			NumberOfClusters: 2,
+			MiningSchema: MiningSchema{Fields: []MiningField{
+				{Name: "x1"}, {Name: "x2"},
+			}},
+			Clusters: []Cluster{
+				{ID: "0", Array: MakeArray([]float64{0, 0})},
+				{ID: "1", Array: MakeArray([]float64{10, 10})},
+			},
+		},
+	}
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ModelType() != "kmeans" {
+		t.Errorf("ModelType = %q", back.ModelType())
+	}
+	ev, err := NewEvaluator(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y, _ := ev.Predict([]float64{1, 1}); y != 0 {
+		t.Errorf("near origin → cluster %v", y)
+	}
+	if y, _ := ev.Predict([]float64{9, 9}); y != 1 {
+		t.Errorf("near (10,10) → cluster %v", y)
+	}
+}
+
+func TestArrayParsing(t *testing.T) {
+	a := MakeArray([]float64{1.5, -2, 3e-4})
+	vals, err := a.Values()
+	if err != nil || len(vals) != 3 || vals[0] != 1.5 {
+		t.Errorf("values = %v, %v", vals, err)
+	}
+	bad := Array{N: 2, Type: "real", Body: "1.0"}
+	if _, err := bad.Values(); err == nil {
+		t.Error("count mismatch should fail")
+	}
+	bad2 := Array{Body: "abc"}
+	if _, err := bad2.Values(); err == nil {
+		t.Error("non-numeric should fail")
+	}
+}
+
+func TestEvaluatorUnknownPredictor(t *testing.T) {
+	doc := linearDoc()
+	doc.Regression.Tables[0].Predictors[0].Name = "zz"
+	ev, err := NewEvaluator(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Predict([]float64{1, 2}); err == nil {
+		t.Error("unknown predictor should fail at scoring")
+	}
+}

@@ -1,0 +1,220 @@
+// Package server exposes a cluster node over TCP with a small framed
+// protocol, playing the role of Vertica's client port: remote sessions get
+// the same SQL surface (including transactions and streamed COPY) as
+// in-process ones. The vsql shell and the network integration tests use it;
+// the connector can run over it through DialConnector.
+//
+// Wire format: every message is one frame — a 1-byte type, a 4-byte
+// big-endian payload length, and the payload. Requests are JSON ('Q' query,
+// 'C' copy-begin) or raw bytes ('D' copy data, 'E' copy end); responses are
+// JSON ('R' result, 'X' error).
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vsfabric/internal/vertica"
+)
+
+// Frame types.
+const (
+	frameQuery    = 'Q'
+	frameCopy     = 'C'
+	frameCopyData = 'D'
+	frameCopyEnd  = 'E'
+	frameResult   = 'R'
+	frameError    = 'X'
+)
+
+const maxFrame = 1 << 28
+
+type request struct {
+	SQL string `json:"sql"`
+}
+
+type response struct {
+	Result *vertica.Result `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Server serves one cluster node's sessions over TCP.
+type Server struct {
+	cluster *vertica.Cluster
+	nodeID  int
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server for the given node of the cluster.
+func New(cluster *vertica.Cluster, nodeID int) *Server {
+	return &Server{cluster: cluster, nodeID: nodeID}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener and waits for active connections to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess, err := s.cluster.Connect(s.nodeID)
+	if err != nil {
+		_ = sendError(conn, err)
+		return
+	}
+	defer sess.Close()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return // client hung up
+		}
+		switch typ {
+		case frameQuery:
+			var req request
+			if err := json.Unmarshal(payload, &req); err != nil {
+				_ = sendError(conn, err)
+				continue
+			}
+			res, err := sess.Execute(req.SQL)
+			if err != nil {
+				_ = sendError(conn, err)
+				continue
+			}
+			_ = sendResult(conn, res)
+		case frameCopy:
+			var req request
+			if err := json.Unmarshal(payload, &req); err != nil {
+				_ = sendError(conn, err)
+				continue
+			}
+			res, err := sess.CopyFrom(req.SQL, &copyReader{conn: conn})
+			if err != nil {
+				_ = sendError(conn, err)
+				continue
+			}
+			_ = sendResult(conn, res)
+		default:
+			_ = sendError(conn, fmt.Errorf("server: unexpected frame %q", typ))
+			return
+		}
+	}
+}
+
+// copyReader streams 'D' frames until 'E'.
+type copyReader struct {
+	conn net.Conn
+	buf  []byte
+	done bool
+}
+
+func (c *copyReader) Read(p []byte) (int, error) {
+	for len(c.buf) == 0 {
+		if c.done {
+			return 0, io.EOF
+		}
+		typ, payload, err := readFrame(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		switch typ {
+		case frameCopyData:
+			c.buf = payload
+		case frameCopyEnd:
+			c.done = true
+		default:
+			return 0, fmt.Errorf("server: unexpected frame %q during COPY", typ)
+		}
+	}
+	n := copy(p, c.buf)
+	c.buf = c.buf[n:]
+	return n, nil
+}
+
+func sendResult(w io.Writer, res *vertica.Result) error {
+	payload, err := json.Marshal(response{Result: res})
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, frameResult, payload)
+}
+
+func sendError(w io.Writer, e error) error {
+	payload, _ := json.Marshal(response{Error: e.Error()})
+	return writeFrame(w, frameError, payload)
+}
+
+// ErrRemote wraps errors reported by the server.
+var ErrRemote = errors.New("server: remote error")

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/vertica"
+)
+
+// TCPConn is a client session over the wire protocol; it implements
+// client.Conn so the connector can run against a remote cluster unchanged.
+type TCPConn struct {
+	conn net.Conn
+}
+
+// Dial opens a session against a node server.
+func Dial(addr string) (*TCPConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPConn{conn: c}, nil
+}
+
+// Execute implements client.Conn.
+func (c *TCPConn) Execute(sql string) (*vertica.Result, error) {
+	payload, err := json.Marshal(request{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.conn, frameQuery, payload); err != nil {
+		return nil, err
+	}
+	return c.readResponse()
+}
+
+// CopyFrom implements client.Conn: it streams r as COPY data frames.
+func (c *TCPConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
+	payload, err := json.Marshal(request{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.conn, frameCopy, payload); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if werr := writeFrame(c.conn, frameCopyData, buf[:n]); werr != nil {
+				return nil, werr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Still terminate the stream so the server-side COPY fails
+			// cleanly rather than hanging.
+			_ = writeFrame(c.conn, frameCopyEnd, nil)
+			_, _ = c.readResponse()
+			return nil, err
+		}
+	}
+	if err := writeFrame(c.conn, frameCopyEnd, nil); err != nil {
+		return nil, err
+	}
+	return c.readResponse()
+}
+
+// SetRecorder implements client.Conn. Resource recording is an in-process
+// benchmarking facility; over the wire it is a no-op.
+func (c *TCPConn) SetRecorder(*sim.TaskRec, string) {}
+
+// Close implements client.Conn.
+func (c *TCPConn) Close() { _ = c.conn.Close() }
+
+func (c *TCPConn) readResponse() (*vertica.Result, error) {
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, err
+	}
+	switch typ {
+	case frameResult:
+		return resp.Result, nil
+	case frameError:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	default:
+		return nil, fmt.Errorf("server: unexpected response frame %q", typ)
+	}
+}
+
+// DialConnector is a client.Connector over TCP: it maps the cluster node
+// addresses (as reported by v_catalog.nodes) to the TCP endpoints their
+// servers listen on.
+type DialConnector struct {
+	// Endpoints maps node address → "host:port".
+	Endpoints map[string]string
+}
+
+// Connect implements client.Connector.
+func (d *DialConnector) Connect(addr string) (client.Conn, error) {
+	ep, ok := d.Endpoints[addr]
+	if !ok {
+		// Allow dialing a raw endpoint directly.
+		ep = addr
+	}
+	return Dial(ep)
+}

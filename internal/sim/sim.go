@@ -1,0 +1,440 @@
+// Package sim provides the performance layer of the reproduction: a
+// flow-level discrete-event simulator with max-min fair sharing of node
+// resources (NIC in/out, CPU cores, executor slots), a resource-usage
+// recorder that components fill in during real (laptop-scale) runs, and a
+// cost model of the paper's testbed (§4.1: 1 GbE NICs, 16-core nodes, 4:8
+// Vertica:Spark clusters).
+//
+// The functional layer moves real bytes; this package answers "how long
+// would that work have taken on the paper's hardware" by replaying recorded
+// per-task work sequences — scaled to the paper's data sizes — through the
+// simulator. EXPERIMENTS.md compares the resulting shapes against the
+// paper's figures.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource is a capacity-constrained node resource (a NIC direction, a CPU).
+type Resource struct {
+	Name     string
+	Capacity float64 // units per second (bytes/s for NICs, core-seconds/s for CPUs)
+	// CongestionK degrades effective capacity as flows pile on:
+	// eff = Capacity / (1 + CongestionK * activeFlows). Models per-connection
+	// overhead (context switching, TCP bookkeeping) that makes 256-way
+	// parallelism slower than 128-way in Figure 6.
+	CongestionK float64
+}
+
+// Demand expresses how many units of a resource one unit of flow work
+// consumes (e.g. 1.0 byte of NIC per byte transferred; 2e-8 core-seconds of
+// CPU per byte encoded).
+type Demand struct {
+	Res     string
+	PerUnit float64
+}
+
+// Step is one stage of a task: either a fixed latency or a resource flow.
+type Step interface{ isStep() }
+
+// FixedStep is a latency with no resource contention (connection setup,
+// commit round-trips).
+type FixedStep struct {
+	Seconds float64
+}
+
+func (FixedStep) isStep() {}
+
+// FlowStep is Units of work that consume resources as they progress. The
+// flow's rate (units/sec) is the max-min fair allocation subject to every
+// demanded resource and the per-flow RateCap (0 = uncapped). RateCap models
+// single-threaded pipelines: one JDBC result stream encodes on one core.
+type FlowStep struct {
+	Units   float64
+	Demands []Demand
+	RateCap float64
+}
+
+func (FlowStep) isStep() {}
+
+// Task is a sequence of steps executed in order, optionally gated on a slot
+// pool (a Spark executor core, a Vertica client session).
+type Task struct {
+	ID    string
+	Pool  string // slot pool held for the task's whole duration; "" = none
+	Steps []Step
+}
+
+// Pool is a counting semaphore: at most Slots tasks from the pool run at
+// once; others queue FIFO.
+type Pool struct {
+	Name  string
+	Slots int
+}
+
+// System is the simulated hardware: resources and slot pools.
+type System struct {
+	resources map[string]*Resource
+	pools     map[string]*Pool
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{resources: make(map[string]*Resource), pools: make(map[string]*Pool)}
+}
+
+// AddResource registers a resource.
+func (s *System) AddResource(r Resource) {
+	rc := r
+	s.resources[r.Name] = &rc
+}
+
+// AddPool registers a slot pool.
+func (s *System) AddPool(p Pool) {
+	pc := p
+	s.pools[p.Name] = &pc
+}
+
+// Resource returns the named resource, or nil.
+func (s *System) Resource(name string) *Resource { return s.resources[name] }
+
+// UtilSample is one point of a resource utilization time series.
+type UtilSample struct {
+	T    float64 // seconds since job start
+	Used float64 // units consumed during [T, T+interval) divided by interval
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Makespan float64
+	TaskEnd  map[string]float64
+	// Utilization holds per-resource time series sampled at SampleInterval.
+	Utilization map[string][]UtilSample
+}
+
+// Config controls simulation output detail.
+type Config struct {
+	// SampleInterval is the utilization sampling period in seconds
+	// (0 disables sampling).
+	SampleInterval float64
+	// Horizon caps utilization sampling (0 = no cap). The run itself always
+	// completes.
+	Horizon float64
+}
+
+type taskState struct {
+	task     *Task
+	stepIdx  int
+	remain   float64 // remaining units (flow) or seconds (fixed)
+	running  bool    // holds a slot (or needs none) and is executing
+	finished bool
+	endTime  float64
+}
+
+// Simulate runs the tasks to completion and returns the makespan, per-task
+// end times, and resource utilization series. All tasks are released at t=0.
+func Simulate(system *System, tasks []*Task, cfg Config) (*Result, error) {
+	states := make([]*taskState, len(tasks))
+	waiting := make(map[string][]*taskState) // pool -> FIFO queue
+	free := make(map[string]int)
+	for name, p := range system.pools {
+		free[name] = p.Slots
+	}
+	for i, t := range tasks {
+		st := &taskState{task: t}
+		states[i] = st
+		if len(t.Steps) == 0 {
+			st.finished = true
+			continue
+		}
+		st.remain = stepSize(t.Steps[0])
+		if t.Pool == "" {
+			st.running = true
+			continue
+		}
+		if _, ok := system.pools[t.Pool]; !ok {
+			return nil, fmt.Errorf("sim: task %q references unknown pool %q", t.ID, t.Pool)
+		}
+		if free[t.Pool] > 0 {
+			free[t.Pool]--
+			st.running = true
+		} else {
+			waiting[t.Pool] = append(waiting[t.Pool], st)
+		}
+	}
+
+	res := &Result{TaskEnd: make(map[string]float64), Utilization: make(map[string][]UtilSample)}
+	usage := make(map[string]float64) // units consumed in current sample window
+	now := 0.0
+	lastSample := 0.0
+
+	flushSample := func(until float64) {
+		if cfg.SampleInterval <= 0 {
+			return
+		}
+		for lastSample+cfg.SampleInterval <= until+1e-12 {
+			t0 := lastSample
+			if cfg.Horizon > 0 && t0 >= cfg.Horizon {
+				lastSample = until
+				for k := range usage {
+					usage[k] = 0
+				}
+				return
+			}
+			for name := range system.resources {
+				res.Utilization[name] = append(res.Utilization[name], UtilSample{
+					T:    t0,
+					Used: usage[name] / cfg.SampleInterval,
+				})
+				usage[name] = 0
+			}
+			lastSample += cfg.SampleInterval
+		}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 50_000_000 {
+			return nil, fmt.Errorf("sim: too many events (livelock?)")
+		}
+		// Collect running flows and fixed steps.
+		var flows []*taskState
+		anyRunning := false
+		for _, st := range states {
+			if st.finished || !st.running {
+				continue
+			}
+			anyRunning = true
+			if _, ok := st.task.Steps[st.stepIdx].(FlowStep); ok {
+				flows = append(flows, st)
+			}
+		}
+		if !anyRunning {
+			break
+		}
+
+		rates, err := fairShare(system, flows)
+		if err != nil {
+			return nil, err
+		}
+
+		// Time to next completion.
+		dt := math.Inf(1)
+		for _, st := range states {
+			if st.finished || !st.running {
+				continue
+			}
+			switch st.task.Steps[st.stepIdx].(type) {
+			case FixedStep:
+				if st.remain < dt {
+					dt = st.remain
+				}
+			case FlowStep:
+				r := rates[st]
+				if r > 0 {
+					if t := st.remain / r; t < dt {
+						dt = t
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("sim: no progress possible (zero-rate flows)")
+		}
+		// Clip dt to the next sample boundary so usage windows stay exact.
+		if cfg.SampleInterval > 0 {
+			next := lastSample + cfg.SampleInterval
+			if now+dt > next && next > now {
+				dt = next - now
+			}
+		}
+
+		// Advance.
+		for _, st := range states {
+			if st.finished || !st.running {
+				continue
+			}
+			switch s := st.task.Steps[st.stepIdx].(type) {
+			case FixedStep:
+				st.remain -= dt
+			case FlowStep:
+				r := rates[st]
+				st.remain -= r * dt
+				for _, d := range s.Demands {
+					usage[d.Res] += r * dt * d.PerUnit
+				}
+			}
+		}
+		now += dt
+		flushSample(now)
+
+		// Complete steps / tasks; release and grant slots.
+		for _, st := range states {
+			if st.finished || !st.running || st.remain > 1e-9 {
+				continue
+			}
+			st.stepIdx++
+			if st.stepIdx < len(st.task.Steps) {
+				st.remain = stepSize(st.task.Steps[st.stepIdx])
+				continue
+			}
+			st.finished = true
+			st.running = false
+			st.endTime = now
+			res.TaskEnd[st.task.ID] = now
+			if p := st.task.Pool; p != "" {
+				if q := waiting[p]; len(q) > 0 {
+					nxt := q[0]
+					waiting[p] = q[1:]
+					nxt.running = true
+				} else {
+					free[p]++
+				}
+			}
+		}
+	}
+
+	res.Makespan = now
+	flushSample(now)
+	return res, nil
+}
+
+func stepSize(s Step) float64 {
+	switch st := s.(type) {
+	case FixedStep:
+		return st.Seconds
+	case FlowStep:
+		return st.Units
+	default:
+		return 0
+	}
+}
+
+// fairShare computes max-min fair rates (units/sec) for the active flows via
+// progressive filling: raise every unfrozen flow's rate uniformly until a
+// resource saturates or a flow hits its cap, freeze, repeat.
+func fairShare(system *System, flows []*taskState) (map[*taskState]float64, error) {
+	rates := make(map[*taskState]float64, len(flows))
+	if len(flows) == 0 {
+		return rates, nil
+	}
+	// Effective capacities with congestion degradation.
+	activePerRes := make(map[string]int)
+	for _, st := range flows {
+		fs := st.task.Steps[st.stepIdx].(FlowStep)
+		for _, d := range fs.Demands {
+			if d.PerUnit > 0 {
+				activePerRes[d.Res]++
+			}
+		}
+	}
+	capLeft := make(map[string]float64)
+	for name, r := range system.resources {
+		c := r.Capacity
+		if r.CongestionK > 0 {
+			c /= 1 + r.CongestionK*float64(activePerRes[name])
+		}
+		capLeft[name] = c
+	}
+
+	unfrozen := make(map[*taskState]bool, len(flows))
+	base := make(map[*taskState]float64, len(flows)) // already-frozen allocation is final; unfrozen start at 0
+	for _, st := range flows {
+		fs := st.task.Steps[st.stepIdx].(FlowStep)
+		for _, d := range fs.Demands {
+			if _, ok := capLeft[d.Res]; !ok {
+				return nil, fmt.Errorf("sim: flow %q demands unknown resource %q", st.task.ID, d.Res)
+			}
+		}
+		unfrozen[st] = true
+		base[st] = 0
+	}
+
+	for len(unfrozen) > 0 {
+		// λ = max uniform increment to all unfrozen flows.
+		lambda := math.Inf(1)
+		demandSum := make(map[string]float64)
+		for st := range unfrozen {
+			fs := st.task.Steps[st.stepIdx].(FlowStep)
+			for _, d := range fs.Demands {
+				demandSum[d.Res] += d.PerUnit
+			}
+		}
+		for resName, sum := range demandSum {
+			if sum <= 0 {
+				continue
+			}
+			if l := capLeft[resName] / sum; l < lambda {
+				lambda = l
+			}
+		}
+		// Flow caps can bind earlier.
+		for st := range unfrozen {
+			fs := st.task.Steps[st.stepIdx].(FlowStep)
+			if fs.RateCap > 0 {
+				if room := fs.RateCap - base[st]; room < lambda {
+					lambda = room
+				}
+			}
+		}
+		if math.IsInf(lambda, 1) {
+			// No binding constraint at all: flows with no positive demands
+			// and no caps complete instantly; give them a huge rate.
+			for st := range unfrozen {
+				rates[st] = math.MaxFloat64 / 4
+				delete(unfrozen, st)
+			}
+			break
+		}
+		if lambda < 0 {
+			lambda = 0
+		}
+		// Apply increment, charge resources.
+		for st := range unfrozen {
+			fs := st.task.Steps[st.stepIdx].(FlowStep)
+			base[st] += lambda
+			for _, d := range fs.Demands {
+				capLeft[d.Res] -= lambda * d.PerUnit
+			}
+		}
+		// Freeze flows at binding constraints.
+		frozeAny := false
+		var saturated []string
+		for resName, sum := range demandSum {
+			if sum > 0 && capLeft[resName] <= 1e-9*sum+1e-15 {
+				saturated = append(saturated, resName)
+			}
+		}
+		sort.Strings(saturated)
+		satSet := make(map[string]bool, len(saturated))
+		for _, r := range saturated {
+			satSet[r] = true
+		}
+		for st := range unfrozen {
+			fs := st.task.Steps[st.stepIdx].(FlowStep)
+			capped := fs.RateCap > 0 && base[st] >= fs.RateCap-1e-12
+			hitRes := false
+			for _, d := range fs.Demands {
+				if d.PerUnit > 0 && satSet[d.Res] {
+					hitRes = true
+					break
+				}
+			}
+			if capped || hitRes {
+				rates[st] = base[st]
+				delete(unfrozen, st)
+				frozeAny = true
+			}
+		}
+		if !frozeAny {
+			// Numerical corner: freeze everything at current allocation.
+			for st := range unfrozen {
+				rates[st] = base[st]
+				delete(unfrozen, st)
+			}
+		}
+	}
+	return rates, nil
+}

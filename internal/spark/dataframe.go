@@ -1,0 +1,147 @@
+package spark
+
+import (
+	"fmt"
+
+	"vsfabric/internal/types"
+)
+
+// DataFrame is a schema-carrying distributed dataset (§2.1.2): a wrapper
+// around an RDD of rows, or — before the first action — a lazy reference to
+// an external relation with pending pruned columns and pushdown filters,
+// which is how Select/Filter/Count reach the source's BuildScan.
+type DataFrame struct {
+	sc     *Context
+	schema types.Schema
+
+	// Lazy source state: relation plus pending pushdowns.
+	relation BaseRelation
+	pruned   []string
+	filters  []Filter
+
+	// Materialized state once the DataFrame no longer maps to a pure scan.
+	rdd *RDD[types.Row]
+}
+
+// NewDataFrame wraps an RDD of rows with a schema.
+func NewDataFrame(sc *Context, schema types.Schema, rdd *RDD[types.Row]) *DataFrame {
+	return &DataFrame{sc: sc, schema: schema, rdd: rdd}
+}
+
+// CreateDataFrame parallelizes driver-side rows.
+func CreateDataFrame(sc *Context, schema types.Schema, rows []types.Row, nParts int) *DataFrame {
+	return NewDataFrame(sc, schema, Parallelize(sc, rows, nParts))
+}
+
+// Schema returns the frame's schema (after pruning).
+func (df *DataFrame) Schema() types.Schema {
+	if df.relation != nil && len(df.pruned) > 0 {
+		s, _, err := df.schema.Project(df.pruned)
+		if err == nil {
+			return s
+		}
+	}
+	return df.schema
+}
+
+// Context returns the owning context.
+func (df *DataFrame) Context() *Context { return df.sc }
+
+// Select prunes to the named columns. On a source-backed frame the pruning
+// is pushed into the scan.
+func (df *DataFrame) Select(cols ...string) (*DataFrame, error) {
+	if df.relation != nil {
+		out := *df
+		out.pruned = cols
+		if _, _, err := df.schema.Project(cols); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	proj, idx, err := df.schema.Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	rdd := Map(df.rdd, func(r types.Row) types.Row {
+		out := make(types.Row, len(idx))
+		for i, j := range idx {
+			out[i] = r[j]
+		}
+		return out
+	})
+	return NewDataFrame(df.sc, proj, rdd), nil
+}
+
+// Where adds a pushdown filter. On a source-backed frame it reaches the
+// source's BuildScan; otherwise it evaluates in Spark.
+func (df *DataFrame) Where(f Filter) *DataFrame {
+	if df.relation != nil {
+		out := *df
+		out.filters = append(append([]Filter{}, df.filters...), f)
+		return &out
+	}
+	schema := df.schema
+	return NewDataFrame(df.sc, schema, df.rdd.Filter(func(r types.Row) bool {
+		return EvalFilter(f, r, &schema)
+	}))
+}
+
+// RDD materializes the frame into its row RDD, triggering BuildScan for
+// source-backed frames.
+func (df *DataFrame) RDD() (*RDD[types.Row], error) {
+	if df.rdd != nil {
+		return df.rdd, nil
+	}
+	scan, ok := df.relation.(PrunedFilteredScan)
+	if !ok {
+		return nil, fmt.Errorf("spark: relation %T is not scannable", df.relation)
+	}
+	cols := df.pruned
+	if len(cols) == 0 {
+		cols = df.schema.ColNames()
+	}
+	return scan.BuildScan(cols, df.filters)
+}
+
+// Collect gathers all rows on the driver.
+func (df *DataFrame) Collect() ([]types.Row, error) {
+	rdd, err := df.RDD()
+	if err != nil {
+		return nil, err
+	}
+	return rdd.Collect()
+}
+
+// Count counts rows, pushing COUNT(*) into sources that support it
+// (§3.1.1's count pushdown).
+func (df *DataFrame) Count() (int64, error) {
+	if df.relation != nil {
+		if c, ok := df.relation.(CountableScan); ok {
+			return c.CountRows(df.filters)
+		}
+	}
+	rdd, err := df.RDD()
+	if err != nil {
+		return 0, err
+	}
+	return rdd.Count()
+}
+
+// Repartition returns a frame with n partitions (S2V's parallelism knob;
+// with large data this is a coalesce without shuffling, §3.2).
+func (df *DataFrame) Repartition(n int) (*DataFrame, error) {
+	rdd, err := df.RDD()
+	if err != nil {
+		return nil, err
+	}
+	return NewDataFrame(df.sc, df.Schema(), rdd.Coalesce(n)), nil
+}
+
+// NumPartitions reports the physical partition count once materialized.
+func (df *DataFrame) NumPartitions() (int, error) {
+	rdd, err := df.RDD()
+	if err != nil {
+		return 0, err
+	}
+	return rdd.NumPartitions(), nil
+}

@@ -1,0 +1,95 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FailureInjector arranges task and job failures at named checkpoints,
+// letting tests reproduce every scenario §3.2.1 claims the connector
+// survives: a task dying mid-phase, a task dying immediately after its
+// commit, a speculative duplicate racing the original, and total Spark
+// failure.
+type FailureInjector struct {
+	mu        sync.Mutex
+	rules     []rule
+	speculate map[int]bool
+	log       []string
+}
+
+type rule struct {
+	partition  int // -1 = any
+	attempt    int // -1 = any
+	checkpoint string
+	killJob    bool
+	remaining  int // fire at most this many times
+}
+
+// NewFailureInjector returns an empty injector.
+func NewFailureInjector() *FailureInjector {
+	return &FailureInjector{speculate: make(map[int]bool)}
+}
+
+// FailTaskAt makes attempt `attempt` of task `partition` fail when it
+// reaches the named checkpoint. Use attempt -1 for every attempt, partition
+// -1 for every task. The rule fires `times` times.
+func (f *FailureInjector) FailTaskAt(partition, attempt int, checkpoint string, times int) *FailureInjector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rule{partition: partition, attempt: attempt, checkpoint: checkpoint, remaining: times})
+	return f
+}
+
+// KillJobAt kills the whole job when the matching task reaches the
+// checkpoint — simulating total Spark failure.
+func (f *FailureInjector) KillJobAt(partition int, checkpoint string) *FailureInjector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rule{partition: partition, attempt: -1, checkpoint: checkpoint, killJob: true, remaining: 1})
+	return f
+}
+
+// Speculate marks a partition for a concurrent duplicate attempt (requires
+// Conf.Speculation).
+func (f *FailureInjector) Speculate(partition int) *FailureInjector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.speculate[partition] = true
+	return f
+}
+
+// Log returns the injected events, for test assertions.
+func (f *FailureInjector) Log() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+func (f *FailureInjector) at(tc *TaskContext, checkpoint string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.remaining <= 0 {
+			continue
+		}
+		if r.checkpoint != checkpoint {
+			continue
+		}
+		if r.partition != -1 && r.partition != tc.PartitionID {
+			continue
+		}
+		if r.attempt != -1 && r.attempt != tc.Attempt {
+			continue
+		}
+		r.remaining--
+		f.log = append(f.log, fmt.Sprintf("%s@task%d.attempt%d", checkpoint, tc.PartitionID, tc.Attempt))
+		if r.killJob {
+			return ErrJobKilled
+		}
+		return fmt.Errorf("spark: injected failure at %q (task %d attempt %d)", checkpoint, tc.PartitionID, tc.Attempt)
+	}
+	return nil
+}

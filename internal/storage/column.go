@@ -1,0 +1,202 @@
+// Package storage implements the engine's columnar storage: typed column
+// vectors, Read Optimized Storage (ROS) containers with light-weight column
+// encodings, a Write Optimized Storage (WOS) row buffer, and per-container
+// delete vectors. This mirrors the Vertica storage organization sketched in
+// §2.1.1 of the paper; the details follow the C-Store lineage (plain, RLE,
+// delta and dictionary encodings) at the fidelity the connector experiments
+// need.
+package storage
+
+import (
+	"fmt"
+
+	"vsfabric/internal/types"
+)
+
+// Column is an immutable typed vector of values with a null bitmap.
+type Column interface {
+	// Type returns the value type stored.
+	Type() types.Type
+	// Len returns the number of rows.
+	Len() int
+	// Get returns the value at row i.
+	Get(i int) types.Value
+	// IsNull reports whether row i is NULL.
+	IsNull(i int) bool
+}
+
+// Int64Column stores 8-byte integers.
+type Int64Column struct {
+	Vals  []int64
+	Nulls []bool // nil means no nulls
+}
+
+// Type implements Column.
+func (c *Int64Column) Type() types.Type { return types.Int64 }
+
+// Len implements Column.
+func (c *Int64Column) Len() int { return len(c.Vals) }
+
+// IsNull implements Column.
+func (c *Int64Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// Get implements Column.
+func (c *Int64Column) Get(i int) types.Value {
+	if c.IsNull(i) {
+		return types.NullValue(types.Int64)
+	}
+	return types.IntValue(c.Vals[i])
+}
+
+// Float64Column stores 8-byte floats.
+type Float64Column struct {
+	Vals  []float64
+	Nulls []bool
+}
+
+// Type implements Column.
+func (c *Float64Column) Type() types.Type { return types.Float64 }
+
+// Len implements Column.
+func (c *Float64Column) Len() int { return len(c.Vals) }
+
+// IsNull implements Column.
+func (c *Float64Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// Get implements Column.
+func (c *Float64Column) Get(i int) types.Value {
+	if c.IsNull(i) {
+		return types.NullValue(types.Float64)
+	}
+	return types.FloatValue(c.Vals[i])
+}
+
+// StringColumn stores variable-length strings.
+type StringColumn struct {
+	Vals  []string
+	Nulls []bool
+}
+
+// Type implements Column.
+func (c *StringColumn) Type() types.Type { return types.Varchar }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.Vals) }
+
+// IsNull implements Column.
+func (c *StringColumn) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// Get implements Column.
+func (c *StringColumn) Get(i int) types.Value {
+	if c.IsNull(i) {
+		return types.NullValue(types.Varchar)
+	}
+	return types.StringValue(c.Vals[i])
+}
+
+// BoolColumn stores booleans.
+type BoolColumn struct {
+	Vals  []bool
+	Nulls []bool
+}
+
+// Type implements Column.
+func (c *BoolColumn) Type() types.Type { return types.Bool }
+
+// Len implements Column.
+func (c *BoolColumn) Len() int { return len(c.Vals) }
+
+// IsNull implements Column.
+func (c *BoolColumn) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// Get implements Column.
+func (c *BoolColumn) Get(i int) types.Value {
+	if c.IsNull(i) {
+		return types.NullValue(types.Bool)
+	}
+	return types.BoolValue(c.Vals[i])
+}
+
+// Builder accumulates values of one type and produces an immutable Column.
+type Builder struct {
+	t        types.Type
+	ints     []int64
+	floats   []float64
+	strs     []string
+	bools    []bool
+	nulls    []bool
+	anyNulls bool
+}
+
+// NewBuilder returns a builder for type t.
+func NewBuilder(t types.Type) *Builder { return &Builder{t: t} }
+
+// Append adds one value; the value must match the builder's type or be NULL.
+func (b *Builder) Append(v types.Value) error {
+	if !v.Null && v.T != b.t {
+		return fmt.Errorf("storage: appending %v value to %v column", v.T, b.t)
+	}
+	b.nulls = append(b.nulls, v.Null)
+	if v.Null {
+		b.anyNulls = true
+	}
+	switch b.t {
+	case types.Int64:
+		b.ints = append(b.ints, v.I)
+	case types.Float64:
+		b.floats = append(b.floats, v.F)
+	case types.Varchar:
+		b.strs = append(b.strs, v.S)
+	case types.Bool:
+		b.bools = append(b.bools, v.B)
+	default:
+		return fmt.Errorf("storage: unsupported column type %v", b.t)
+	}
+	return nil
+}
+
+// Len returns the number of values appended so far.
+func (b *Builder) Len() int { return len(b.nulls) }
+
+// Build returns the immutable column. The builder must not be reused.
+func (b *Builder) Build() Column {
+	var nulls []bool
+	if b.anyNulls {
+		nulls = b.nulls
+	}
+	switch b.t {
+	case types.Int64:
+		return &Int64Column{Vals: b.ints, Nulls: nulls}
+	case types.Float64:
+		return &Float64Column{Vals: b.floats, Nulls: nulls}
+	case types.Varchar:
+		return &StringColumn{Vals: b.strs, Nulls: nulls}
+	case types.Bool:
+		return &BoolColumn{Vals: b.bools, Nulls: nulls}
+	default:
+		panic(fmt.Sprintf("storage: unsupported column type %v", b.t))
+	}
+}
+
+// ColumnsFromRows builds one column per schema column from a row slice.
+func ColumnsFromRows(rows []types.Row, schema types.Schema) ([]Column, error) {
+	builders := make([]*Builder, schema.NumCols())
+	for i, c := range schema.Cols {
+		builders[i] = NewBuilder(c.T)
+	}
+	for _, r := range rows {
+		if len(r) != schema.NumCols() {
+			return nil, fmt.Errorf("storage: row width %d != schema width %d", len(r), schema.NumCols())
+		}
+		for i, v := range r {
+			if err := builders[i].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cols := make([]Column, len(builders))
+	for i, b := range builders {
+		cols[i] = b.Build()
+	}
+	return cols, nil
+}

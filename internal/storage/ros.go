@@ -1,0 +1,380 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+)
+
+// ProvisionalBase is the lower bound of the provisional-epoch tag space.
+// While a transaction is open, its inserts are stamped with a unique tag
+// >= ProvisionalBase and its deletes marked with the same tag. Committed
+// epochs are small monotonically increasing integers, so a provisional row is
+// invisible to every snapshot reader; at commit the tag is rebased to the
+// real commit epoch, at abort it is swept away.
+const ProvisionalBase uint64 = 1 << 62
+
+// Visibility carries the MVCC read context for a scan: the snapshot epoch
+// plus the reader's own provisional tag (0 for plain snapshot reads). A row
+// is visible if it was inserted at or before the snapshot epoch — or by this
+// very transaction — and not deleted under the same rule.
+type Visibility struct {
+	Epoch uint64 // snapshot epoch (inclusive)
+	Tag   uint64 // reader's own provisional tag, 0 if none
+}
+
+func (v Visibility) seesInsert(start uint64) bool {
+	return start <= v.Epoch || (v.Tag != 0 && start == v.Tag)
+}
+
+func (v Visibility) seesDelete(del uint64) bool {
+	if del == 0 {
+		return false
+	}
+	return del <= v.Epoch || (v.Tag != 0 && del == v.Tag)
+}
+
+// RowVisible reports whether a row with the given insert epoch and delete
+// mark is visible under v.
+func (v Visibility) RowVisible(start, del uint64) bool {
+	return v.seesInsert(start) && !v.seesDelete(del)
+}
+
+// ROSContainer is one immutable Read Optimized Storage container: a batch of
+// rows stored column-wise, stamped with the epoch (or provisional tag) at
+// which it was inserted. Deletes are recorded out-of-line in a delete vector
+// so readers at earlier epochs still see the rows (MVCC, the basis of the
+// connector's AT EPOCH consistent reads in §3.1.2 of the paper).
+type ROSContainer struct {
+	Schema   types.Schema
+	Cols     []Column
+	RowCount int
+	Hashes   []uint32 // per-row segmentation hash, precomputed at write time
+
+	mu    sync.RWMutex
+	start uint64   // insert epoch or provisional tag
+	del   []uint64 // delete epoch/tag per row; 0 = live
+}
+
+// NewROSContainer builds a container from rows. segIdx are the segmentation
+// column indexes used to precompute per-row ring hashes (empty = whole-row
+// synthetic hash).
+func NewROSContainer(rows []types.Row, schema types.Schema, segIdx []int, start uint64) (*ROSContainer, error) {
+	cols, err := ColumnsFromRows(rows, schema)
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]uint32, len(rows))
+	for i, r := range rows {
+		hashes[i] = vhash.HashRow(r, segIdx)
+	}
+	return &ROSContainer{
+		Schema:   schema,
+		Cols:     cols,
+		RowCount: len(rows),
+		Hashes:   hashes,
+		start:    start,
+	}, nil
+}
+
+// StartEpoch returns the container's insert epoch (or provisional tag).
+func (c *ROSContainer) StartEpoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.start
+}
+
+// Row materializes row i.
+func (c *ROSContainer) Row(i int) types.Row {
+	r := make(types.Row, len(c.Cols))
+	for j, col := range c.Cols {
+		r[j] = col.Get(i)
+	}
+	return r
+}
+
+// DataBytes estimates the raw columnar footprint of the container.
+func (c *ROSContainer) DataBytes() int {
+	n := 0
+	for _, col := range c.Cols {
+		switch cc := col.(type) {
+		case *Int64Column, *Float64Column:
+			n += 8 * col.Len()
+		case *BoolColumn:
+			n += col.Len()
+		case *StringColumn:
+			for _, s := range cc.Vals {
+				n += 4 + len(s)
+			}
+		}
+	}
+	return n
+}
+
+// Store holds the ROS containers and WOS buffer for one table's data on one
+// node (one "segment" of the table, in the paper's terminology).
+type Store struct {
+	mu     sync.RWMutex
+	schema types.Schema
+	segIdx []int
+	ros    []*ROSContainer
+	wos    *WOS
+}
+
+// NewStore creates an empty per-node store for a table with the given schema
+// and segmentation column indexes.
+func NewStore(schema types.Schema, segIdx []int) *Store {
+	return &Store{schema: schema, segIdx: segIdx, wos: NewWOS()}
+}
+
+// Schema returns the table schema.
+func (s *Store) Schema() types.Schema { return s.schema }
+
+// SegIdx returns the segmentation column indexes.
+func (s *Store) SegIdx() []int { return s.segIdx }
+
+// AppendROS builds a ROS container from rows stamped with the given epoch or
+// provisional tag and adds it (the COPY DIRECT bulk-load path).
+func (s *Store) AppendROS(rows []types.Row, tag uint64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	c, err := NewROSContainer(rows, s.schema, s.segIdx, tag)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ros = append(s.ros, c)
+	s.mu.Unlock()
+	return nil
+}
+
+// AppendWOS adds rows to the write-optimized buffer stamped with the given
+// epoch or provisional tag (the trickle INSERT path).
+func (s *Store) AppendWOS(rows []types.Row, tag uint64) {
+	s.wos.Append(rows, s.segIdx, tag)
+}
+
+// Moveout converts committed WOS contents into ROS containers, mirroring the
+// Vertica Tuple Mover. Provisional (uncommitted) rows stay in the WOS.
+func (s *Store) Moveout() error {
+	rows, hashes, epochs := s.wos.DrainCommitted()
+	if len(rows) == 0 {
+		return nil
+	}
+	groups := make(map[uint64][]int)
+	for i, e := range epochs {
+		groups[e] = append(groups[e], i)
+	}
+	for e, idxs := range groups {
+		batch := make([]types.Row, len(idxs))
+		for j, i := range idxs {
+			batch[j] = rows[i]
+		}
+		c, err := NewROSContainer(batch, s.schema, s.segIdx, e)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			c.Hashes[j] = hashes[i]
+		}
+		s.mu.Lock()
+		s.ros = append(s.ros, c)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func (s *Store) snapshot() []*ROSContainer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*ROSContainer, len(s.ros))
+	copy(out, s.ros)
+	return out
+}
+
+// Scan calls fn for every row visible under vis whose segmentation hash lies
+// in hr (pass the full ring to scan everything). Returning false stops the
+// scan.
+func (s *Store) Scan(vis Visibility, hr vhash.Range, fn func(row types.Row) bool) {
+	for _, c := range s.snapshot() {
+		c.mu.RLock()
+		start := c.start
+		c.mu.RUnlock()
+		if !vis.seesInsert(start) {
+			continue
+		}
+		for i := 0; i < c.RowCount; i++ {
+			if !hr.Contains(c.Hashes[i]) {
+				continue
+			}
+			c.mu.RLock()
+			del := uint64(0)
+			if c.del != nil {
+				del = c.del[i]
+			}
+			c.mu.RUnlock()
+			if vis.seesDelete(del) {
+				continue
+			}
+			if !fn(c.Row(i)) {
+				return
+			}
+		}
+	}
+	s.wos.Scan(vis, hr, fn)
+}
+
+// DeleteWhere marks every row visible under vis matching the predicate as
+// deleted with the given tag (a commit epoch or provisional tag), returning
+// the number of rows marked.
+func (s *Store) DeleteWhere(vis Visibility, tag uint64, match func(types.Row) bool) int {
+	n := 0
+	for _, c := range s.snapshot() {
+		if !vis.seesInsert(c.StartEpoch()) {
+			continue
+		}
+		for i := 0; i < c.RowCount; i++ {
+			c.mu.RLock()
+			del := uint64(0)
+			if c.del != nil {
+				del = c.del[i]
+			}
+			c.mu.RUnlock()
+			if vis.seesDelete(del) || del != 0 && del != tag {
+				// Already deleted by someone else (possibly uncommitted);
+				// first delete wins, mirroring write-write conflict
+				// avoidance under the engine's table locks.
+				continue
+			}
+			if match(c.Row(i)) {
+				c.mu.Lock()
+				if c.del == nil {
+					c.del = make([]uint64, c.RowCount)
+				}
+				if c.del[i] == 0 || c.del[i] == tag {
+					c.del[i] = tag
+					n++
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+	n += s.wos.DeleteWhere(vis, tag, match)
+	return n
+}
+
+// RebaseInserts rewrites containers and WOS rows inserted under the
+// provisional tag to the final commit epoch.
+func (s *Store) RebaseInserts(tag, epoch uint64) {
+	for _, c := range s.snapshot() {
+		c.mu.Lock()
+		if c.start == tag {
+			c.start = epoch
+		}
+		c.mu.Unlock()
+	}
+	s.wos.RebaseInserts(tag, epoch)
+}
+
+// DropInserts removes containers and WOS rows inserted under the provisional
+// tag (transaction abort).
+func (s *Store) DropInserts(tag uint64) {
+	s.mu.Lock()
+	kept := s.ros[:0]
+	for _, c := range s.ros {
+		if c.StartEpoch() != tag {
+			kept = append(kept, c)
+		}
+	}
+	s.ros = kept
+	s.mu.Unlock()
+	s.wos.DropInserts(tag)
+}
+
+// RebaseDeletes rewrites delete marks carrying the provisional tag to the
+// final commit epoch.
+func (s *Store) RebaseDeletes(tag, epoch uint64) {
+	for _, c := range s.snapshot() {
+		c.mu.Lock()
+		for i := range c.del {
+			if c.del[i] == tag {
+				c.del[i] = epoch
+			}
+		}
+		c.mu.Unlock()
+	}
+	s.wos.RebaseDeletes(tag, epoch)
+}
+
+// ClearDeletes erases delete marks carrying the provisional tag (abort).
+func (s *Store) ClearDeletes(tag uint64) {
+	for _, c := range s.snapshot() {
+		c.mu.Lock()
+		for i := range c.del {
+			if c.del[i] == tag {
+				c.del[i] = 0
+			}
+		}
+		c.mu.Unlock()
+	}
+	s.wos.ClearDeletes(tag)
+}
+
+// RowCount returns the number of rows visible under vis.
+func (s *Store) RowCount(vis Visibility) int {
+	n := 0
+	s.Scan(vis, vhash.Range{Lo: 0, Hi: vhash.RingSize}, func(types.Row) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ContainerCount returns the number of ROS containers.
+func (s *Store) ContainerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ros)
+}
+
+// DataBytes returns the estimated stored bytes across all ROS containers.
+func (s *Store) DataBytes() int {
+	n := 0
+	for _, c := range s.snapshot() {
+		n += c.DataBytes()
+	}
+	return n
+}
+
+// Validate checks internal invariants; used by tests and the engine's
+// consistency checker.
+func (s *Store) Validate() error {
+	for idx, c := range s.snapshot() {
+		for j, col := range c.Cols {
+			if col.Len() != c.RowCount {
+				return fmt.Errorf("storage: container %d column %d has %d rows, want %d", idx, j, col.Len(), c.RowCount)
+			}
+		}
+		if len(c.Hashes) != c.RowCount {
+			return fmt.Errorf("storage: container %d has %d hashes, want %d", idx, len(c.Hashes), c.RowCount)
+		}
+	}
+	return nil
+}
+
+// WOSLen returns the number of rows buffered in the WOS (for moveout
+// policy).
+func (s *Store) WOSLen() int { return s.wos.Len() }
+
+// TotalRows returns the physical number of rows across ROS containers and
+// the WOS, regardless of visibility — the amount of work a full scan visits.
+func (s *Store) TotalRows() int {
+	n := s.wos.Len()
+	for _, c := range s.snapshot() {
+		n += c.RowCount
+	}
+	return n
+}

@@ -1,0 +1,302 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+var schema = types.NewSchema(types.Column{Name: "id", T: types.Int64})
+
+func rows(ids ...int64) []types.Row {
+	out := make([]types.Row, len(ids))
+	for i, id := range ids {
+		out[i] = types.Row{types.IntValue(id)}
+	}
+	return out
+}
+
+func count(s *storage.Store, vis storage.Visibility) int {
+	return s.RowCount(vis)
+}
+
+func TestCommitPublishesAtomically(t *testing.T) {
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	tx := m.Begin()
+	if err := tx.Acquire("t", LockInsert); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendROS(rows(1, 2), tx.Tag()); err != nil {
+		t.Fatal(err)
+	}
+	tx.NoteInsert(s)
+	if count(s, storage.Visibility{Epoch: m.LastEpoch()}) != 0 {
+		t.Error("writes visible before commit")
+	}
+	epoch, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Errorf("first commit epoch = %d, want 2", epoch)
+	}
+	if m.LastEpoch() != epoch {
+		t.Error("LastEpoch should advance to commit epoch")
+	}
+	if count(s, storage.Visibility{Epoch: epoch}) != 2 {
+		t.Error("writes not visible after commit")
+	}
+	if count(s, storage.Visibility{Epoch: epoch - 1}) != 0 {
+		t.Error("writes visible before their epoch")
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	tx := m.Begin()
+	_ = s.AppendROS(rows(1), tx.Tag())
+	tx.NoteInsert(s)
+	tx.Abort()
+	if count(s, storage.Visibility{Epoch: 100}) != 0 {
+		t.Error("aborted writes must vanish")
+	}
+	if _, err := tx.Commit(); err != ErrTxnDone {
+		t.Errorf("commit after abort = %v, want ErrTxnDone", err)
+	}
+	tx.Abort() // double abort is a no-op
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	tx := m.Begin()
+	_ = s.AppendROS(rows(7), tx.Tag())
+	tx.NoteInsert(s)
+	if count(s, tx.Vis()) != 1 {
+		t.Error("transaction must see its own writes")
+	}
+	other := m.Begin()
+	if count(s, other.Vis()) != 0 {
+		t.Error("other transactions must not see uncommitted writes")
+	}
+	other.Abort()
+	tx.Abort()
+}
+
+func TestConditionalUpdatePattern(t *testing.T) {
+	// The S2V leader-election pattern: two transactions race to flip a flag;
+	// exactly one sees an affected row and commits.
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	seed := m.Begin()
+	_ = seed.Acquire("t", LockInsert)
+	_ = s.AppendROS(rows(0), seed.Tag())
+	seed.NoteInsert(s)
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	attempt := func() bool {
+		tx := m.Begin()
+		defer tx.Abort()
+		if err := tx.Acquire("t", LockExclusive); err != nil {
+			return false
+		}
+		n := s.DeleteWhere(tx.Vis(), tx.Tag(), func(r types.Row) bool { return r[0].I == 0 })
+		if n == 0 {
+			return false
+		}
+		tx.NoteDelete(s)
+		s.AppendWOS(rows(1), tx.Tag())
+		tx.NoteInsert(s)
+		_, err := tx.Commit()
+		return err == nil
+	}
+
+	var wg sync.WaitGroup
+	wins := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wins <- attempt()
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("conditional update won %d times, want exactly 1", won)
+	}
+}
+
+func TestInsertLocksShared(t *testing.T) {
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Acquire("t", LockInsert); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("t", LockInsert); err != nil {
+		t.Errorf("concurrent INSERT locks should be compatible: %v", err)
+	}
+	a.Abort()
+	b.Abort()
+}
+
+func TestExclusiveBlocksInsert(t *testing.T) {
+	m := NewManager()
+	m.LockTimeout = 50 * time.Millisecond
+	a, b := m.Begin(), m.Begin()
+	if err := a.Acquire("t", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("t", LockInsert); err == nil {
+		t.Error("INSERT lock should block behind EXCLUSIVE")
+	}
+	a.Abort()
+	if err := b.Acquire("t", LockInsert); err != nil {
+		t.Errorf("lock should be free after abort: %v", err)
+	}
+	b.Abort()
+}
+
+func TestLockUpgrade(t *testing.T) {
+	m := NewManager()
+	m.LockTimeout = 50 * time.Millisecond
+	a := m.Begin()
+	if err := a.Acquire("t", LockInsert); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire("t", LockExclusive); err != nil {
+		t.Fatalf("upgrade as sole holder should succeed: %v", err)
+	}
+	b := m.Begin()
+	if err := b.Acquire("t", LockInsert); err == nil {
+		t.Error("upgraded lock should exclude inserters")
+	}
+	a.Abort()
+	b.Abort()
+}
+
+func TestLockTimeout(t *testing.T) {
+	m := NewManager()
+	m.LockTimeout = 30 * time.Millisecond
+	a, b := m.Begin(), m.Begin()
+	_ = a.Acquire("t", LockExclusive)
+	start := time.Now()
+	err := b.Acquire("t", LockExclusive)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took far too long")
+	}
+	a.Abort()
+	b.Abort()
+}
+
+func TestSerializedCommitsMonotonicEpochs(t *testing.T) {
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	const n = 20
+	epochs := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := m.Begin()
+			if err := tx.Acquire("t", LockInsert); err != nil {
+				t.Error(err)
+				return
+			}
+			s.AppendWOS(rows(int64(i)), tx.Tag())
+			tx.NoteInsert(s)
+			e, err := tx.Commit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			epochs[i] = e
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, e := range epochs {
+		if e == 0 || seen[e] {
+			t.Fatalf("epochs not unique: %v", epochs)
+		}
+		seen[e] = true
+	}
+	if got := count(s, storage.Visibility{Epoch: m.LastEpoch()}); got != n {
+		t.Errorf("visible rows = %d, want %d", got, n)
+	}
+}
+
+func TestOnCommitHook(t *testing.T) {
+	m := NewManager()
+	ran := false
+	tx := m.Begin()
+	tx.OnCommit(func() error { ran = true; return nil })
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("commit hook did not run")
+	}
+
+	// A failing hook aborts the transaction.
+	s := storage.NewStore(schema, nil)
+	tx2 := m.Begin()
+	_ = s.AppendROS(rows(1), tx2.Tag())
+	tx2.NoteInsert(s)
+	tx2.OnCommit(func() error { return errFake })
+	if _, err := tx2.Commit(); err == nil {
+		t.Fatal("commit with failing hook should error")
+	}
+	if count(s, storage.Visibility{Epoch: m.LastEpoch()}) != 0 {
+		t.Error("writes must be discarded when a hook fails")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestVisAtPinsEpoch(t *testing.T) {
+	m := NewManager()
+	s := storage.NewStore(schema, nil)
+	commit := func(ids ...int64) uint64 {
+		tx := m.Begin()
+		_ = tx.Acquire("t", LockInsert)
+		_ = s.AppendROS(rows(ids...), tx.Tag())
+		tx.NoteInsert(s)
+		e, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1 := commit(1)
+	commit(2)
+	tx := m.Begin()
+	defer tx.Abort()
+	if got := count(s, tx.VisAt(e1)); got != 1 {
+		t.Errorf("VisAt(%d) sees %d rows, want 1", e1, got)
+	}
+	if got := count(s, tx.Vis()); got != 2 {
+		t.Errorf("Vis() sees %d rows, want 2", got)
+	}
+}

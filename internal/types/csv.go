@@ -1,0 +1,129 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatCSV renders a row as a delimited text record, the format datasets use
+// on HDFS in the paper's experiments. NULL is rendered as an empty field.
+func FormatCSV(r Row, delim byte) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(delim)
+		}
+		if v.Null {
+			continue
+		}
+		switch v.T {
+		case Varchar:
+			// The generators never emit the delimiter inside strings, but
+			// escape defensively so round-trips are loss-free.
+			if strings.ContainsRune(v.S, rune(delim)) || strings.ContainsAny(v.S, "\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(v.S, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(v.S)
+			}
+		default:
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// ParseCSV parses one delimited record into a row matching the schema.
+func ParseCSV(line string, schema Schema, delim byte) (Row, error) {
+	fields, err := splitCSV(line, delim)
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != schema.NumCols() {
+		return nil, fmt.Errorf("types: record has %d fields, schema has %d", len(fields), schema.NumCols())
+	}
+	row := make(Row, len(fields))
+	for i, f := range fields {
+		v, err := ParseValue(f, schema.Cols[i].T)
+		if err != nil {
+			return nil, fmt.Errorf("types: field %d (%s): %w", i, schema.Cols[i].Name, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// ParseValue parses a single text field into a value of type t. An empty
+// field parses as NULL for numeric types and as the empty string for VARCHAR.
+func ParseValue(s string, t Type) (Value, error) {
+	switch t {
+	case Int64:
+		if s == "" {
+			return NullValue(t), nil
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad integer %q", s)
+		}
+		return IntValue(n), nil
+	case Float64:
+		if s == "" {
+			return NullValue(t), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float %q", s)
+		}
+		return FloatValue(f), nil
+	case Bool:
+		if s == "" {
+			return NullValue(t), nil
+		}
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad boolean %q", s)
+		}
+		return BoolValue(b), nil
+	case Varchar:
+		return StringValue(s), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported type %v", t)
+	}
+}
+
+// splitCSV splits a record on delim honoring double-quoted fields.
+func splitCSV(line string, delim byte) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuotes:
+			if c == '"' {
+				if i+1 < len(line) && line[i+1] == '"' {
+					cur.WriteByte('"')
+					i++
+				} else {
+					inQuotes = false
+				}
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '"' && cur.Len() == 0:
+			inQuotes = true
+		case c == delim:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuotes {
+		return nil, fmt.Errorf("types: unterminated quoted field")
+	}
+	fields = append(fields, cur.String())
+	return fields, nil
+}

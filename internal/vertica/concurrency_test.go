@@ -1,0 +1,190 @@
+package vertica
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCopiesAndSnapshotReaders hammers one table with parallel
+// COPY streams while readers repeatedly take snapshots: every snapshot must
+// observe a multiple of the batch size (bulk loads are atomic), and the
+// final count must be exact.
+func TestConcurrentCopiesAndSnapshotReaders(t *testing.T) {
+	c := testCluster(t, 4)
+	setup := sess(t, c, 0)
+	setup.MustExecute("CREATE TABLE t (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)")
+
+	const writers = 6
+	const batches = 5
+	const batchRows = 200
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := c.Connect(w % 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			for b := 0; b < batches; b++ {
+				var sb strings.Builder
+				base := (w*batches + b) * batchRows
+				for i := 0; i < batchRows; i++ {
+					fmt.Fprintf(&sb, "%d,%d.5\n", base+i, i)
+				}
+				if _, err := s.CopyFrom("COPY t FROM STDIN FORMAT CSV DIRECT", strings.NewReader(sb.String())); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := c.Connect((r + 1) % 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Execute("SELECT COUNT(*) FROM t")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n := res.Rows[0][0].I; n%batchRows != 0 {
+					errs <- fmt.Errorf("snapshot saw torn bulk load: %d rows", n)
+					return
+				}
+			}
+		}(r)
+	}
+	// Wait for writers, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Poll until every writer's batches are visible.
+	for {
+		res := setup.MustExecute("SELECT COUNT(*) FROM t")
+		if res.Rows[0][0].I == int64(writers*batches*batchRows) {
+			break
+		}
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	}
+	close(stop)
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v, _ := setup.MustExecute("SELECT COUNT(*) FROM t").Value(); v.I != writers*batches*batchRows {
+		t.Errorf("final count = %v", v)
+	}
+}
+
+// TestAutoMoveout exercises the WOS threshold: trickle inserts past the
+// limit trigger the tuple mover, and visibility is unaffected.
+func TestAutoMoveout(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 2, WOSMoveoutRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.MustExecute("CREATE TABLE t (id INTEGER)")
+	for b := 0; b < 10; b++ {
+		var vals []string
+		for i := 0; i < 30; i++ {
+			vals = append(vals, fmt.Sprintf("(%d)", b*30+i))
+		}
+		s.MustExecute("INSERT INTO t VALUES " + strings.Join(vals, ", "))
+	}
+	if v, _ := s.MustExecute("SELECT COUNT(*) FROM t").Value(); v.I != 300 {
+		t.Errorf("count = %v", v)
+	}
+	tbl, _ := c.Catalog().Table("t")
+	ros := 0
+	for _, st := range tbl.Stores {
+		ros += st.ContainerCount()
+	}
+	if ros == 0 {
+		t.Error("auto-moveout never ran (no ROS containers)")
+	}
+}
+
+// TestConcurrentDDLAndInserts: creating/dropping unrelated tables while a
+// load runs must not disturb it.
+func TestConcurrentDDLAndInserts(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE stable (id INTEGER)")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errCh := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		s2, err := c.Connect(1)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer s2.Close()
+		for i := 0; i < 50; i++ {
+			if _, err := s2.Execute(fmt.Sprintf("CREATE TABLE tmp_%d (a INTEGER)", i)); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := s2.Execute(fmt.Sprintf("DROP TABLE tmp_%d", i)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		s3, err := c.Connect(0)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer s3.Close()
+		for i := 0; i < 50; i++ {
+			if _, err := s3.Execute(fmt.Sprintf("INSERT INTO stable VALUES (%d)", i)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if v, _ := s.MustExecute("SELECT COUNT(*) FROM stable").Value(); v.I != 50 {
+		t.Errorf("count = %v", v)
+	}
+}

@@ -1,0 +1,124 @@
+package vertica
+
+import (
+	"fmt"
+
+	"vsfabric/internal/catalog"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vsql"
+)
+
+// executeCreateTable creates a table. Tables default to segmentation over
+// all columns, matching Vertica's default of deriving a segmentation
+// expression when none is given (§2.1.1).
+func (s *Session) executeCreateTable(st *vsql.CreateTable) (*Result, error) {
+	var schema types.Schema
+	if st.Like != "" {
+		src, ok := s.cluster.cat.Table(st.Like)
+		if !ok {
+			return nil, fmt.Errorf("vertica: table %q does not exist", st.Like)
+		}
+		def := src.Def
+		def.Name = st.Name
+		def.Temp = st.Temp
+		if _, err := s.cluster.cat.CreateTable(def, s.cluster.txm.LastEpoch()); err != nil {
+			if st.IfNotExists {
+				if _, exists := s.cluster.cat.Table(st.Name); exists {
+					return &Result{}, nil
+				}
+			}
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	for _, c := range st.Cols {
+		schema.Cols = append(schema.Cols, types.Column{Name: c.Name, T: c.Type})
+	}
+	def := catalog.TableDef{
+		Name:      st.Name,
+		Schema:    schema,
+		Temp:      st.Temp,
+		Segmented: !st.Unsegmented,
+		SegCols:   st.SegCols,
+		KSafety:   st.KSafety,
+	}
+	if def.KSafety == 0 {
+		def.KSafety = s.cluster.cfg.KSafety
+	}
+	if !def.Segmented {
+		def.KSafety = 0
+	}
+	if _, err := s.cluster.cat.CreateTable(def, s.cluster.txm.LastEpoch()); err != nil {
+		if st.IfNotExists {
+			if _, exists := s.cluster.cat.Table(st.Name); exists {
+				return &Result{}, nil
+			}
+		}
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// executeDropTable drops a table. Inside an explicit transaction the drop is
+// deferred to commit (with existence validated up front), so S2V's phase-5
+// "drop target, rename staging" pair applies atomically or not at all.
+func (s *Session) executeDropTable(st *vsql.DropTable) (*Result, error) {
+	if s.tx != nil {
+		if _, ok := s.cluster.cat.Table(st.Name); !ok && !st.IfExists {
+			return nil, fmt.Errorf("vertica: table %q does not exist", st.Name)
+		}
+		name := st.Name
+		s.tx.OnCommit(func() error {
+			if err := s.cluster.cat.DropTable(name, true); err != nil {
+				return err
+			}
+			s.cluster.txm.DropTableLock(name)
+			return nil
+		})
+		return &Result{}, nil
+	}
+	if err := s.cluster.cat.DropTable(st.Name, st.IfExists); err != nil {
+		return nil, err
+	}
+	s.cluster.txm.DropTableLock(st.Name)
+	return &Result{}, nil
+}
+
+func (s *Session) executeCreateView(st *vsql.CreateView) (*Result, error) {
+	// Validate the definition by planning it once against empty state.
+	if err := s.bindSelectFuncs(st.Stmt); err != nil {
+		return nil, err
+	}
+	if err := s.cluster.cat.CreateView(st.Name, st.SelectSQL); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) executeDropView(st *vsql.DropView) (*Result, error) {
+	if err := s.cluster.cat.DropView(st.Name, st.IfExists); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// executeRename renames a table. Inside an explicit transaction the rename
+// is deferred to commit (transactional DDL — what makes S2V's phase-5
+// staging→target switch atomic with its conditional status update); in
+// autocommit it applies immediately.
+func (s *Session) executeRename(st *vsql.AlterRename) (*Result, error) {
+	if _, ok := s.cluster.cat.Table(st.Name); !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", st.Name)
+	}
+	if s.tx != nil {
+		name, newName := st.Name, st.NewName
+		s.tx.OnCommit(func() error {
+			return s.cluster.cat.RenameTable(name, newName)
+		})
+		return &Result{}, nil
+	}
+	if err := s.cluster.cat.RenameTable(st.Name, st.NewName); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}

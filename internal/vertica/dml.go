@@ -1,0 +1,539 @@
+package vertica
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"vsfabric/internal/avro"
+	"vsfabric/internal/catalog"
+	"vsfabric/internal/expr"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/storage"
+	"vsfabric/internal/txn"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+	"vsfabric/internal/vsql"
+)
+
+// coerce adapts a value to the column type (integer literals into FLOAT
+// columns, etc.), failing on lossy or senseless conversions.
+func coerce(v types.Value, t types.Type) (types.Value, error) {
+	if v.Null {
+		return types.NullValue(t), nil
+	}
+	if v.T == t {
+		return v, nil
+	}
+	switch t {
+	case types.Float64:
+		if v.T == types.Int64 {
+			return types.FloatValue(float64(v.I)), nil
+		}
+	case types.Int64:
+		if v.T == types.Float64 && v.F == float64(int64(v.F)) {
+			return types.IntValue(int64(v.F)), nil
+		}
+	case types.Varchar:
+		return types.StringValue(v.String()), nil
+	}
+	return types.Value{}, fmt.Errorf("vertica: cannot coerce %v value %s to %v", v.T, v, t)
+}
+
+// routeRows groups rows by home node according to the table's segmentation.
+func routeRows(tbl *catalog.Table, rows []types.Row) [][]types.Row {
+	buckets := make([][]types.Row, tbl.NumNodes())
+	for _, r := range rows {
+		home := tbl.HomeNode(tbl.RowHash(r))
+		buckets[home] = append(buckets[home], r)
+	}
+	return buckets
+}
+
+// writeRows inserts rows into a table under tx: segmented tables route each
+// row to its segment's node (plus buddy replicas); unsegmented tables
+// replicate to every node. direct selects the ROS bulk path over the WOS.
+// It returns the bytes shuffled from the connected node to each other node,
+// for resource accounting.
+func (s *Session) writeRows(tx *txn.Txn, tbl *catalog.Table, rows []types.Row, direct bool) (map[[2]string]float64, error) {
+	route := make(map[[2]string]float64)
+	write := func(st interface {
+		AppendROS([]types.Row, uint64) error
+		AppendWOS([]types.Row, uint64)
+	}, batch []types.Row) error {
+		if direct {
+			return st.AppendROS(batch, tx.Tag())
+		}
+		st.AppendWOS(batch, tx.Tag())
+		return nil
+	}
+	if !tbl.Def.Segmented {
+		for i, st := range tbl.Stores {
+			if err := write(st, rows); err != nil {
+				return nil, err
+			}
+			tx.NoteInsert(tbl.Stores[i])
+			if i != s.node.ID {
+				route[[2]string{s.node.Name, sim.VName(i)}] += rowsWireSize(rows)
+			}
+		}
+		return route, nil
+	}
+	buckets := routeRows(tbl, rows)
+	for home, batch := range buckets {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := write(tbl.Stores[home], batch); err != nil {
+			return nil, err
+		}
+		tx.NoteInsert(tbl.Stores[home])
+		if home != s.node.ID {
+			route[[2]string{s.node.Name, sim.VName(home)}] += rowsWireSize(batch)
+		}
+		for r := range tbl.Buddies {
+			host := (home + r + 1) % tbl.NumNodes()
+			if err := write(tbl.Buddies[r][host], batch); err != nil {
+				return nil, err
+			}
+			tx.NoteInsert(tbl.Buddies[r][host])
+			if host != s.node.ID {
+				route[[2]string{s.node.Name, sim.VName(host)}] += rowsWireSize(batch)
+			}
+		}
+	}
+	return route, nil
+}
+
+func rowsWireSize(rows []types.Row) float64 {
+	n := 0.0
+	for _, r := range rows {
+		n += float64(types.WireSize(r))
+	}
+	return n
+}
+
+// executeInsert runs INSERT INTO ... VALUES, the trickle-load path the JDBC
+// Default Source baseline uses for saves (§4.7.1).
+func (s *Session) executeInsert(st *vsql.Insert) (*Result, error) {
+	tbl, ok := s.cluster.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", st.Table)
+	}
+	schema := tbl.Def.Schema
+	if st.Select != nil {
+		return s.executeInsertSelect(st, tbl)
+	}
+	colIdx := make([]int, 0, len(st.Cols))
+	if len(st.Cols) == 0 {
+		for i := range schema.Cols {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range st.Cols {
+			i := schema.ColIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("vertica: no column %q in table %q", c, st.Table)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	rows := make([]types.Row, 0, len(st.Rows))
+	empty := types.Schema{}
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(colIdx) {
+			return nil, fmt.Errorf("vertica: INSERT row has %d values, want %d", len(exprs), len(colIdx))
+		}
+		row := make(types.Row, schema.NumCols())
+		for i, c := range schema.Cols {
+			row[i] = types.NullValue(c.T)
+		}
+		for j, e := range exprs {
+			if err := s.cluster.bindFuncs(e); err != nil {
+				return nil, err
+			}
+			v, err := e.Eval(nil, &empty)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, schema.Cols[colIdx[j]].T)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[j]] = cv
+		}
+		rows = append(rows, row)
+	}
+
+	tx, auto := s.txnForWrite()
+	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	route, err := s.writeRows(tx, tbl, rows, false)
+	if err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	s.record(sim.Event{
+		Type:       sim.LoadFlowEv,
+		CNode:      s.clientNode,
+		VNode:      s.node.Name,
+		WireBytes:  rowsWireSize(rows) + float64(32*len(rows)), // statement framing
+		EncodeKind: sim.CPUCSVFormat,
+		ParseKind:  sim.CPUCSVParse,
+		InsertRows: float64(len(rows)),
+		ResultRows: float64(len(rows)),
+		Route:      route,
+	})
+	return s.finishWrite(tx, auto, &Result{RowsAffected: int64(len(rows))})
+}
+
+// executeInsertSelect runs INSERT INTO t SELECT ... entirely server-side —
+// the operation S2V append mode uses to commit the staging table into the
+// target under one atomic transaction (§3.2.1 phase 5, §5's discussion of
+// append-mode cost).
+func (s *Session) executeInsertSelect(st *vsql.Insert, tbl *catalog.Table) (*Result, error) {
+	if len(st.Cols) > 0 {
+		return nil, fmt.Errorf("vertica: INSERT ... SELECT does not support a column list")
+	}
+	res, err := s.executeSelect(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Def.Schema
+	if len(res.Schema.Cols) != schema.NumCols() {
+		return nil, fmt.Errorf("vertica: INSERT ... SELECT produces %d columns, table has %d",
+			len(res.Schema.Cols), schema.NumCols())
+	}
+	rows := make([]types.Row, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make(types.Row, len(r))
+		for j, v := range r {
+			cv, err := coerce(v, schema.Cols[j].T)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = cv
+		}
+		rows[i] = row
+	}
+	tx, auto := s.txnForWrite()
+	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	if _, err := s.writeRows(tx, tbl, rows, true); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	return s.finishWrite(tx, auto, &Result{RowsAffected: int64(len(rows))})
+}
+
+// executeUpdate runs UPDATE under an EXCLUSIVE table lock: matching visible
+// rows are deleted and re-inserted with the assignments applied (re-routed
+// if a segmentation column changed). The affected-row count is what the S2V
+// protocol's conditional check-and-set steps branch on (§3.2.1).
+func (s *Session) executeUpdate(st *vsql.Update) (*Result, error) {
+	tbl, ok := s.cluster.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", st.Table)
+	}
+	schema := tbl.Def.Schema
+	setIdx := make([]int, len(st.Set))
+	for i, sc := range st.Set {
+		idx := schema.ColIndex(sc.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("vertica: no column %q in table %q", sc.Col, st.Table)
+		}
+		setIdx[i] = idx
+		if err := s.cluster.bindFuncs(sc.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if st.Where != nil {
+		if err := s.cluster.bindFuncs(st.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	tx, auto := s.txnForWrite()
+	if err := tx.Acquire(tbl.Def.Name, txn.LockExclusive); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	vis := tx.Vis()
+	// Collect matching rows first (snapshot), then delete + reinsert.
+	matched, err := s.collectMatching(tbl, st.Where, vis)
+	if err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	updated := make([]types.Row, 0, len(matched))
+	for _, r := range matched {
+		nr := r.Clone()
+		for i, sc := range st.Set {
+			v, err := sc.Expr.Eval(r, &schema)
+			if err != nil {
+				if auto {
+					tx.Abort()
+				}
+				return nil, err
+			}
+			cv, err := coerce(v, schema.Cols[setIdx[i]].T)
+			if err != nil {
+				if auto {
+					tx.Abort()
+				}
+				return nil, err
+			}
+			nr[setIdx[i]] = cv
+		}
+		updated = append(updated, nr)
+	}
+	if len(matched) > 0 {
+		s.deleteRowsEverywhere(tx, tbl, st.Where, vis)
+		if _, err := s.writeRows(tx, tbl, updated, false); err != nil {
+			if auto {
+				tx.Abort()
+			}
+			return nil, err
+		}
+	}
+	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedStatusOp})
+	return s.finishWrite(tx, auto, &Result{RowsAffected: int64(len(matched))})
+}
+
+// collectMatching gathers the visible rows matching the predicate across all
+// primary stores (and the local replica for unsegmented tables).
+func (s *Session) collectMatching(tbl *catalog.Table, where expr.Expr, vis visArg) ([]types.Row, error) {
+	schema := tbl.Def.Schema
+	var out []types.Row
+	var scanErr error
+	match := func(r types.Row) bool {
+		ok, err := expr.EvalPredicate(where, r, &schema)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, r.Clone())
+		}
+		return true
+	}
+	if !tbl.Def.Segmented {
+		tbl.Stores[s.node.ID].Scan(vis, fullRing(), match)
+		return out, scanErr
+	}
+	for _, st := range tbl.Stores {
+		st.Scan(vis, fullRing(), match)
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+	return out, scanErr
+}
+
+// deleteRowsEverywhere marks matching rows deleted in every store holding
+// them (primaries, buddies, and all replicas of unsegmented tables).
+func (s *Session) deleteRowsEverywhere(tx *txn.Txn, tbl *catalog.Table, where expr.Expr, vis visArg) int {
+	schema := tbl.Def.Schema
+	match := func(r types.Row) bool {
+		ok, _ := expr.EvalPredicate(where, r, &schema)
+		return ok
+	}
+	n := 0
+	for i, st := range tbl.Stores {
+		c := st.DeleteWhere(vis, tx.Tag(), match)
+		tx.NoteDelete(st)
+		if tbl.Def.Segmented || i == 0 {
+			n += c
+		}
+	}
+	for _, reps := range tbl.Buddies {
+		for _, st := range reps {
+			st.DeleteWhere(vis, tx.Tag(), match)
+			tx.NoteDelete(st)
+		}
+	}
+	return n
+}
+
+// executeDelete runs DELETE FROM under an EXCLUSIVE lock.
+func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
+	tbl, ok := s.cluster.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", st.Table)
+	}
+	if st.Where != nil {
+		if err := s.cluster.bindFuncs(st.Where); err != nil {
+			return nil, err
+		}
+	}
+	tx, auto := s.txnForWrite()
+	if err := tx.Acquire(tbl.Def.Name, txn.LockExclusive); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	n := s.deleteRowsEverywhere(tx, tbl, st.Where, tx.Vis())
+	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedStatusOp})
+	return s.finishWrite(tx, auto, &Result{RowsAffected: int64(n)})
+}
+
+// executeCopyStream bulk-loads rows arriving on the client stream (the
+// VerticaCopyStream path S2V uses, §3.2.2).
+func (s *Session) executeCopyStream(cp *vsql.Copy, r io.Reader) (*Result, error) {
+	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+	counted := &countingReader{r: r}
+	var rows []types.Row
+	var rejected []string
+	tbl, ok := s.cluster.cat.Table(cp.Table)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", cp.Table)
+	}
+	schema := tbl.Def.Schema
+
+	switch cp.Format {
+	case vsql.CopyAvro:
+		rd, err := avro.NewReader(counted)
+		if err != nil {
+			return nil, fmt.Errorf("vertica: COPY: %w", err)
+		}
+		if !rd.Schema().ToTypes().Equal(schema) {
+			return nil, fmt.Errorf("vertica: COPY: Avro schema %v does not match table schema %v",
+				rd.Schema().ToTypes(), schema)
+		}
+		for {
+			row, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("vertica: COPY: %w", err)
+			}
+			rows = append(rows, row)
+		}
+	case vsql.CopyCSV:
+		sc := bufio.NewScanner(counted)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			row, err := types.ParseCSV(line, schema, ',')
+			if err != nil {
+				if len(rejected) < 10 {
+					rejected = append(rejected, fmt.Sprintf("%s: %v", truncate(line, 80), err))
+				}
+				rows = append(rows, nil) // placeholder to count rejects below
+				continue
+			}
+			rows = append(rows, row)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("vertica: COPY: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("vertica: COPY: unsupported format %q", cp.Format)
+	}
+
+	// Separate accepted rows from rejects.
+	accepted := rows[:0]
+	var rejectedCount int64
+	for _, r := range rows {
+		if r == nil {
+			rejectedCount++
+			continue
+		}
+		accepted = append(accepted, r)
+	}
+	if rejectedCount > cp.RejectMax {
+		return nil, fmt.Errorf("vertica: COPY: %d rows rejected exceeds REJECTMAX %d (sample: %v)",
+			rejectedCount, cp.RejectMax, rejected)
+	}
+
+	tx, auto := s.txnForWrite()
+	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	route, err := s.writeRows(tx, tbl, accepted, cp.Direct)
+	if err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	encodeKind, parseKind := sim.CPUCSVFormat, sim.CPUCSVParse
+	if cp.Format == vsql.CopyAvro {
+		encodeKind, parseKind = sim.CPUAvroEncode, sim.CPUCopyParse
+	}
+	s.record(sim.Event{
+		Type:       sim.LoadFlowEv,
+		CNode:      s.clientNode,
+		VNode:      s.node.Name,
+		WireBytes:  float64(counted.n),
+		EncodeKind: encodeKind,
+		ParseKind:  parseKind,
+		ResultRows: float64(len(accepted)),
+		Route:      route,
+		Local:      s.copyLocal,
+	})
+	cr := &CopyResult{Loaded: int64(len(accepted)), Rejected: rejectedCount, RejectedSample: rejected}
+	return s.finishWrite(tx, auto, &Result{RowsAffected: cr.Loaded, Copy: cr})
+}
+
+// executeCopyFile bulk-loads a node-local CSV file — the native parallel
+// COPY baseline of §4.7.3.
+func (s *Session) executeCopyFile(cp *vsql.Copy) (*Result, error) {
+	f, err := os.Open(cp.FromPath)
+	if err != nil {
+		return nil, fmt.Errorf("vertica: COPY: %w", err)
+	}
+	defer f.Close()
+	s.copyLocal = true
+	defer func() { s.copyLocal = false }()
+	return s.executeCopyStream(cp, f)
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// visArg aliases the storage read context in DML signatures.
+type visArg = storage.Visibility
+
+// fullRing is the unconstrained hash range.
+func fullRing() vhash.Range { return vhash.Range{Lo: 0, Hi: vhash.RingSize} }

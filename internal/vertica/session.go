@@ -1,0 +1,244 @@
+package vertica
+
+import (
+	"fmt"
+	"io"
+
+	"vsfabric/internal/sim"
+	"vsfabric/internal/txn"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vsql"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Schema       types.Schema
+	Rows         []types.Row
+	RowsAffected int64
+	// Epoch is the snapshot epoch a SELECT read at, or the commit epoch of a
+	// committed write. V2S uses the former to pin all partition queries to
+	// one consistent snapshot (§3.1.2).
+	Epoch uint64
+	// Copy carries bulk-load statistics when the statement was a COPY.
+	Copy *CopyResult
+}
+
+// Value returns the single value of a one-row, one-column result.
+func (r *Result) Value() (types.Value, error) {
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		return types.Value{}, fmt.Errorf("vertica: result is %d rows × %d cols, want 1×1", len(r.Rows), len(r.Schema.Cols))
+	}
+	return r.Rows[0][0], nil
+}
+
+// CopyResult reports bulk-load statistics.
+type CopyResult struct {
+	Loaded   int64
+	Rejected int64
+	// RejectedSample holds up to 10 rejected input records with reasons,
+	// mirroring the connector API's rejected-row sample (§3.2).
+	RejectedSample []string
+}
+
+// Session is one client connection to one node. A session is used by a
+// single goroutine at a time, like a JDBC connection.
+type Session struct {
+	cluster *Cluster
+	node    *Node
+	tx      *txn.Txn // open explicit transaction, nil in autocommit
+
+	// rec receives resource-usage events for the performance layer; nil
+	// outside benchmarks. clientNode names the connecting client's node in
+	// the simulated topology (e.g. "s3").
+	rec        *sim.TaskRec
+	clientNode string
+	// copyLocal marks the current COPY as reading a node-local file, so its
+	// resource event charges the node's disk instead of the network.
+	copyLocal bool
+
+	closed bool
+}
+
+// SetRecorder attaches a resource-usage recorder; clientNode is the sim
+// topology name of the client host.
+func (s *Session) SetRecorder(rec *sim.TaskRec, clientNode string) {
+	s.rec = rec
+	s.clientNode = clientNode
+}
+
+// Node returns the node this session is connected to.
+func (s *Session) Node() *Node { return s.node }
+
+// Close releases the session, aborting any open transaction.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+	s.cluster.releaseSession(s.node.ID)
+	s.closed = true
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Execute parses and runs one SQL statement.
+func (s *Session) Execute(sql string) (*Result, error) {
+	stmt, err := vsql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStmt(stmt)
+}
+
+// MustExecute is Execute for setup code where failure is a bug.
+func (s *Session) MustExecute(sql string) *Result {
+	r, err := s.Execute(sql)
+	if err != nil {
+		panic(fmt.Sprintf("vertica: %v (sql: %s)", err, sql))
+	}
+	return r
+}
+
+// ExecuteStmt runs a parsed statement.
+func (s *Session) ExecuteStmt(stmt vsql.Statement) (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("vertica: session is closed")
+	}
+	if s.node.Down() {
+		return nil, fmt.Errorf("vertica: node %d went down", s.node.ID)
+	}
+	switch st := stmt.(type) {
+	case *vsql.Select:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+		return s.executeSelect(st)
+	case *vsql.Insert:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+		return s.executeInsert(st)
+	case *vsql.Update:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+		return s.executeUpdate(st)
+	case *vsql.Delete:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+		return s.executeDelete(st)
+	case *vsql.CreateTable:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeCreateTable(st)
+	case *vsql.DropTable:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeDropTable(st)
+	case *vsql.CreateView:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeCreateView(st)
+	case *vsql.DropView:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeDropView(st)
+	case *vsql.AlterRename:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeRename(st)
+	case *vsql.Begin:
+		if s.tx != nil {
+			return nil, fmt.Errorf("vertica: transaction already open")
+		}
+		s.tx = s.cluster.txm.Begin()
+		return &Result{}, nil
+	case *vsql.Commit:
+		if s.tx == nil {
+			return &Result{}, nil // COMMIT outside txn is a no-op
+		}
+		epoch, err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedCommit})
+		return &Result{Epoch: epoch}, nil
+	case *vsql.Rollback:
+		if s.tx != nil {
+			s.tx.Abort()
+			s.tx = nil
+		}
+		return &Result{}, nil
+	case *vsql.Copy:
+		if st.FromStdin {
+			return nil, fmt.Errorf("vertica: COPY FROM STDIN requires CopyFrom with a data stream")
+		}
+		return s.executeCopyFile(st)
+	default:
+		return nil, fmt.Errorf("vertica: unsupported statement %T", stmt)
+	}
+}
+
+// CopyFrom runs a COPY ... FROM STDIN statement, reading the encoded data
+// from r. This is the engine half of the VerticaCopyStream API (§3.2.2).
+func (s *Session) CopyFrom(sql string, r io.Reader) (*Result, error) {
+	stmt, err := vsql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	cp, ok := stmt.(*vsql.Copy)
+	if !ok {
+		return nil, fmt.Errorf("vertica: CopyFrom requires a COPY statement, got %T", stmt)
+	}
+	if !cp.FromStdin {
+		return nil, fmt.Errorf("vertica: CopyFrom requires COPY ... FROM STDIN")
+	}
+	return s.executeCopyStream(cp, r)
+}
+
+// txnForWrite returns the transaction to run a write under and whether it
+// must be committed at statement end (autocommit).
+func (s *Session) txnForWrite() (tx *txn.Txn, auto bool) {
+	if s.tx != nil {
+		return s.tx, false
+	}
+	return s.cluster.txm.Begin(), true
+}
+
+// finishWrite commits autocommit transactions and maps the result epoch.
+func (s *Session) finishWrite(tx *txn.Txn, auto bool, res *Result) (*Result, error) {
+	if !auto {
+		return res, nil
+	}
+	epoch, err := tx.Commit()
+	if err != nil {
+		return nil, err
+	}
+	res.Epoch = epoch
+	s.maybeMoveout()
+	return res, nil
+}
+
+// maybeMoveout triggers the tuple mover when WOS buffers grow past the
+// configured threshold.
+func (s *Session) maybeMoveout() {
+	limit := s.cluster.cfg.WOSMoveoutRows
+	if limit <= 0 {
+		return
+	}
+	for _, t := range s.cluster.cat.Tables() {
+		for _, st := range t.Stores {
+			if st.WOSLen() > limit {
+				_ = st.Moveout()
+			}
+		}
+	}
+}
+
+func (s *Session) record(e sim.Event) {
+	if s.rec != nil {
+		s.rec.Add(e)
+	}
+}
+
+// vis returns the read context for the current statement: the open
+// transaction's view, or a fresh read-committed snapshot.
+func (s *Session) vis() visibility {
+	if s.tx != nil {
+		return visibility{v: s.tx.Vis()}
+	}
+	return visibility{v: snapshotVis(s.cluster)}
+}

@@ -1,0 +1,137 @@
+// Package vhash implements the segmentation hash used by the engine to place
+// rows on the hash ring, mirroring Vertica's SEGMENTED BY HASH(columns)
+// clause (§2.1.1 of the paper). The connector's V2S locality optimization
+// (§3.1.2) depends on computing exactly this hash on the client side so that
+// each Spark task can request a non-overlapping hash range that lives on a
+// single node.
+//
+// The ring is the full 32-bit space [0, 2^32). A table segmented over N nodes
+// assigns node i the contiguous range [i*2^32/N, (i+1)*2^32/N).
+package vhash
+
+import (
+	"encoding/binary"
+	"math"
+
+	"vsfabric/internal/types"
+)
+
+// RingSize is the size of the hash ring (2^32). Segment boundaries and the
+// connector's sub-range arithmetic are computed in this space using uint64 so
+// the exclusive upper bound 2^32 is representable.
+const RingSize uint64 = 1 << 32
+
+// Hash computes the segmentation hash of the given values on the 32-bit ring.
+// It is a 64-bit FNV-1a over a canonical little-endian encoding of each
+// value, folded to 32 bits. Every component (engine row routing, connector
+// range queries, the SQL HASH() builtin) must agree on this function.
+func Hash(vals ...types.Value) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	var buf [8]byte
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	for _, v := range vals {
+		if v.Null {
+			mix([]byte{0xff})
+			continue
+		}
+		switch v.T {
+		case types.Int64:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			mix(buf[:])
+		case types.Float64:
+			// Hash integral floats identically to the equal integer so that
+			// re-segmentation across type changes stays stable.
+			if f := v.F; f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+				binary.LittleEndian.PutUint64(buf[:], uint64(int64(f)))
+			} else {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			}
+			mix(buf[:])
+		case types.Varchar:
+			mix([]byte(v.S))
+			mix([]byte{0})
+		case types.Bool:
+			if v.B {
+				mix([]byte{1})
+			} else {
+				mix([]byte{2})
+			}
+		}
+	}
+	return uint32(h ^ (h >> 32))
+}
+
+// HashRow hashes the row's values at the given column indexes. An empty index
+// list hashes the whole row (the "synthetic hash" used for views and
+// unsegmented tables, §3.1 of the paper).
+func HashRow(r types.Row, colIdx []int) uint32 {
+	if len(colIdx) == 0 {
+		return Hash(r...)
+	}
+	vals := make([]types.Value, len(colIdx))
+	for i, c := range colIdx {
+		vals[i] = r[c]
+	}
+	return Hash(vals...)
+}
+
+// Range is a half-open interval [Lo, Hi) on the hash ring. Hi may be RingSize
+// (one past the largest 32-bit value).
+type Range struct {
+	Lo uint64
+	Hi uint64
+}
+
+// Contains reports whether hash h falls inside the range.
+func (r Range) Contains(h uint32) bool { return uint64(h) >= r.Lo && uint64(h) < r.Hi }
+
+// Width returns the number of ring positions covered.
+func (r Range) Width() uint64 { return r.Hi - r.Lo }
+
+// Empty reports whether the range covers nothing.
+func (r Range) Empty() bool { return r.Hi <= r.Lo }
+
+// Segments divides the ring into n contiguous, non-overlapping segments that
+// exactly cover [0, RingSize). Segment i is assigned to node i, the layout
+// recorded in the system catalog and consulted by the connector (§3.1.2).
+func Segments(n int) []Range {
+	out := make([]Range, n)
+	for i := 0; i < n; i++ {
+		out[i] = Range{
+			Lo: RingSize * uint64(i) / uint64(n),
+			Hi: RingSize * uint64(i+1) / uint64(n),
+		}
+	}
+	return out
+}
+
+// Split divides a range into k contiguous sub-ranges that exactly cover it.
+// The connector uses this to give each Spark partition a unique slice of a
+// segment (Figure 4(b): 8 partitions over 4 segments → each asks for half a
+// segment). Sub-range widths differ by at most one ring position.
+func Split(r Range, k int) []Range {
+	out := make([]Range, k)
+	w := r.Width()
+	for i := 0; i < k; i++ {
+		out[i] = Range{
+			Lo: r.Lo + w*uint64(i)/uint64(k),
+			Hi: r.Lo + w*uint64(i+1)/uint64(k),
+		}
+	}
+	return out
+}
+
+// SegmentOf returns the index of the segment containing hash h when the ring
+// is divided into n equal segments.
+func SegmentOf(h uint32, n int) int {
+	return int(uint64(h) * uint64(n) / RingSize)
+}

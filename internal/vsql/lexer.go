@@ -1,0 +1,140 @@
+// Package vsql implements the SQL dialect the engine speaks: the statements
+// the connector generates (hash-range SELECTs pinned AT EPOCH, the S2V
+// status-table UPDATEs, COPY, transactional control) plus enough DDL/DML/query
+// surface for the examples and the baselines (CREATE/DROP/ALTER TABLE,
+// views, INSERT/UPDATE/DELETE, aggregates, GROUP BY, a two-table equi-join,
+// and Vertica-style UDx calls with USING PARAMETERS).
+package vsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers are kept verbatim; upper() for keyword checks
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			seenDot, seenExp := false, false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch >= '0' && ch <= '9' {
+					l.pos++
+				} else if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					l.pos++
+				} else if (ch == 'e' || ch == 'E') && !seenExp && l.pos > start {
+					seenExp = true
+					l.pos++
+					if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+						l.pos++
+					}
+				} else {
+					break
+				}
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("vsql: unterminated string literal at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				l.toks = append(l.toks, token{kind: tokOp, text: two, pos: start})
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '.', ';':
+				l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("vsql: unexpected character %q at %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

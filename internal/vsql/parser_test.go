@@ -1,0 +1,328 @@
+package vsql
+
+import (
+	"testing"
+
+	"vsfabric/internal/expr"
+	"vsfabric/internal/types"
+)
+
+func parseSelect(t *testing.T, sql string) *Select {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *Select", sql, st)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := parseSelect(t, "SELECT a, b FROM t WHERE a > 5 LIMIT 10")
+	if len(sel.Items) != 2 || sel.From.Name != "t" || sel.Limit != 10 {
+		t.Errorf("bad parse: %+v", sel)
+	}
+	if sel.Where == nil {
+		t.Error("WHERE not parsed")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t")
+	if !sel.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseAtEpoch(t *testing.T) {
+	sel := parseSelect(t, "AT EPOCH 42 SELECT * FROM t")
+	if sel.AtEpoch == nil || sel.AtEpoch.N != 42 || sel.AtEpoch.Latest {
+		t.Errorf("AT EPOCH parse: %+v", sel.AtEpoch)
+	}
+	sel = parseSelect(t, "AT EPOCH LATEST SELECT * FROM t")
+	if sel.AtEpoch == nil || !sel.AtEpoch.Latest {
+		t.Errorf("AT EPOCH LATEST parse: %+v", sel.AtEpoch)
+	}
+}
+
+// The exact query shape V2S generates (§3.1.2).
+func TestParseV2SPartitionQuery(t *testing.T) {
+	sql := "AT EPOCH 7 SELECT c0, c1 FROM d1 WHERE HASH(c0) >= 1073741824 AND HASH(c0) < 2147483648"
+	sel := parseSelect(t, sql)
+	and, ok := sel.Where.(*expr.And)
+	if !ok {
+		t.Fatalf("WHERE is %T", sel.Where)
+	}
+	ge := and.L.(*expr.Cmp)
+	if _, ok := ge.L.(*expr.HashFn); !ok {
+		t.Error("left side of range predicate should be HASH()")
+	}
+	if ge.Op != expr.GE {
+		t.Error("expected >=")
+	}
+}
+
+func TestParseSyntheticHash(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM v WHERE MOD(HASH(*), 8) = 3")
+	cmp, ok := sel.Where.(*expr.Cmp)
+	if !ok {
+		t.Fatalf("WHERE is %T", sel.Where)
+	}
+	mod, ok := cmp.L.(*expr.ModFn)
+	if !ok {
+		t.Fatalf("left is %T, want ModFn", cmp.L)
+	}
+	h, ok := mod.X.(*expr.HashFn)
+	if !ok || len(h.Args) != 0 {
+		t.Error("MOD arg should be HASH(*)")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t")
+	if len(sel.Items) != 5 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[0].Agg != AggCount || sel.Items[0].Arg != nil {
+		t.Error("COUNT(*) not parsed")
+	}
+	if sel.Items[1].Agg != AggSum || sel.Items[1].Arg == nil {
+		t.Error("SUM(x) not parsed")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	sel := parseSelect(t, "SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != "k" {
+		t.Errorf("GroupBy = %v", sel.GroupBy)
+	}
+	if sel.Items[1].Alias != "n" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	sel := parseSelect(t, "SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k WHERE a.x > 0")
+	if sel.Join == nil {
+		t.Fatal("join not parsed")
+	}
+	if sel.From.Alias != "a" || sel.Join.Right.Alias != "b" {
+		t.Errorf("aliases: %q %q", sel.From.Alias, sel.Join.Right.Alias)
+	}
+	if sel.Join.LeftCol != "a.k" || sel.Join.RightCol != "b.k" {
+		t.Errorf("on: %q = %q", sel.Join.LeftCol, sel.Join.RightCol)
+	}
+}
+
+// Vertica UDx invocation with USING PARAMETERS, §3.3's PMMLPredict example.
+func TestParseUDxWithParameters(t *testing.T) {
+	sql := "SELECT PMMLPredict(sepal_length, sepal_width USING PARAMETERS model_name='regression') FROM IrisTable"
+	sel := parseSelect(t, sql)
+	fc, ok := sel.Items[0].Expr.(*expr.FuncCall)
+	if !ok {
+		t.Fatalf("item is %T", sel.Items[0].Expr)
+	}
+	if fc.Name != "PMMLPREDICT" || len(fc.Args) != 2 {
+		t.Errorf("call: %s(%d args)", fc.Name, len(fc.Args))
+	}
+	if fc.Params["model_name"] != "regression" {
+		t.Errorf("params = %v", fc.Params)
+	}
+}
+
+func TestParseFromlessSelect(t *testing.T) {
+	sel := parseSelect(t, "SELECT LAST_EPOCH()")
+	if sel.From != nil {
+		t.Error("FROM should be nil")
+	}
+	if _, ok := sel.Items[0].Expr.(*expr.FuncCall); !ok {
+		t.Error("LAST_EPOCH() should parse as FuncCall")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE d1 (id INTEGER, x FLOAT, s VARCHAR(80), ok BOOLEAN) SEGMENTED BY HASH(id) ALL NODES KSAFE 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if ct.Name != "d1" || len(ct.Cols) != 4 || ct.Cols[2].Type != types.Varchar {
+		t.Errorf("create: %+v", ct)
+	}
+	if len(ct.SegCols) != 1 || ct.SegCols[0] != "id" || ct.KSafety != 1 {
+		t.Errorf("segmentation: %+v", ct)
+	}
+}
+
+func TestParseCreateTempTableLike(t *testing.T) {
+	st, err := Parse("CREATE TEMP TABLE staging LIKE target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if !ct.Temp || ct.Like != "target" {
+		t.Errorf("create like: %+v", ct)
+	}
+}
+
+func TestParseUnsegmented(t *testing.T) {
+	st, err := Parse("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.(*CreateTable).Unsegmented {
+		t.Error("UNSEGMENTED not parsed")
+	}
+}
+
+func TestParseDropAndAlter(t *testing.T) {
+	st, err := Parse("DROP TABLE IF EXISTS t")
+	if err != nil || !st.(*DropTable).IfExists {
+		t.Errorf("drop: %v %v", st, err)
+	}
+	st, err = Parse("ALTER TABLE a RENAME TO b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := st.(*AlterRename)
+	if ar.Name != "a" || ar.NewName != "b" {
+		t.Errorf("alter: %+v", ar)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Cols) != 2 {
+		t.Errorf("insert: %+v", ins)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st, err := Parse("UPDATE s2v_status SET done = TRUE WHERE task_id = 3 AND done = FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*Update)
+	if up.Table != "s2v_status" || len(up.Set) != 1 || up.Where == nil {
+		t.Errorf("update: %+v", up)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st, err := Parse("DELETE FROM t WHERE a < 0")
+	if err != nil || st.(*Delete).Where == nil {
+		t.Errorf("delete: %v %v", st, err)
+	}
+}
+
+func TestParseCopy(t *testing.T) {
+	st, err := Parse("COPY target FROM STDIN FORMAT AVRO DIRECT REJECTMAX 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := st.(*Copy)
+	if !cp.FromStdin || cp.Format != CopyAvro || !cp.Direct || cp.RejectMax != 100 {
+		t.Errorf("copy: %+v", cp)
+	}
+	st, err = Parse("COPY t FROM LOCAL '/data/part1.csv' FORMAT CSV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = st.(*Copy)
+	if cp.FromPath != "/data/part1.csv" || cp.Format != CopyCSV {
+		t.Errorf("copy file: %+v", cp)
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	st, err := Parse("CREATE VIEW v AS SELECT k, COUNT(*) FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if cv.Name != "v" || cv.Stmt == nil {
+		t.Errorf("view: %+v", cv)
+	}
+	if cv.SelectSQL != "SELECT k, COUNT(*) FROM t GROUP BY k" {
+		t.Errorf("view SQL = %q", cv.SelectSQL)
+	}
+}
+
+func TestParseTxnControl(t *testing.T) {
+	for sql, want := range map[string]string{
+		"BEGIN": "*vsql.Begin", "COMMIT": "*vsql.Commit", "ROLLBACK": "*vsql.Rollback", "ABORT": "*vsql.Rollback",
+	} {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := typeName(st); got != want {
+			t.Errorf("%s -> %s, want %s", sql, got, want)
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *Begin:
+		return "*vsql.Begin"
+	case *Commit:
+		return "*vsql.Commit"
+	case *Rollback:
+		return "*vsql.Rollback"
+	default:
+		return "?"
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "SELEC * FROM t", "SELECT FROM t", "SELECT * FROM", "CREATE TABLE",
+		"INSERT INTO t VALUES", "COPY t FROM", "SELECT * FROM t WHERE",
+		"SELECT 'unterminated FROM t", "SELECT SUM(*) FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t WHERE name = 'o''brien'")
+	cmp := sel.Where.(*expr.Cmp)
+	lit := cmp.R.(*expr.Lit)
+	if lit.V.S != "o'brien" {
+		t.Errorf("escaped string = %q", lit.V.S)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT * -- load everything\nFROM t")
+	if sel.From.Name != "t" {
+		t.Error("comment handling broken")
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t WHERE x > 1.5e-3 AND a = -2")
+	if sel.Where == nil {
+		t.Fatal("where nil")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t;"); err != nil {
+		t.Errorf("trailing semicolon should parse: %v", err)
+	}
+	if _, err := Parse("SELECT * FROM t; SELECT 1"); err == nil {
+		t.Error("two statements should fail")
+	}
+}
