@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# The full verification gate: what CI (and every PR) must keep green.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -3,6 +3,12 @@
 // AFTER committing (the subtle §2.2.2 case), speculative duplicate tasks
 // running side effects twice, and total Spark failure — all without partial
 // or duplicate data in the target table.
+//
+// The Spark-side failures come from spark.FailureInjector; the Vertica-side
+// ones (a node crashing under an in-flight COPY, the driver's connection
+// dying at a phase boundary) come from its database twin,
+// resilience.ChaosConnector, with the resilient connection layer doing the
+// recovering.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"vsfabric/internal/client"
 	"vsfabric/internal/core"
+	"vsfabric/internal/resilience"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
 	"vsfabric/internal/vertica"
@@ -32,53 +39,79 @@ func main() {
 	scenarios := []struct {
 		name  string
 		setup func(inj *spark.FailureInjector)
+		chaos func(ch *resilience.ChaosConnector, cl *vertica.Cluster)
 		fatal bool // the whole job is expected to fail
 	}{
-		{"clean run (no failures)", func(*spark.FailureInjector) {}, false},
+		{"clean run (no failures)", func(*spark.FailureInjector) {}, nil, false},
 		{"two tasks die mid-COPY and retry", func(inj *spark.FailureInjector) {
 			inj.FailTaskAt(-1, 0, "s2v.phase1.before_copy", 2)
-		}, false},
+		}, nil, false},
 		{"a task dies immediately AFTER its commit (the subtle duplication case)", func(inj *spark.FailureInjector) {
 			inj.FailTaskAt(2, 0, "s2v.phase1.after_commit", 1)
-		}, false},
+		}, nil, false},
 		{"speculative duplicates of two tasks run their side effects for real", func(inj *spark.FailureInjector) {
 			inj.Speculate(0)
 			inj.Speculate(5)
-		}, false},
+		}, nil, false},
 		{"the last committer dies after the final commit; its retry must not re-commit", func(inj *spark.FailureInjector) {
 			inj.FailTaskAt(-1, -1, "s2v.phase5.after_commit", 1)
-		}, false},
+		}, nil, false},
+		{"a Vertica node crashes under an in-flight COPY; tasks fail over to live nodes", nil,
+			func(ch *resilience.ChaosConnector, cl *vertica.Cluster) {
+				ch.KillNodeOnStatement(cl.Node(2).Addr, "COPY", cl.Node(2), 1)
+			}, false},
+		{"the driver's connection drops at the commit phase boundary and reconnects", nil,
+			func(ch *resilience.ChaosConnector, cl *vertica.Cluster) {
+				ch.DropOnStatement("", "SELECT status, failed_rows_percent", 1)
+			}, false},
+		{"two COPY streams are severed mid-flight by the network", nil,
+			func(ch *resilience.ChaosConnector, cl *vertica.Cluster) {
+				ch.SeverCopyAfter("", 512, 2)
+			}, false},
 		{"total Spark failure mid-job: target untouched, job recorded FAILED", func(inj *spark.FailureInjector) {
 			// Kill while task 1's phase-1 transaction is still open, so its
 			// done flag never commits and the job provably cannot finish.
 			// (A kill landing after every phase-1 commit can race with the
 			// last committer and the save may legitimately complete.)
 			inj.KillJobAt(1, "s2v.phase1.after_copy")
-		}, true},
+		}, nil, true},
 	}
 
 	for i, sce := range scenarios {
-		cluster, err := vertica.NewCluster(vertica.Config{Nodes: 4})
+		// KSafety 1 gives every segmented table buddy projections, so data
+		// written before a node crash stays readable — the setting the
+		// paper's fault-tolerance story presumes (§4.1).
+		cluster, err := vertica.NewCluster(vertica.Config{Nodes: 4, KSafety: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
 		inj := spark.NewFailureInjector()
-		sce.setup(inj)
+		if sce.setup != nil {
+			sce.setup(inj)
+		}
+		chaos := resilience.NewChaos(client.InProc(cluster))
+		if sce.chaos != nil {
+			sce.chaos(chaos, cluster)
+		}
 		sc := spark.NewContext(spark.Conf{
 			NumExecutors: 4, CoresPerExecutor: 4,
 			Speculation: true, Injector: inj,
 		})
-		core.NewDefaultSource(client.InProc(cluster)).Register()
+		core.NewDefaultSource(chaos).Register()
 		df := spark.CreateDataFrame(sc, schema, rows, 8)
 		jobName := fmt.Sprintf("demo_job_%d", i)
 		err = df.Write().Format(core.DefaultSourceName).Options(map[string]string{
 			"host": cluster.Node(0).Addr, "table": "target",
 			"numPartitions": "8", "jobname": jobName,
+			"retry_attempts": "5", "retry_backoff_ms": "2",
 		}).Mode(spark.SaveOverwrite).Save()
 
 		fmt.Printf("== %s\n", sce.name)
 		if len(inj.Log()) > 0 {
 			fmt.Printf("   injected: %v\n", inj.Log())
+		}
+		if len(chaos.Log()) > 0 {
+			fmt.Printf("   chaos: %v\n", chaos.Log())
 		}
 		sess, cerr := cluster.Connect(0)
 		if cerr != nil {

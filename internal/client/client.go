@@ -75,8 +75,22 @@ func NewCopyStream(conn Conn, sql string) *CopyStream {
 	return cs
 }
 
-// Write feeds encoded bytes to the load.
-func (cs *CopyStream) Write(p []byte) (int, error) { return cs.pw.Write(p) }
+// Write feeds encoded bytes to the load. When the server stops reading early
+// the pipe fails with io.ErrClosedPipe; Write waits for the load goroutine to
+// finish and surfaces its root cause (the server's actual rejection error)
+// instead, so callers never have to guess why the stream closed under them.
+func (cs *CopyStream) Write(p []byte) (int, error) {
+	n, err := cs.pw.Write(p)
+	if err != nil {
+		// The read side only closes after CopyFrom returned (just before done
+		// closes), so waiting here is deadlock-free and makes cs.err visible.
+		<-cs.done
+		if cs.err != nil {
+			return n, cs.err
+		}
+	}
+	return n, err
+}
 
 // Finish signals end of data and waits for the load to complete.
 func (cs *CopyStream) Finish() (*vertica.Result, error) {
@@ -85,8 +99,11 @@ func (cs *CopyStream) Finish() (*vertica.Result, error) {
 	return cs.res, cs.err
 }
 
-// Abort cancels the load.
-func (cs *CopyStream) Abort(err error) {
+// Abort cancels the load and returns the load's root-cause error: the
+// server-side failure if the load already failed on its own, otherwise the
+// server's reaction to the cancellation.
+func (cs *CopyStream) Abort(err error) error {
 	_ = cs.pw.CloseWithError(err)
 	<-cs.done
+	return cs.err
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -85,6 +86,38 @@ func TestCopyStreamAbort(t *testing.T) {
 	}
 	if res.Rows[0][0].I != 0 {
 		t.Errorf("aborted copy loaded %v rows", res.Rows[0][0])
+	}
+}
+
+// TestCopyStreamRootCause: when the server kills the load mid-stream, Write
+// and Abort must surface the server's actual rejection, never the bare
+// io.ErrClosedPipe the plumbing produces.
+func TestCopyStreamRootCause(t *testing.T) {
+	c := cluster(t)
+	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cs := NewCopyStream(conn, "COPY missing FROM STDIN FORMAT CSV")
+	var werr error
+	// The rejection lands asynchronously; keep feeding until the pipe breaks.
+	// The loop is bounded by the pipe closing, not by timing.
+	for i := 0; i < 1_000_000 && werr == nil; i++ {
+		_, werr = cs.Write([]byte("1\n"))
+	}
+	if werr == nil {
+		t.Fatal("writes into a rejected COPY should eventually fail")
+	}
+	if errors.Is(werr, io.ErrClosedPipe) {
+		t.Fatalf("Write returned the plumbing error, not the root cause: %v", werr)
+	}
+	if !strings.Contains(werr.Error(), `"missing" does not exist`) {
+		t.Fatalf("Write err = %v, want the server's rejection", werr)
+	}
+	aerr := cs.Abort(errors.New("client gave up"))
+	if aerr == nil || !strings.Contains(aerr.Error(), `"missing" does not exist`) {
+		t.Fatalf("Abort err = %v, want the server's rejection as root cause", aerr)
 	}
 }
 

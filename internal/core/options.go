@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
+
+	"vsfabric/internal/resilience"
 )
 
 // DefaultSourceName is the format name the connector registers under,
@@ -49,6 +52,11 @@ type Options struct {
 	// CopyFormat selects the S2V task encoding: "avro" (default, §3.2.2) or
 	// "csv" — the encoding ablation. Option: copy_format.
 	CopyFormat string
+	// Retry configures the resilience layer every connector connection goes
+	// through: failover attempts, backoff, circuit breakers, per-operation
+	// deadlines. The zero value uses resilience defaults. Options:
+	// retry_attempts, retry_backoff_ms, op_timeout_ms.
+	Retry resilience.Policy
 }
 
 // ParseOptions validates and extracts connector options.
@@ -95,6 +103,27 @@ func ParseOptions(m map[string]string) (Options, error) {
 		o.CopyFormat = "csv"
 	default:
 		return o, fmt.Errorf("core: bad copy_format %q (want avro or csv)", cf)
+	}
+	if v := get("retry_attempts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return o, fmt.Errorf("core: bad retry_attempts %q", v)
+		}
+		o.Retry.MaxAttempts = n
+	}
+	if v := get("retry_backoff_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return o, fmt.Errorf("core: bad retry_backoff_ms %q", v)
+		}
+		o.Retry.BaseBackoff = time.Duration(n) * time.Millisecond
+	}
+	if v := get("op_timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return o, fmt.Errorf("core: bad op_timeout_ms %q", v)
+		}
+		o.Retry.OpTimeout = time.Duration(n) * time.Millisecond
 	}
 	if v := get("failedrowspercenttolerance"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)

@@ -7,6 +7,7 @@ import (
 
 	"vsfabric/internal/avro"
 	"vsfabric/internal/client"
+	"vsfabric/internal/resilience"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
@@ -25,8 +26,11 @@ var ErrToleranceExceeded = errors.New("core: rejected rows exceed failedRowsPerc
 // s2vWriter runs one S2V job (§3.2).
 type s2vWriter struct {
 	pool client.Connector
-	opts Options
-	mode spark.SaveMode
+	// rpool wraps pool with failover/backoff; built once per run, its host
+	// set is installed after setup discovers the cluster layout.
+	rpool *resilience.ResilientConnector
+	opts  Options
+	mode  spark.SaveMode
 
 	staging   string
 	status    string
@@ -47,19 +51,23 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	trace := sc.Conf().Trace
 	setupRec := trace.Task("driver-00-setup", "")
 
-	conn, err := w.pool.Connect(w.opts.Host)
-	if err != nil {
-		return err
-	}
+	w.rpool = resilience.NewResilient(w.pool, nil, w.opts.Retry)
+	// The driver connection is self-healing: a connection dropped at a phase
+	// boundary (between statements) is re-dialed — failing over to another
+	// node — and the statement retried. Every driver statement is autocommit
+	// and either idempotent or guarded (DROP IF EXISTS, conditional UPDATE),
+	// so a retry after a pre-execution drop cannot double-apply.
+	conn := resilience.NewDriverConn(w.rpool, w.opts.Host)
 	defer conn.Close()
 	conn.SetRecorder(setupRec, "driver")
 	setupRec.Fixed(sim.FixedConnect)
 
 	if w.opts.NumPartitions > 0 {
-		df, err = df.Repartition(w.opts.NumPartitions)
+		rep, err := df.Repartition(w.opts.NumPartitions)
 		if err != nil {
 			return err
 		}
+		df = rep
 	}
 	rdd, err := df.RDD()
 	if err != nil {
@@ -182,6 +190,8 @@ func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
 		return err
 	}
 	w.addrs = lay.addrs
+	// From here on, task and driver reconnects can fail over cluster-wide.
+	w.rpool.SetHosts(w.addrs)
 	return nil
 }
 
@@ -194,9 +204,11 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 		return rep, err
 	}
 	// Balance connections across the cluster; retries shift to another node
-	// so a single bad node cannot wedge a task.
+	// so a single bad node cannot wedge a task. The resilient pool adds
+	// connect-level failover underneath: a refused or down node costs a
+	// backoff, not a whole task attempt.
 	addr := w.addrs[(p+tc.Attempt)%len(w.addrs)]
-	conn, err := w.pool.Connect(addr)
+	conn, err := w.rpool.Connect(addr)
 	if err != nil {
 		return rep, err
 	}
@@ -361,7 +373,11 @@ func (w *s2vWriter) phase1(tc *spark.TaskContext, conn client.Conn, p int, rows 
 	cs := client.NewCopyStream(conn, fmt.Sprintf(
 		"COPY %s FROM STDIN FORMAT %s DIRECT REJECTMAX %d", w.staging, format, int64(1)<<40))
 	if err := w.encodeRows(cs, rows); err != nil {
-		cs.Abort(err)
+		// Abort reports the load's root cause (e.g. the server severing the
+		// stream) which subsumes the local write error.
+		if rootErr := cs.Abort(err); rootErr != nil {
+			return rootErr
+		}
 		return err
 	}
 	cres, err := cs.Finish()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/resilience"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
@@ -30,14 +31,18 @@ type querySpec struct {
 // locality, and COUNT pushdown.
 type v2sRelation struct {
 	sc      *spark.Context
-	pool    client.Connector
+	pool    *resilience.ResilientConnector
 	opts    Options
 	lay     *clusterLayout
 	segExpr string
 }
 
 func newV2SRelation(sc *spark.Context, pool client.Connector, opts Options) (*v2sRelation, error) {
-	conn, err := pool.Connect(opts.Host)
+	// All connections — driver discovery and task scans — go through the
+	// resilient pool; once the layout is known, its host set makes every
+	// connect failover-capable across the whole cluster.
+	rpool := resilience.NewResilient(pool, nil, opts.Retry)
+	conn, err := rpool.Connect(opts.Host)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +51,8 @@ func newV2SRelation(sc *spark.Context, pool client.Connector, opts Options) (*v2
 	if err != nil {
 		return nil, err
 	}
-	r := &v2sRelation{sc: sc, pool: pool, opts: opts, lay: lay}
+	rpool.SetHosts(lay.addrs)
+	r := &v2sRelation{sc: sc, pool: rpool, opts: opts, lay: lay}
 	if lay.segmented {
 		expr, err := segmentationExpr(conn, opts.Table)
 		if err != nil {
@@ -216,12 +222,7 @@ func (r *v2sRelation) specSQL(spec querySpec, cols []string, pushdown string, ep
 // query reads AT this epoch, giving the job one consistent snapshot no
 // matter when (or how often) its tasks run (§3.1.2).
 func (r *v2sRelation) pinEpoch() (uint64, error) {
-	conn, err := r.pool.Connect(r.opts.Host)
-	if err != nil {
-		return 0, err
-	}
-	defer conn.Close()
-	res, err := conn.Execute("SELECT LAST_EPOCH()")
+	res, err := r.pool.Execute(r.opts.Host, "SELECT LAST_EPOCH()", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -267,14 +268,17 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 		}
 		var out []types.Row
 		for _, spec := range specs[p] {
-			conn, err := pool.Connect(spec.addr)
-			if err != nil {
-				return nil, err
-			}
-			conn.SetRecorder(tc.Rec, tc.ExecNode)
-			tc.Rec.Fixed(sim.FixedConnect)
-			res, err := conn.Execute(rel.specSQL(spec, requiredCols, pushdown, epoch, false))
-			conn.Close()
+			// Execute retries the connect+execute pair with failover, so a
+			// node dying mid-scan re-runs this spec's query against the next
+			// host over — where the segment's buddy projection lives
+			// (KSafety ≥ 1) — without burning a whole Spark task retry. The
+			// query is a pinned-epoch read, so re-running it is free of
+			// side effects and returns identical rows.
+			res, err := pool.Execute(spec.addr, rel.specSQL(spec, requiredCols, pushdown, epoch, false),
+				func(conn client.Conn) {
+					conn.SetRecorder(tc.Rec, tc.ExecNode)
+					tc.Rec.Fixed(sim.FixedConnect)
+				})
 			if err != nil {
 				return nil, err
 			}
@@ -302,12 +306,7 @@ func (r *v2sRelation) CountRows(filters []spark.Filter) (int64, error) {
 	total := int64(0)
 	for _, group := range specs {
 		for _, spec := range group {
-			conn, err := r.pool.Connect(spec.addr)
-			if err != nil {
-				return 0, err
-			}
-			res, err := conn.Execute(r.specSQL(spec, nil, pushdown, epoch, true))
-			conn.Close()
+			res, err := r.pool.Execute(spec.addr, r.specSQL(spec, nil, pushdown, epoch, true), nil)
 			if err != nil {
 				return 0, err
 			}

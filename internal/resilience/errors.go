@@ -1,0 +1,132 @@
+// Package resilience is the connection fault layer between the connector and
+// the database: an error taxonomy that separates transient faults from
+// permanent ones, a ChaosConnector that injects scripted database-side
+// failures (the twin of spark.FailureInjector for the other half of the
+// paper's §3.2.1 fault model), and a ResilientConnector that recovers from
+// transient faults with multi-host failover, bounded exponential backoff with
+// jitter, per-node circuit breakers, and per-operation deadlines.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+
+	"vsfabric/internal/vertica"
+)
+
+// Classification sentinels. Errors raised or wrapped by this package are
+// errors.Is-able against exactly one of them; Classify maps foreign errors
+// onto the taxonomy.
+var (
+	// ErrTransient marks faults that may clear on retry: a refused or dropped
+	// connection, a node-down window (a buddy node can serve, or the node
+	// recovers), a full session table, a missed deadline.
+	ErrTransient = errors.New("resilience: transient fault")
+
+	// ErrPermanent marks faults no amount of retrying fixes: SQL errors,
+	// schema mismatches, protocol violations.
+	ErrPermanent = errors.New("resilience: permanent fault")
+)
+
+// Faults injected by ChaosConnector (and raised by real networks).
+var (
+	// ErrConnRefused reports a connection attempt the endpoint rejected.
+	ErrConnRefused = errors.New("resilience: connection refused")
+
+	// ErrConnDropped reports a connection severed mid-use; statements in
+	// flight have unknown outcome, statements not yet sent never ran.
+	ErrConnDropped = errors.New("resilience: connection dropped")
+
+	// ErrDeadline reports an operation that exceeded its deadline.
+	ErrDeadline = fmt.Errorf("resilience: operation deadline exceeded: %w", os.ErrDeadlineExceeded)
+)
+
+// transientErr wraps an error so errors.Is(err, ErrTransient) holds while the
+// original chain stays visible.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+func (e *transientErr) Is(target error) bool {
+	return target == ErrTransient
+}
+
+// permanentErr is the same for ErrPermanent.
+type permanentErr struct{ err error }
+
+func (e *permanentErr) Error() string { return e.err.Error() }
+func (e *permanentErr) Unwrap() error { return e.err }
+func (e *permanentErr) Is(target error) bool {
+	return target == ErrPermanent
+}
+
+// Transient marks err as retryable. Marking nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// Permanent marks err as not retryable. Marking nil returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentErr{err: err}
+}
+
+// IsTransient reports whether err is worth retrying (possibly on another
+// node). Explicit marks win; otherwise well-known transient conditions from
+// the database, the chaos layer, and the OS network stack are recognised.
+// Unrecognised errors default to permanent: retrying a SQL error re-runs a
+// statement that will fail identically.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrPermanent) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	switch {
+	case errors.Is(err, vertica.ErrNodeDown),
+		errors.Is(err, vertica.ErrSessionLimit),
+		errors.Is(err, ErrConnRefused),
+		errors.Is(err, ErrConnDropped),
+		errors.Is(err, os.ErrDeadlineExceeded),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	// A remote read that ended at EOF means the peer hung up mid-response.
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	return false
+}
+
+// Classify returns the taxonomy sentinel for err: ErrTransient, ErrPermanent,
+// or nil for nil.
+func Classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if IsTransient(err) {
+		return ErrTransient
+	}
+	return ErrPermanent
+}

@@ -1,0 +1,436 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/sim"
+	"vsfabric/internal/vertica"
+)
+
+// Policy bounds how hard the resilient layer tries before giving up.
+// The zero value means "use the defaults" everywhere.
+type Policy struct {
+	// MaxAttempts is the total connect (or connect+execute) attempts per
+	// operation, counting the first. Default 4.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff. Default 2ms (the substrate is in-process;
+	// real deployments raise both).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 100ms.
+	MaxBackoff time.Duration
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of itself so
+	// synchronized retries de-correlate. Default 0.2.
+	JitterFrac float64
+	// BreakerThreshold is how many consecutive connect failures open a node's
+	// circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker diverts traffic away from a
+	// node before a trial connection is allowed again. Default 250ms.
+	BreakerCooldown time.Duration
+	// OpTimeout is the per-operation deadline applied to every Execute and
+	// CopyFrom on connections this layer hands out; 0 disables it.
+	OpTimeout time.Duration
+	// Seed seeds the jitter source, keeping retry schedules reproducible.
+	Seed int64
+}
+
+// DefaultPolicy returns the defaults spelled out on Policy.
+func DefaultPolicy() Policy { return Policy{}.withDefaults() }
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 250 * time.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// breakerState is one node's circuit breaker: consecutive connect failures
+// trip it open; while open, candidate selection routes around the node until
+// the cooldown passes, then one trial attempt half-opens it.
+type breakerState struct {
+	consecutive int
+	openUntil   time.Time
+}
+
+// ResilientConnector is a client.Connector that recovers from transient
+// faults: connection attempts retry with exponential backoff + jitter and
+// fail over across the cluster's node addresses, per-node circuit breakers
+// keep retries away from nodes that just failed, and handed-out connections
+// enforce the policy's per-operation deadline. Permanent errors (SQL errors,
+// schema mismatches) pass through untouched on the first attempt.
+type ResilientConnector struct {
+	inner client.Connector
+	pol   Policy
+	sleep func(time.Duration)
+	now   func() time.Time
+
+	mu       sync.Mutex
+	hosts    []string
+	rng      *rand.Rand
+	breakers map[string]*breakerState
+}
+
+// NewResilient wraps inner. hosts is the failover set (typically the
+// cluster's node addresses, discoverable only after a first connection — see
+// SetHosts); nil means "retry the requested address only".
+func NewResilient(inner client.Connector, hosts []string, pol Policy) *ResilientConnector {
+	pol = pol.withDefaults()
+	return &ResilientConnector{
+		inner:    inner,
+		pol:      pol,
+		sleep:    time.Sleep,
+		now:      time.Now,
+		hosts:    append([]string(nil), hosts...),
+		rng:      rand.New(rand.NewSource(pol.Seed)),
+		breakers: make(map[string]*breakerState),
+	}
+}
+
+// SetSleep and SetClock replace the timing sources (tests use fakes so no
+// real time passes).
+func (r *ResilientConnector) SetSleep(f func(time.Duration)) { r.sleep = f }
+func (r *ResilientConnector) SetClock(f func() time.Time)    { r.now = f }
+
+// Policy returns the effective (defaulted) policy.
+func (r *ResilientConnector) Policy() Policy { return r.pol }
+
+// SetHosts installs the failover set once the cluster layout is known.
+func (r *ResilientConnector) SetHosts(hosts []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hosts = append(r.hosts[:0], hosts...)
+}
+
+// candidates returns the failover order for a requested address: the address
+// itself, then the other hosts cyclically from its position — so node i's
+// traffic fails over to node i+1 first, which is where its buddy projection
+// lives (buddy r of segment i is on node i+r+1 mod n).
+func (r *ResilientConnector) candidates(addr string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := []string{addr}
+	at := -1
+	for i, h := range r.hosts {
+		if h == addr {
+			at = i
+			break
+		}
+	}
+	for i := 1; i < len(r.hosts); i++ {
+		h := r.hosts[(at+i+len(r.hosts))%len(r.hosts)]
+		if h != addr {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// pick chooses the attempt's host: the preferred rotation position unless its
+// breaker is open, in which case the first closed-breaker candidate wins; if
+// every breaker is open, the rotation position is used anyway (a trial).
+func (r *ResilientConnector) pick(cands []string, attempt int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	for i := 0; i < len(cands); i++ {
+		h := cands[(attempt+i)%len(cands)]
+		b := r.breakers[h]
+		if b == nil || now.After(b.openUntil) || now.Equal(b.openUntil) {
+			return h
+		}
+	}
+	return cands[attempt%len(cands)]
+}
+
+func (r *ResilientConnector) noteFailure(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[host]
+	if b == nil {
+		b = &breakerState{}
+		r.breakers[host] = b
+	}
+	b.consecutive++
+	if b.consecutive >= r.pol.BreakerThreshold {
+		b.openUntil = r.now().Add(r.pol.BreakerCooldown)
+	}
+}
+
+func (r *ResilientConnector) noteSuccess(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b := r.breakers[host]; b != nil {
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+	}
+}
+
+// BreakerOpen reports whether host's breaker is currently open (for tests
+// and observability).
+func (r *ResilientConnector) BreakerOpen(host string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[host]
+	return b != nil && r.now().Before(b.openUntil)
+}
+
+// backoff computes the jittered delay before attempt+1.
+func (r *ResilientConnector) backoff(attempt int) time.Duration {
+	d := r.pol.BaseBackoff << uint(attempt)
+	if d > r.pol.MaxBackoff || d <= 0 {
+		d = r.pol.MaxBackoff
+	}
+	r.mu.Lock()
+	f := 1 - r.pol.JitterFrac + 2*r.pol.JitterFrac*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Connect implements client.Connector: it dials addr, failing over across
+// the host set with backoff on transient errors. The returned connection
+// enforces the policy's per-operation deadline.
+func (r *ResilientConnector) Connect(addr string) (client.Conn, error) {
+	cands := r.candidates(addr)
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(r.backoff(attempt - 1))
+		}
+		host := r.pick(cands, attempt)
+		conn, err := r.inner.Connect(host)
+		if err == nil {
+			r.noteSuccess(host)
+			if r.pol.OpTimeout > 0 {
+				return &deadlineConn{inner: conn, d: r.pol.OpTimeout}, nil
+			}
+			return conn, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		r.noteFailure(host)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("resilience: connect to %s failed after %d attempts: %w", addr, r.pol.MaxAttempts, lastErr)
+}
+
+// Execute connects (with failover) and runs one statement, retrying the
+// whole connect+execute pair on transient failures — so a node dying after
+// the session was established (mid-scan) still fails over. Use only for
+// idempotent statements (reads, conditional updates): a connection dropped
+// mid-statement leaves the outcome unknown, and this helper will run the
+// statement again. setup, if non-nil, is applied to each fresh connection
+// before the statement (recorders etc.).
+func (r *ResilientConnector) Execute(addr, sql string, setup func(client.Conn)) (*vertica.Result, error) {
+	cands := r.candidates(addr)
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(r.backoff(attempt - 1))
+		}
+		// Rotate the preferred host per attempt: a node that accepts the
+		// connection but keeps failing statements (dying mid-scan) must not
+		// monopolize the retry budget.
+		conn, err := r.Connect(cands[attempt%len(cands)])
+		if err != nil {
+			if !IsTransient(err) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if setup != nil {
+			setup(conn)
+		}
+		res, err := conn.Execute(sql)
+		conn.Close()
+		if err == nil {
+			return res, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("resilience: statement failed after %d attempts: %w", r.pol.MaxAttempts, lastErr)
+}
+
+// deadlineConn bounds every operation on a connection by a deadline. A timed-
+// out operation abandons the connection: the caller gets ErrDeadline at the
+// deadline, and the underlying session is closed (aborting its transaction)
+// as soon as the hung operation eventually drains — sessions are not safe for
+// concurrent use, so the close must not race the in-flight call.
+type deadlineConn struct {
+	inner client.Conn
+	d     time.Duration
+	hung  bool
+}
+
+type opResult struct {
+	res *vertica.Result
+	err error
+}
+
+func (c *deadlineConn) call(op func() (*vertica.Result, error)) (*vertica.Result, error) {
+	if c.hung {
+		return nil, Transient(fmt.Errorf("%w: connection abandoned after earlier timeout", ErrConnDropped))
+	}
+	ch := make(chan opResult, 1)
+	go func() {
+		res, err := op()
+		ch <- opResult{res, err}
+	}()
+	t := time.NewTimer(c.d)
+	defer t.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-t.C:
+		c.hung = true
+		go func() {
+			<-ch
+			c.inner.Close()
+		}()
+		return nil, Transient(fmt.Errorf("operation exceeded %v: %w", c.d, ErrDeadline))
+	}
+}
+
+func (c *deadlineConn) Execute(sql string) (*vertica.Result, error) {
+	return c.call(func() (*vertica.Result, error) { return c.inner.Execute(sql) })
+}
+
+func (c *deadlineConn) CopyFrom(sql string, rd io.Reader) (*vertica.Result, error) {
+	return c.call(func() (*vertica.Result, error) { return c.inner.CopyFrom(sql, rd) })
+}
+
+func (c *deadlineConn) SetRecorder(rec *sim.TaskRec, clientNode string) {
+	c.inner.SetRecorder(rec, clientNode)
+}
+
+func (c *deadlineConn) Close() {
+	if !c.hung {
+		c.inner.Close()
+	}
+}
+
+// DriverConn is a self-healing client.Conn for driver-side control work: when
+// a statement fails because the connection died before it ran (refused,
+// dropped between statements, node-down), the session is re-established —
+// failing over to another host — and the statement retried. It carries no
+// session state across reconnects, so it must not be used for multi-statement
+// transactions; the S2V driver's statements are all autocommit and either
+// idempotent or guarded by conditional updates, which is exactly the contract
+// this type needs.
+type DriverConn struct {
+	pool *ResilientConnector
+	addr string
+	conn client.Conn
+
+	rec     *sim.TaskRec
+	recNode string
+}
+
+// NewDriverConn returns a driver connection over the pool; the first
+// statement dials lazily.
+func NewDriverConn(pool *ResilientConnector, addr string) *DriverConn {
+	return &DriverConn{pool: pool, addr: addr}
+}
+
+func (d *DriverConn) ensure() (client.Conn, error) {
+	if d.conn != nil {
+		return d.conn, nil
+	}
+	conn, err := d.pool.Connect(d.addr)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetRecorder(d.rec, d.recNode)
+	d.conn = conn
+	return conn, nil
+}
+
+func (d *DriverConn) drop() {
+	if d.conn != nil {
+		d.conn.Close()
+		d.conn = nil
+	}
+}
+
+// Execute implements client.Conn.
+func (d *DriverConn) Execute(sql string) (*vertica.Result, error) {
+	pol := d.pool.Policy()
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d.pool.sleep(d.pool.backoff(attempt - 1))
+		}
+		conn, err := d.ensure()
+		if err != nil {
+			if !IsTransient(err) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		res, err := conn.Execute(sql)
+		if err == nil {
+			return res, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		d.drop()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("resilience: driver statement failed after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
+// CopyFrom implements client.Conn. The data stream is not replayable, so only
+// the connection is established resiliently; a mid-copy fault surfaces to the
+// caller.
+func (d *DriverConn) CopyFrom(sql string, rd io.Reader) (*vertica.Result, error) {
+	conn, err := d.ensure()
+	if err != nil {
+		return nil, err
+	}
+	res, err := conn.CopyFrom(sql, rd)
+	if err != nil && IsTransient(err) {
+		d.drop()
+	}
+	return res, err
+}
+
+// SetRecorder implements client.Conn.
+func (d *DriverConn) SetRecorder(rec *sim.TaskRec, clientNode string) {
+	d.rec, d.recNode = rec, clientNode
+	if d.conn != nil {
+		d.conn.SetRecorder(rec, clientNode)
+	}
+}
+
+// Close implements client.Conn.
+func (d *DriverConn) Close() { d.drop() }

@@ -1,0 +1,154 @@
+// Randomized, seeded, deterministic chaos soak over the full S2V path.
+//
+// This lives in an external test package so it can import core (which itself
+// imports resilience) without a cycle. Each seed derives a fault script from
+// its own rand.Source, so a failing seed reproduces exactly; the faults are
+// restricted to classes the S2V protocol is designed to survive (connect
+// refusals, connections severed *before* a statement runs, COPY streams cut
+// mid-flight, added latency, node-down windows on non-coordinator nodes).
+// Dropping a connection *after* an unguarded driver bookkeeping INSERT is
+// deliberately excluded: the statement's outcome is ambiguous and blind
+// re-execution is exactly the hole exactly-once semantics does not cover.
+package resilience_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/client"
+	"vsfabric/internal/core"
+	"vsfabric/internal/resilience"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vertica"
+)
+
+const soakSeeds = 6
+
+func TestChaosSoakS2V(t *testing.T) {
+	for seed := int64(1); seed <= soakSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { soakOnce(t, seed) })
+	}
+}
+
+func soakOnce(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cl, err := vertica.NewCluster(vertica.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := resilience.NewChaos(client.InProc(cl))
+	src := core.NewDefaultSource(chaos)
+	src.Register()
+	sc := spark.NewContext(spark.Conf{
+		NumExecutors:     4,
+		CoresPerExecutor: 4,
+		MaxTaskFailures:  8,
+	})
+
+	// Derive this seed's fault script. Every rule is survivable by design;
+	// whether the job survives the *combination* (retry budgets are finite)
+	// is what the soak explores.
+	addrOf := func(i int) string { return cl.Node(i).Addr }
+	anyAddr := func() string { return addrOf(rng.Intn(4)) }
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		chaos.RefuseConnect(anyAddr(), 1+rng.Intn(2))
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		chaos.SeverCopyAfter("", int64(64+rng.Intn(4096)), 1)
+	}
+	stmts := []string{"COPY ", "SELECT COUNT", "CREATE TEMP TABLE", "SELECT status"}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		chaos.DropOnStatement(anyAddr(), stmts[rng.Intn(len(stmts))], 1)
+	}
+	if rng.Intn(2) == 0 {
+		// Node-down windows stay off node 0: final verification reads go
+		// through it, and an unsegmented target is served by any live node
+		// anyway.
+		victim := 1 + rng.Intn(3)
+		start := uint64(2 + rng.Intn(20))
+		chaos.NodeDownWindow(cl.Node(victim), start, start+uint64(3+rng.Intn(6)))
+	}
+
+	const n = 600
+	schema := types.NewSchema(
+		types.Column{Name: "id", T: types.Int64},
+		types.Column{Name: "val", T: types.Float64},
+	)
+	rows := make([]types.Row, n)
+	wantSum := 0.0
+	for i := range rows {
+		rows[i] = types.Row{types.IntValue(int64(i)), types.FloatValue(float64(i) + 0.25)}
+		wantSum += float64(i) + 0.25
+	}
+	df := spark.CreateDataFrame(sc, schema, rows, 6)
+
+	jobName := fmt.Sprintf("soak-%d", seed)
+	err = df.Write().Format(core.DefaultSourceName).Options(map[string]string{
+		"host": addrOf(0), "table": "soak_target", "user": "dbadmin", "password": "",
+		"numPartitions":    "6",
+		"jobname":          jobName,
+		"retry_attempts":   "6",
+		"retry_backoff_ms": "1",
+	}).Mode(spark.SaveOverwrite).Save()
+
+	// Whatever the outcome, no session may leak: every failure path must
+	// have released its slot (severed conns abort their txns server-side).
+	for i := 0; i < cl.NumNodes(); i++ {
+		if open := cl.OpenSessions(i); open != 0 {
+			t.Errorf("node %d leaks %d sessions (chaos log: %v)", i, open, chaos.Log())
+		}
+	}
+
+	s, serr := cl.Connect(0)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	defer s.Close()
+	count := func() (int64, error) {
+		res, err := s.Execute("SELECT COUNT(*) FROM soak_target")
+		if err != nil {
+			return 0, err
+		}
+		v, _ := res.Value()
+		return v.I, nil
+	}
+
+	if err != nil {
+		// A clean failure is acceptable — retry budgets are finite — but it
+		// must be all-or-nothing: the overwrite target must not exist.
+		if _, cerr := count(); cerr == nil {
+			t.Fatalf("job failed (%v) but target table exists — not all-or-nothing; chaos log: %v", err, chaos.Log())
+		}
+		t.Logf("seed %d: clean failure after %d chaos ops: %v", seed, chaos.Ops(), err)
+		return
+	}
+	got, cerr := count()
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if got != n {
+		t.Fatalf("count = %d, want %d (exactly-once violated; chaos log: %v)", got, n, chaos.Log())
+	}
+	res, rerr := s.Execute("SELECT SUM(val) FROM soak_target")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	v, _ := res.Value()
+	if v.AsFloat() != wantSum {
+		t.Fatalf("sum = %v, want %v (chaos log: %v)", v.AsFloat(), wantSum, chaos.Log())
+	}
+	status, rerr := s.Execute(fmt.Sprintf(
+		"SELECT status FROM %s WHERE job_name = '%s'", core.JobStatusTable, jobName))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(status.Rows) != 1 || status.Rows[0][0].S != "SUCCESS" {
+		t.Fatalf("job status rows = %v, want one SUCCESS", status.Rows)
+	}
+	if !strings.Contains(strings.Join(chaos.Log(), " "), "@op") {
+		t.Logf("seed %d: no faults fired (script: %v)", seed, chaos.Log())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 
+	"vsfabric/internal/resilience"
 	"vsfabric/internal/vertica"
 )
 
@@ -41,6 +42,10 @@ type request struct {
 type response struct {
 	Result *vertica.Result `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Transient carries the resilience classification across the wire: the
+	// error itself is flattened to text, but the retry decision it implies
+	// must survive the trip.
+	Transient bool `json:"transient,omitempty"`
 }
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
@@ -212,7 +217,7 @@ func sendResult(w io.Writer, res *vertica.Result) error {
 }
 
 func sendError(w io.Writer, e error) error {
-	payload, _ := json.Marshal(response{Error: e.Error()})
+	payload, _ := json.Marshal(response{Error: e.Error(), Transient: resilience.IsTransient(e)})
 	return writeFrame(w, frameError, payload)
 }
 

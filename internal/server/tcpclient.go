@@ -5,25 +5,59 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/resilience"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
+
+// DefaultDialTimeout bounds connection establishment so a black-holed
+// endpoint cannot wedge a client forever.
+const DefaultDialTimeout = 10 * time.Second
 
 // TCPConn is a client session over the wire protocol; it implements
 // client.Conn so the connector can run against a remote cluster unchanged.
 type TCPConn struct {
 	conn net.Conn
+	// opTimeout bounds each frame write and each response read; 0 = none.
+	opTimeout time.Duration
 }
 
-// Dial opens a session against a node server.
+// Dial opens a session against a node server with DefaultDialTimeout.
 func Dial(addr string) (*TCPConn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout opens a session with an explicit dial timeout (0 = none).
+func DialTimeout(addr string, timeout time.Duration) (*TCPConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	return &TCPConn{conn: c}, nil
+}
+
+// SetOpTimeout bounds every subsequent frame write and response read; a
+// server that stops responding surfaces a timeout (classified transient)
+// instead of hanging the caller.
+func (c *TCPConn) SetOpTimeout(d time.Duration) { c.opTimeout = d }
+
+// arm pushes the I/O deadline forward before each frame, so the timeout
+// bounds a stall, not a whole (possibly long) streamed operation.
+func (c *TCPConn) arm() error {
+	if c.opTimeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+}
+
+func (c *TCPConn) writeFrame(typ byte, payload []byte) error {
+	if err := c.arm(); err != nil {
+		return err
+	}
+	return writeFrame(c.conn, typ, payload)
 }
 
 // Execute implements client.Conn.
@@ -32,7 +66,7 @@ func (c *TCPConn) Execute(sql string) (*vertica.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(c.conn, frameQuery, payload); err != nil {
+	if err := c.writeFrame(frameQuery, payload); err != nil {
 		return nil, err
 	}
 	return c.readResponse()
@@ -44,14 +78,14 @@ func (c *TCPConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(c.conn, frameCopy, payload); err != nil {
+	if err := c.writeFrame(frameCopy, payload); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 64<<10)
 	for {
 		n, err := r.Read(buf)
 		if n > 0 {
-			if werr := writeFrame(c.conn, frameCopyData, buf[:n]); werr != nil {
+			if werr := c.writeFrame(frameCopyData, buf[:n]); werr != nil {
 				return nil, werr
 			}
 		}
@@ -61,12 +95,12 @@ func (c *TCPConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
 		if err != nil {
 			// Still terminate the stream so the server-side COPY fails
 			// cleanly rather than hanging.
-			_ = writeFrame(c.conn, frameCopyEnd, nil)
+			_ = c.writeFrame(frameCopyEnd, nil)
 			_, _ = c.readResponse()
 			return nil, err
 		}
 	}
-	if err := writeFrame(c.conn, frameCopyEnd, nil); err != nil {
+	if err := c.writeFrame(frameCopyEnd, nil); err != nil {
 		return nil, err
 	}
 	return c.readResponse()
@@ -80,6 +114,9 @@ func (c *TCPConn) SetRecorder(*sim.TaskRec, string) {}
 func (c *TCPConn) Close() { _ = c.conn.Close() }
 
 func (c *TCPConn) readResponse() (*vertica.Result, error) {
+	if err := c.arm(); err != nil {
+		return nil, err
+	}
 	typ, payload, err := readFrame(c.conn)
 	if err != nil {
 		return nil, err
@@ -92,7 +129,14 @@ func (c *TCPConn) readResponse() (*vertica.Result, error) {
 	case frameResult:
 		return resp.Result, nil
 	case frameError:
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+		rerr := fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+		if resp.Transient {
+			// The server classified its local error before it was flattened
+			// to text; restore the mark so remote retry decisions match
+			// in-process ones.
+			return nil, resilience.Transient(rerr)
+		}
+		return nil, rerr
 	default:
 		return nil, fmt.Errorf("server: unexpected response frame %q", typ)
 	}
@@ -104,6 +148,11 @@ func (c *TCPConn) readResponse() (*vertica.Result, error) {
 type DialConnector struct {
 	// Endpoints maps node address → "host:port".
 	Endpoints map[string]string
+	// DialTimeout bounds connection establishment (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// OpTimeout is applied to every dialed connection via SetOpTimeout
+	// (0 = no per-operation deadline).
+	OpTimeout time.Duration
 }
 
 // Connect implements client.Connector.
@@ -113,5 +162,14 @@ func (d *DialConnector) Connect(addr string) (client.Conn, error) {
 		// Allow dialing a raw endpoint directly.
 		ep = addr
 	}
-	return Dial(ep)
+	dt := d.DialTimeout
+	if dt <= 0 {
+		dt = DefaultDialTimeout
+	}
+	c, err := DialTimeout(ep, dt)
+	if err != nil {
+		return nil, err
+	}
+	c.SetOpTimeout(d.OpTimeout)
+	return c, nil
 }

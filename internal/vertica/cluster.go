@@ -285,12 +285,12 @@ func (c *Cluster) Connect(nodeID int) (*Session, error) {
 		return nil, fmt.Errorf("vertica: no node %d in %d-node cluster", nodeID, len(c.nodes))
 	}
 	if c.nodes[nodeID].Down() {
-		return nil, fmt.Errorf("vertica: node %d is down", nodeID)
+		return nil, fmt.Errorf("%w: node %d is down", ErrNodeDown, nodeID)
 	}
 	c.sessMu.Lock()
 	defer c.sessMu.Unlock()
 	if c.sessions[nodeID] >= c.cfg.MaxClientSessions {
-		return nil, fmt.Errorf("vertica: node %d at MAX-CLIENT-SESSIONS (%d)", nodeID, c.cfg.MaxClientSessions)
+		return nil, fmt.Errorf("%w: node %d at limit %d", ErrSessionLimit, nodeID, c.cfg.MaxClientSessions)
 	}
 	c.sessions[nodeID]++
 	return &Session{cluster: c, node: c.nodes[nodeID]}, nil

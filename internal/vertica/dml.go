@@ -398,6 +398,9 @@ func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
 // executeCopyStream bulk-loads rows arriving on the client stream (the
 // VerticaCopyStream path S2V uses, §3.2.2).
 func (s *Session) executeCopyStream(cp *vsql.Copy, r io.Reader) (*Result, error) {
+	if s.node.Down() {
+		return nil, fmt.Errorf("%w: node %d went down", ErrNodeDown, s.node.ID)
+	}
 	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
 	counted := &countingReader{r: r}
 	var rows []types.Row

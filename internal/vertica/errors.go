@@ -1,0 +1,18 @@
+package vertica
+
+import "errors"
+
+// Sentinel errors for conditions a client can meaningfully react to. They are
+// wrapped with context (node id, limits) by the code that raises them, so
+// callers test with errors.Is. The resilience layer classifies both as
+// transient: a down node recovers (or a buddy serves its data), and a session
+// slot frees as soon as another client disconnects.
+var (
+	// ErrNodeDown reports a connection attempt to, or a statement on, a node
+	// that is currently failed.
+	ErrNodeDown = errors.New("vertica: node down")
+
+	// ErrSessionLimit reports a connection attempt rejected because the node
+	// is at MAX-CLIENT-SESSIONS. Retry with backoff, or connect elsewhere.
+	ErrSessionLimit = errors.New("vertica: MAX-CLIENT-SESSIONS exceeded")
+)

@@ -1,0 +1,33 @@
+package vertica
+
+import (
+	"errors"
+	"testing"
+)
+
+// The typed sentinels exist so callers (the resilience layer in particular)
+// can classify failures with errors.Is instead of string matching.
+func TestErrorSentinels(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 2, MaxClientSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := c.Connect(0); !errors.Is(err, ErrSessionLimit) {
+		t.Errorf("err = %v, want errors.Is ErrSessionLimit", err)
+	}
+
+	c.Node(1).SetDown(true)
+	if _, err := c.Connect(1); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("connect err = %v, want errors.Is ErrNodeDown", err)
+	}
+	c.Node(0).SetDown(true)
+	if _, err := s.Execute("SELECT 1"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("execute err = %v, want errors.Is ErrNodeDown", err)
+	}
+}

@@ -109,7 +109,7 @@ func (s *Session) ExecuteStmt(stmt vsql.Statement) (*Result, error) {
 		return nil, fmt.Errorf("vertica: session is closed")
 	}
 	if s.node.Down() {
-		return nil, fmt.Errorf("vertica: node %d went down", s.node.ID)
+		return nil, fmt.Errorf("%w: node %d went down", ErrNodeDown, s.node.ID)
 	}
 	switch st := stmt.(type) {
 	case *vsql.Select:
