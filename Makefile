@@ -17,5 +17,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Microbenchmarks plus the scan-throughput gate: BENCH_scan.json records
+# ns/op and rows/s for the vectorized pipeline vs the row-at-a-time
+# reference (machine-readable, tracked by CI).
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
+	$(GO) test -run xxx -bench 'BenchmarkScan|BenchmarkCount' -benchtime 5x ./internal/vertica/
+	$(GO) run ./cmd/scanbench -out BENCH_scan.json

@@ -1,0 +1,140 @@
+// Command scanbench measures the vectorized batch scan pipeline against the
+// retained row-at-a-time reference (Config.RowAtATimeScans) on a hash-
+// segmented table, and writes the numbers as machine-readable JSON so CI can
+// track scan throughput over time.
+//
+// Usage:
+//
+//	scanbench                       # 1M rows, 4 nodes, BENCH_scan.json
+//	scanbench -rows 200000 -iters 5
+//	scanbench -out results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vsfabric/internal/vertica"
+)
+
+// Measurement is one timed query configuration.
+type Measurement struct {
+	Name     string  `json:"name"`
+	Query    string  `json:"query"`
+	Iters    int     `json:"iters"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	RowsPerS float64 `json:"rows_per_s"`
+}
+
+// Results is the BENCH_scan.json document.
+type Results struct {
+	Rows     int           `json:"rows"`
+	Nodes    int           `json:"nodes"`
+	Scans    []Measurement `json:"scans"`
+	SpeedupX float64       `json:"speedup_x"` // vectorized vs row-at-a-time, selective scan
+}
+
+func buildSession(rows, nodes int, rowAtATime bool) (*vertica.Session, error) {
+	c, err := vertica.NewCluster(vertica.Config{Nodes: nodes, RowAtATimeScans: rowAtATime})
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Connect(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Execute("CREATE TABLE bench_scan (id INTEGER, grp INTEGER, val FLOAT) SEGMENTED BY HASH(id)"); err != nil {
+		return nil, err
+	}
+	var csv strings.Builder
+	csv.Grow(rows * 16)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&csv, "%d,%d,%d.5\n", i, i%100, i%1000)
+	}
+	if _, err := s.CopyFrom("COPY bench_scan FROM STDIN FORMAT CSV DIRECT", strings.NewReader(csv.String())); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func timeQuery(s *vertica.Session, name, q string, rows, iters int) (Measurement, error) {
+	// One warm-up run, then the timed loop.
+	if _, err := s.Execute(q); err != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", name, err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := s.Execute(q); err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	return Measurement{
+		Name:     name,
+		Query:    q,
+		Iters:    iters,
+		NsPerOp:  elapsed.Nanoseconds() / int64(iters),
+		RowsPerS: float64(rows) * float64(iters) / elapsed.Seconds(),
+	}, nil
+}
+
+func run() error {
+	rows := flag.Int("rows", 1_000_000, "table size")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	iters := flag.Int("iters", 10, "timed iterations per configuration")
+	out := flag.String("out", "BENCH_scan.json", "output path")
+	flag.Parse()
+
+	const (
+		selective = "SELECT id, val FROM bench_scan WHERE grp = 7"
+		countAll  = "SELECT COUNT(*) FROM bench_scan"
+	)
+	res := Results{Rows: *rows, Nodes: *nodes}
+	for _, cfg := range []struct {
+		name       string
+		query      string
+		rowAtATime bool
+	}{
+		{"scan_vectorized", selective, false},
+		{"scan_row_at_a_time", selective, true},
+		{"count_vectorized", countAll, false},
+		{"count_row_at_a_time", countAll, true},
+	} {
+		s, err := buildSession(*rows, *nodes, cfg.rowAtATime)
+		if err != nil {
+			return err
+		}
+		m, err := timeQuery(s, cfg.name, cfg.query, *rows, *iters)
+		s.Close()
+		if err != nil {
+			return err
+		}
+		res.Scans = append(res.Scans, m)
+		fmt.Printf("%-22s %12d ns/op %14.0f rows/s\n", m.Name, m.NsPerOp, m.RowsPerS)
+	}
+	if res.Scans[1].NsPerOp > 0 {
+		res.SpeedupX = float64(res.Scans[1].NsPerOp) / float64(res.Scans[0].NsPerOp)
+	}
+	fmt.Printf("vectorized speedup: %.1fx\n", res.SpeedupX)
+
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scanbench:", err)
+		os.Exit(1)
+	}
+}

@@ -117,6 +117,104 @@ func (c *BoolColumn) Get(i int) types.Value {
 	return types.BoolValue(c.Vals[i])
 }
 
+// Int64RLEColumn stores an int64 vector as run-length-encoded (end, value)
+// pairs kept in memory, so scans over sorted or low-cardinality columns
+// operate directly on the compressed form (C-Store's operate-on-compressed-
+// data principle). Run k covers row indexes [RunEnds[k-1], RunEnds[k]).
+// RLE columns never contain NULLs: CompressColumn only converts null-free
+// vectors.
+type Int64RLEColumn struct {
+	RunEnds []int32
+	RunVals []int64
+}
+
+// Type implements Column.
+func (c *Int64RLEColumn) Type() types.Type { return types.Int64 }
+
+// Len implements Column.
+func (c *Int64RLEColumn) Len() int {
+	if len(c.RunEnds) == 0 {
+		return 0
+	}
+	return int(c.RunEnds[len(c.RunEnds)-1])
+}
+
+// IsNull implements Column.
+func (c *Int64RLEColumn) IsNull(int) bool { return false }
+
+// RunOf returns the run index covering row i.
+func (c *Int64RLEColumn) RunOf(i int) int {
+	lo, hi := 0, len(c.RunEnds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(c.RunEnds[mid]) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get implements Column.
+func (c *Int64RLEColumn) Get(i int) types.Value {
+	return types.IntValue(c.RunVals[c.RunOf(i)])
+}
+
+// minRLERows is the smallest vector worth compressing; below it the run
+// bookkeeping costs more than it saves.
+const minRLERows = 64
+
+// CompressColumn converts a dense column to a compressed in-memory form when
+// profitable (currently: null-free int64 vectors whose run count is under a
+// quarter of the row count, mirroring ChooseEncoding's RLE heuristic).
+// Otherwise it returns the column unchanged.
+func CompressColumn(c Column) Column {
+	col, ok := c.(*Int64Column)
+	if !ok || col.Nulls != nil || len(col.Vals) < minRLERows {
+		return c
+	}
+	runs := 1
+	for i := 1; i < len(col.Vals); i++ {
+		if col.Vals[i] != col.Vals[i-1] {
+			runs++
+		}
+	}
+	if runs*4 >= len(col.Vals) {
+		return c
+	}
+	ends := make([]int32, 0, runs)
+	vals := make([]int64, 0, runs)
+	for i := 1; i < len(col.Vals); i++ {
+		if col.Vals[i] != col.Vals[i-1] {
+			ends = append(ends, int32(i))
+			vals = append(vals, col.Vals[i-1])
+		}
+	}
+	ends = append(ends, int32(len(col.Vals)))
+	vals = append(vals, col.Vals[len(col.Vals)-1])
+	return &Int64RLEColumn{RunEnds: ends, RunVals: vals}
+}
+
+// Densify converts a compressed column back to its dense representation;
+// dense columns pass through unchanged. Serialization and other paths that
+// type-switch on the dense column set call this first.
+func Densify(c Column) Column {
+	col, ok := c.(*Int64RLEColumn)
+	if !ok {
+		return c
+	}
+	vals := make([]int64, 0, col.Len())
+	prev := int32(0)
+	for k, end := range col.RunEnds {
+		for i := prev; i < end; i++ {
+			vals = append(vals, col.RunVals[k])
+		}
+		prev = end
+	}
+	return &Int64Column{Vals: vals}
+}
+
 // Builder accumulates values of one type and produces an immutable Column.
 type Builder struct {
 	t        types.Type

@@ -53,6 +53,8 @@ func ChooseEncoding(c Column) Encoding {
 		return EncPlain
 	}
 	switch col := c.(type) {
+	case *Int64RLEColumn:
+		return EncRLE
 	case *Int64Column:
 		runs, sorted := 1, true
 		for i := 1; i < n; i++ {
@@ -89,6 +91,7 @@ func ChooseEncoding(c Column) Encoding {
 // EncodeColumn serializes a column with the given encoding. The layout is:
 // [type byte][encoding byte][varint rowCount][null bitmap?][payload].
 func EncodeColumn(c Column, enc Encoding) ([]byte, error) {
+	c = Densify(c) // the wire encoders type-switch on the dense column set
 	var buf bytes.Buffer
 	buf.WriteByte(byte(c.Type()))
 	buf.WriteByte(byte(enc))

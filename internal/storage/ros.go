@@ -66,6 +66,9 @@ func NewROSContainer(rows []types.Row, schema types.Schema, segIdx []int, start 
 	if err != nil {
 		return nil, err
 	}
+	for i, c := range cols {
+		cols[i] = CompressColumn(c)
+	}
 	hashes := make([]uint32, len(rows))
 	for i, r := range rows {
 		hashes[i] = vhash.HashRow(r, segIdx)
@@ -108,6 +111,8 @@ func (c *ROSContainer) DataBytes() int {
 			for _, s := range cc.Vals {
 				n += 4 + len(s)
 			}
+		case *Int64RLEColumn:
+			n += 12 * len(cc.RunVals) // 8-byte value + 4-byte run end
 		}
 	}
 	return n
@@ -323,14 +328,10 @@ func (s *Store) ClearDeletes(tag uint64) {
 	s.wos.ClearDeletes(tag)
 }
 
-// RowCount returns the number of rows visible under vis.
+// RowCount returns the number of rows visible under vis. It runs on the
+// vectorized path: selection-vector popcounts, no row materialization.
 func (s *Store) RowCount(vis Visibility) int {
-	n := 0
-	s.Scan(vis, vhash.Range{Lo: 0, Hi: vhash.RingSize}, func(types.Row) bool {
-		n++
-		return true
-	})
-	return n
+	return s.CountVisible(vis, vhash.Range{Lo: 0, Hi: vhash.RingSize})
 }
 
 // ContainerCount returns the number of ROS containers.

@@ -2,13 +2,18 @@ package vertica
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/expr"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/types"
+	"vsfabric/internal/vexec"
 	"vsfabric/internal/vhash"
 	"vsfabric/internal/vsql"
 )
@@ -46,6 +51,13 @@ func (s *Session) executeSelect(st *vsql.Select) (*Result, error) {
 	}
 
 	stats := newScanStats()
+	if res, ok, err := s.tryCountPushdown(st, vis, stats); err != nil {
+		return nil, err
+	} else if ok {
+		s.recordQuery(res.Rows, stats)
+		res.Epoch = vis.Epoch
+		return res, nil
+	}
 	rows, schema, err := s.sourceRows(st, vis, stats)
 	if err != nil {
 		return nil, err
@@ -56,6 +68,51 @@ func (s *Session) executeSelect(st *vsql.Select) (*Result, error) {
 	}
 	s.recordQuery(out, stats)
 	return &Result{Schema: outSchema, Rows: out, Epoch: vis.Epoch}, nil
+}
+
+// tryCountPushdown answers SELECT COUNT(*) FROM basetable [WHERE ...]
+// entirely from the vectorized scan's selection-vector popcounts, without
+// materializing a single row — the engine half of the connector's COUNT
+// pushdown (§3.1.1). Queries with joins, grouping, views, or system tables
+// fall through to the general path.
+func (s *Session) tryCountPushdown(st *vsql.Select, vis storage.Visibility, stats *scanStats) (*Result, bool, error) {
+	if s.cluster.cfg.RowAtATimeScans {
+		return nil, false, nil // ablation knob: exercise the reference path
+	}
+	if st.From == nil || st.Join != nil || len(st.GroupBy) > 0 || len(st.Items) != 1 {
+		return nil, false, nil
+	}
+	it := st.Items[0]
+	if it.Agg != vsql.AggCount || it.Arg != nil {
+		return nil, false, nil
+	}
+	name := strings.ToLower(st.From.Name)
+	if strings.HasPrefix(name, "v_catalog.") || strings.HasPrefix(name, "v_monitor.") {
+		return nil, false, nil
+	}
+	if _, isView := s.cluster.cat.View(st.From.Name); isView {
+		return nil, false, nil
+	}
+	tbl, ok := s.cluster.cat.Table(st.From.Name)
+	if !ok {
+		return nil, false, nil // let the general path report the error
+	}
+	_, count, _, err := s.scanTable(tbl, st.Where, vis, stats, scanOpts{limit: -1, countOnly: true})
+	if err != nil {
+		return nil, false, err
+	}
+	colName := it.Alias
+	if colName == "" {
+		colName = "count"
+	}
+	rows := []types.Row{{types.IntValue(count)}}
+	if st.Limit >= 0 && int64(len(rows)) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	return &Result{
+		Schema: types.Schema{Cols: []types.Column{{Name: colName, T: types.Int64}}},
+		Rows:   rows,
+	}, true, nil
 }
 
 func (s *Session) bindSelectFuncs(st *vsql.Select) error {
@@ -86,11 +143,23 @@ func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *sca
 		return []types.Row{{}}, types.Schema{}, nil
 	}
 	leftWhere := st.Where
+	opts := scanOpts{limit: -1}
 	if st.Join != nil {
 		// The predicate may reference both sides; apply it after the join.
 		leftWhere = nil
+	} else {
+		// Late materialization: only the columns the SELECT list, aggregate
+		// arguments, and GROUP BY actually touch are materialized from the
+		// column store. The WHERE clause needs no materialization at all —
+		// it is evaluated on the column vectors.
+		opts.needCols = neededColumns(st)
+		// LIMIT pushes into the scan only when each scanned row maps 1:1 to
+		// an output row: no aggregation, no grouping, no reordering.
+		if !hasAggregates(st) && len(st.GroupBy) == 0 && len(st.OrderBy) == 0 && st.Limit >= 0 {
+			opts.limit = st.Limit
+		}
 	}
-	left, leftSchema, err := s.relationRows(st.From, leftWhere, vis, stats, st.Join == nil && !hasAggregates(st))
+	left, leftSchema, err := s.relationRows(st.From, leftWhere, vis, stats, opts)
 	if err != nil {
 		return nil, types.Schema{}, err
 	}
@@ -98,7 +167,7 @@ func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *sca
 		// relationRows already applied the WHERE clause.
 		return left, leftSchema, nil
 	}
-	right, rightSchema, err := s.relationRows(&st.Join.Right, nil, vis, stats, false)
+	right, rightSchema, err := s.relationRows(&st.Join.Right, nil, vis, stats, scanOpts{limit: -1})
 	if err != nil {
 		return nil, types.Schema{}, err
 	}
@@ -130,18 +199,31 @@ func hasAggregates(st *vsql.Select) bool {
 	return false
 }
 
+// scanOpts carries the scan-level pushdowns of one relation scan.
+type scanOpts struct {
+	// needCols restricts materialization to the named columns (late
+	// materialization); nil materializes every column. Ignored for views and
+	// system tables, whose rows exist in row form already.
+	needCols []string
+	// limit stops the scan once this many rows have been produced; -1 = no
+	// limit. Callers only set it when scan rows map 1:1 to output rows.
+	limit int64
+	// countOnly skips materialization entirely: the scan returns only the
+	// visible-and-matching row count from selection-vector popcounts.
+	countOnly bool
+}
+
 // relationRows scans one relation. When where is non-nil the predicate is
 // applied during the scan (and the hash-range conjuncts are pushed into the
-// segment scan); applyLimit additionally stops at st's LIMIT — only safe for
-// plain single-table scans.
-func (s *Session) relationRows(tr *vsql.TableRef, where expr.Expr, vis storage.Visibility, stats *scanStats, _ bool) ([]types.Row, types.Schema, error) {
+// segment scan); opts carries the LIMIT and column-pruning pushdowns.
+func (s *Session) relationRows(tr *vsql.TableRef, where expr.Expr, vis storage.Visibility, stats *scanStats, opts scanOpts) ([]types.Row, types.Schema, error) {
 	name := strings.ToLower(tr.Name)
 	if strings.HasPrefix(name, "v_catalog.") || strings.HasPrefix(name, "v_monitor.") {
 		rows, schema, err := s.systemTable(name, vis)
 		if err != nil {
 			return nil, types.Schema{}, err
 		}
-		return filterRows(rows, schema, where)
+		return filterRows(rows, schema, where, opts.limit)
 	}
 	if view, ok := s.cluster.cat.View(tr.Name); ok {
 		sub, err := vsql.Parse(view.SelectSQL)
@@ -163,22 +245,30 @@ func (s *Session) relationRows(tr *vsql.TableRef, where expr.Expr, vis storage.V
 		if err != nil {
 			return nil, types.Schema{}, err
 		}
-		return filterRows(rows, schema, where)
+		return filterRows(rows, schema, where, opts.limit)
 	}
 	tbl, ok := s.cluster.cat.Table(tr.Name)
 	if !ok {
 		return nil, types.Schema{}, fmt.Errorf("vertica: relation %q does not exist", tr.Name)
 	}
-	return s.scanTable(tbl, where, vis, stats)
+	rows, _, schema, err := s.scanTable(tbl, where, vis, stats, opts)
+	return rows, schema, err
 }
 
-// filterRows applies a residual predicate to materialized rows.
-func filterRows(rows []types.Row, schema types.Schema, where expr.Expr) ([]types.Row, types.Schema, error) {
+// filterRows applies a residual predicate to materialized rows, stopping at
+// limit surviving rows (-1 = no limit).
+func filterRows(rows []types.Row, schema types.Schema, where expr.Expr, limit int64) ([]types.Row, types.Schema, error) {
 	if where == nil {
+		if limit >= 0 && int64(len(rows)) > limit {
+			rows = rows[:limit]
+		}
 		return rows, schema, nil
 	}
 	out := make([]types.Row, 0, len(rows))
 	for _, r := range rows {
+		if limit >= 0 && int64(len(out)) >= limit {
+			break
+		}
 		ok, err := expr.EvalPredicate(where, r, &schema)
 		if err != nil {
 			return nil, types.Schema{}, err
@@ -190,10 +280,217 @@ func filterRows(rows []types.Row, schema types.Schema, where expr.Expr) ([]types
 	return out, schema, nil
 }
 
-// scanTable scans a base table under the read context, pushing hash-range
-// conjuncts into the segment scan and evaluating the rest per row. It
-// records per-node scan work and any cross-node gather traffic.
-func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Visibility, stats *scanStats) ([]types.Row, types.Schema, error) {
+// neededColumns collects the table columns a single-table SELECT actually
+// reads after the scan: select-list expressions, aggregate arguments, and
+// GROUP BY keys. ORDER BY is excluded on purpose — it sorts the projected
+// output, so its keys must already appear in the select list. A star item
+// (or any name the scan schema cannot resolve, e.g. a view about to be
+// expanded) returns nil: materialize everything.
+func neededColumns(st *vsql.Select) []string {
+	var names []string
+	for _, it := range st.Items {
+		if it.Star {
+			return nil
+		}
+		if it.Expr != nil {
+			names = it.Expr.Columns(names)
+		}
+		if it.Arg != nil {
+			names = it.Arg.Columns(names)
+		}
+	}
+	names = append(names, st.GroupBy...)
+	seen := make(map[string]bool, len(names))
+	out := names[:0]
+	for _, n := range names {
+		key := strings.ToLower(n)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// scanConcurrency bounds the parallel segment-scan worker pool.
+var scanConcurrency = runtime.GOMAXPROCS(0)
+
+// segJob is one segment's share of a table scan.
+type segJob struct {
+	store    *storage.Store
+	homeNode int
+}
+
+// segResult is the outcome of scanning one segment.
+type segResult struct {
+	rows     []types.Row
+	count    int64
+	scanRows float64
+	shuffleB float64 // bytes gathered to the coordinator (0 when local)
+	err      error
+}
+
+// scanTable scans a base table under the read context on the vectorized
+// batch pipeline: hash-range conjuncts prune segments, the residual
+// predicate is compiled to typed column kernels (vexec), segments fan out
+// over a bounded worker pool, and only surviving rows × needed columns are
+// materialized. With countOnly the scan completes from selection-vector
+// popcounts and materializes nothing. Results are deterministic: segments
+// are merged in segment order, matching the sequential reference scan.
+func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Visibility, stats *scanStats, opts scanOpts) ([]types.Row, int64, types.Schema, error) {
+	if s.cluster.cfg.RowAtATimeScans {
+		// Ablation/debug knob: run the retained reference implementation.
+		rows, schema, err := s.scanTableRowAtATime(tbl, where, vis, stats)
+		return rows, int64(len(rows)), schema, err
+	}
+	schema := tbl.Def.Schema
+	hr, residual := extractHashRange(where, tbl)
+	pred := vexec.Compile(residual, schema, tbl.SegIdx)
+	needIdx, outSchema := resolveNeedCols(schema, opts.needCols)
+
+	var jobs []segJob
+	if !tbl.Def.Segmented {
+		// Unsegmented tables are replicated everywhere: serve entirely from
+		// the connected node's local replica (zero shuffle).
+		store, homeNode, err := s.replicaFor(tbl, s.node.ID)
+		if err != nil {
+			return nil, 0, types.Schema{}, err
+		}
+		jobs = append(jobs, segJob{store, homeNode})
+	} else {
+		segs := tbl.SegmentRanges()
+		for i := range tbl.Stores {
+			// Skip segments the requested hash range cannot touch.
+			if segs[i].Lo >= hr.Hi || segs[i].Hi <= hr.Lo {
+				continue
+			}
+			store, homeNode, err := s.replicaFor(tbl, i)
+			if err != nil {
+				return nil, 0, types.Schema{}, err
+			}
+			jobs = append(jobs, segJob{store, homeNode})
+		}
+	}
+
+	results := make([]segResult, len(jobs))
+	run := func(i int) {
+		results[i] = s.scanSegment(jobs[i], vis, hr, pred, needIdx, opts)
+	}
+	if workers := min(scanConcurrency, len(jobs)); workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge in segment order; per-segment stats fold into the
+	// query's accounting on the coordinating goroutine only.
+	var out []types.Row
+	var count int64
+	for i, res := range results {
+		if res.err != nil {
+			return nil, 0, types.Schema{}, res.err
+		}
+		stats.scanRows[sim.VName(jobs[i].homeNode)] += res.scanRows
+		if res.shuffleB > 0 {
+			stats.shuffle[[2]string{sim.VName(jobs[i].homeNode), s.node.Name}] += res.shuffleB
+		}
+		count += res.count
+		out = append(out, res.rows...)
+	}
+	if opts.limit >= 0 && int64(len(out)) > opts.limit {
+		out = out[:opts.limit]
+	}
+	return out, count, outSchema, nil
+}
+
+// scanSegment runs one segment's batched scan: visibility + hash mask come
+// pre-applied in each batch's selection vector, kernels narrow it, and the
+// survivors are materialized (late) or just counted.
+func (s *Session) scanSegment(job segJob, vis storage.Visibility, hr vhash.Range, pred *vexec.Pred, needIdx []int, opts scanOpts) segResult {
+	res := segResult{scanRows: float64(job.store.TotalRows())}
+	local := job.homeNode == s.node.ID
+	err := job.store.ScanBatches(vis, hr, func(b *storage.Batch) bool {
+		if err := pred.FilterBatch(b); err != nil {
+			res.err = err
+			return false
+		}
+		if opts.countOnly {
+			res.count += int64(b.Len())
+			return true
+		}
+		rows := b.Materialize(needIdx)
+		if opts.limit >= 0 {
+			if remain := opts.limit - int64(len(res.rows)); int64(len(rows)) > remain {
+				rows = rows[:remain]
+			}
+		}
+		res.rows = append(res.rows, rows...)
+		res.count += int64(len(rows))
+		if !local {
+			for _, r := range rows {
+				res.shuffleB += float64(types.WireSize(r))
+			}
+		}
+		// Stop this segment once it alone can satisfy the LIMIT; the merge
+		// keeps segment order, so the first rows win deterministically.
+		return !(opts.limit >= 0 && int64(len(res.rows)) >= opts.limit)
+	})
+	if err != nil && res.err == nil {
+		res.err = err
+	}
+	return res
+}
+
+// resolveNeedCols maps the needed column names onto schema indexes, in
+// schema order, and builds the narrowed output schema. Unresolvable names
+// (or a nil request) fall back to materializing every column.
+func resolveNeedCols(schema types.Schema, needCols []string) ([]int, types.Schema) {
+	if needCols == nil {
+		return nil, schema
+	}
+	need := make([]bool, len(schema.Cols))
+	for _, n := range needCols {
+		i := schema.ColIndex(n)
+		if i < 0 {
+			return nil, schema
+		}
+		need[i] = true
+	}
+	idx := make([]int, 0, len(needCols))
+	out := types.Schema{}
+	for i, b := range need {
+		if b {
+			idx = append(idx, i)
+			out.Cols = append(out.Cols, schema.Cols[i])
+		}
+	}
+	return idx, out
+}
+
+// scanTableRowAtATime is the retained row-at-a-time reference scan: one
+// boxed types.Value per cell, one delete-vector RLock per row, one
+// interpreted predicate evaluation per row. It is the baseline the
+// vectorized pipeline is benchmarked against (BenchmarkScanRowAtATime, the
+// vectorized-vs-interpreted property tests, and the RowAtATimeScans
+// ablation) and must keep semantics identical to scanTable.
+func (s *Session) scanTableRowAtATime(tbl *catalog.Table, where expr.Expr, vis storage.Visibility, stats *scanStats) ([]types.Row, types.Schema, error) {
 	schema := tbl.Def.Schema
 	hr, residual := extractHashRange(where, tbl)
 	var out []types.Row
@@ -393,19 +690,21 @@ func hashJoin(left []types.Row, ls types.Schema, lref *vsql.TableRef,
 	for _, c := range rs.Cols {
 		out.Cols = append(out.Cols, types.Column{Name: qualify(rref, c.Name), T: c.T})
 	}
-	ht := make(map[string][]types.Row, len(right))
+	ht := make(map[joinKey][]types.Row, len(right))
 	for _, r := range right {
-		if r[ri].Null {
+		k, ok := joinKeyOf(r[ri])
+		if !ok {
 			continue
 		}
-		ht[r[ri].String()] = append(ht[r[ri].String()], r)
+		ht[k] = append(ht[k], r)
 	}
 	var rows []types.Row
 	for _, l := range left {
-		if l[li].Null {
+		k, ok := joinKeyOf(l[li])
+		if !ok {
 			continue
 		}
-		for _, r := range ht[l[li].String()] {
+		for _, r := range ht[k] {
 			row := make(types.Row, 0, len(l)+len(r))
 			row = append(row, l...)
 			row = append(row, r...)
@@ -413,6 +712,44 @@ func hashJoin(left []types.Row, ls types.Schema, lref *vsql.TableRef,
 		}
 	}
 	return rows, out, nil
+}
+
+// joinKey is a typed, comparable hash-join key. Values of the same family
+// equal each other per types.Compare (so INTEGER 1 joins FLOAT 1.0), while
+// values of different families never collide — unlike the old string-rendered
+// keys, where IntValue(1) and StringValue("1") were indistinguishable. Being
+// a value type, it also costs no allocation per build/probe.
+type joinKey struct {
+	kind byte // 'i' integral numeric, 'f' non-integral float, 's' string, 'b' bool
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// joinKeyOf builds the key for v; ok is false for NULLs (which never join).
+func joinKeyOf(v types.Value) (joinKey, bool) {
+	if v.Null {
+		return joinKey{}, false
+	}
+	switch v.T {
+	case types.Int64:
+		return joinKey{kind: 'i', i: v.I}, true
+	case types.Float64:
+		// Integral floats normalize to the int form so 1.0 matches INTEGER 1,
+		// mirroring types.Compare's numeric promotion. Magnitudes beyond the
+		// int64-exact range stay in float form.
+		if f := v.F; f == math.Trunc(f) && f >= -(1<<62) && f <= 1<<62 {
+			return joinKey{kind: 'i', i: int64(f)}, true
+		}
+		return joinKey{kind: 'f', f: v.F}, true
+	case types.Varchar:
+		return joinKey{kind: 's', s: v.S}, true
+	case types.Bool:
+		return joinKey{kind: 'b', b: v.B}, true
+	default:
+		return joinKey{}, false
+	}
 }
 
 func stripQualifier(name string) string {
