@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
 # The full verification gate: what CI (and every PR) must keep green.
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Typed-options boundary: fails on exported funcs taking map[string]string
+# outside the allowlisted External Data Source API surface.
+lint:
+	$(GO) run ./cmd/lintoptions
 
 test:
 	$(GO) test ./...

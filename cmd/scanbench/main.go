@@ -38,11 +38,14 @@ type Results struct {
 	SpeedupX float64       `json:"speedup_x"` // vectorized vs row-at-a-time, selective scan
 }
 
-func buildSession(rows, nodes int, rowAtATime bool) (*vertica.Session, error) {
+func buildSession(rows, nodes int, rowAtATime, obsOn bool) (*vertica.Session, error) {
 	c, err := vertica.NewCluster(vertica.Config{Nodes: nodes, RowAtATimeScans: rowAtATime})
 	if err != nil {
 		return nil, err
 	}
+	// The benchmark's contract is the observability-disabled fast path; -obs
+	// re-enables the collector to measure tracing overhead instead.
+	c.Obs().SetEnabled(obsOn)
 	s, err := c.Connect(0)
 	if err != nil {
 		return nil, err
@@ -87,6 +90,7 @@ func run() error {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	iters := flag.Int("iters", 10, "timed iterations per configuration")
 	out := flag.String("out", "BENCH_scan.json", "output path")
+	obsOn := flag.Bool("obs", false, "leave the v_monitor collector enabled while timing")
 	flag.Parse()
 
 	const (
@@ -104,7 +108,7 @@ func run() error {
 		{"count_vectorized", countAll, false},
 		{"count_row_at_a_time", countAll, true},
 	} {
-		s, err := buildSession(*rows, *nodes, cfg.rowAtATime)
+		s, err := buildSession(*rows, *nodes, cfg.rowAtATime, *obsOn)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,16 @@ import (
 
 type executor interface {
 	Execute(sql string) (*vertica.Result, error)
+}
+
+// tcpExec adapts the ctx-first TCP connection to the shell's one-shot
+// executor.
+type tcpExec struct {
+	conn *server.TCPConn
+}
+
+func (t tcpExec) Execute(sql string) (*vertica.Result, error) {
+	return t.conn.Execute(context.Background(), sql)
 }
 
 func main() {
@@ -42,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer conn.Close()
-		exec = conn
+		exec = tcpExec{conn}
 		fmt.Printf("connected to %s\n", *connect)
 	default:
 		cluster, err := vertica.NewCluster(vertica.Config{Nodes: *nodes})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 
 	"vsfabric/internal/core"
 	"vsfabric/internal/jdbcsource"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
@@ -177,9 +179,9 @@ func (f *fabric) runNativeCopy(realRows int64, cols, parts int, scale float64) (
 			}
 			defer s.Close()
 			rec := f.trace.Task(fmt.Sprintf("copy-part-%03d", p), "")
-			s.SetRecorder(rec, f.cluster.Node(node).Name)
 			rec.Fixed(sim.FixedConnect)
-			_, errs[p] = s.Execute(fmt.Sprintf("COPY d1copy FROM LOCAL '%s' FORMAT CSV DIRECT", paths[p]))
+			ctx := obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: rec}), f.cluster.Node(node).Name)
+			_, errs[p] = s.ExecuteContext(ctx, fmt.Sprintf("COPY d1copy FROM LOCAL '%s' FORMAT CSV DIRECT", paths[p]))
 		}(p)
 	}
 	wg.Wait()

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// cancellingReader yields a few CSV rows, then cancels the load's context —
+// the shape of a Spark task that dies mid-stream.
+type cancellingReader struct {
+	chunks []string
+	cancel context.CancelFunc
+}
+
+func (r *cancellingReader) Read(p []byte) (int, error) {
+	if len(r.chunks) == 0 {
+		r.cancel()
+		// The ctx-aware reader wrapping us surfaces the cancellation on its
+		// next Read; block the raw stream behind an endless row just in case.
+		return copy(p, "9999,9.5\n"), nil
+	}
+	c := r.chunks[0]
+	r.chunks = r.chunks[1:]
+	return copy(p, c), nil
+}
+
+// TestCopyCancelAbortsTxn: cancelling the context mid-COPY fails the stream
+// and aborts its transaction — autocommit loads write nothing, and an
+// explicit transaction rolls back to a clean slate.
+func TestCopyCancelAbortsTxn(t *testing.T) {
+	c := cluster(t)
+	pool := InProc(c)
+	conn, err := pool.Connect(bg, c.Node(0).Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Execute(bg, "CREATE TABLE ct (id INTEGER, val FLOAT) SEGMENTED BY HASH(id)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Autocommit COPY: the partial stream must leave no rows behind.
+	ctx, cancel := context.WithCancel(bg)
+	rd := &cancellingReader{chunks: []string{"1,1.5\n", "2,2.5\n"}, cancel: cancel}
+	_, err = conn.CopyFrom(ctx, "COPY ct FROM STDIN FORMAT CSV DIRECT", rd)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled COPY err = %v, want context.Canceled", err)
+	}
+	res, err := conn.Execute(bg, "SELECT COUNT(*) FROM ct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != 0 {
+		t.Fatalf("cancelled autocommit COPY left %d rows, want 0", got)
+	}
+
+	// Explicit transaction: the abort leaves the txn for the caller's
+	// ROLLBACK, and nothing the load staged survives it.
+	if _, err := conn.Execute(bg, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel = context.WithCancel(bg)
+	rd = &cancellingReader{chunks: []string{"3,3.5\n"}, cancel: cancel}
+	if _, err = conn.CopyFrom(ctx, "COPY ct FROM STDIN FORMAT CSV", rd); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled in-txn COPY err = %v, want context.Canceled", err)
+	}
+	if _, err := conn.Execute(bg, "ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = conn.Execute(bg, "SELECT COUNT(*) FROM ct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != 0 {
+		t.Fatalf("rolled-back COPY left %d rows, want 0", got)
+	}
+
+	// A CopyStream under an already-cancelled context fails immediately and
+	// surfaces the cancellation from Finish.
+	done, cancel2 := context.WithCancel(bg)
+	cancel2()
+	cs := NewCopyStream(done, conn, "COPY ct FROM STDIN FORMAT CSV")
+	if _, werr := cs.Write([]byte("4,4.5\n")); werr != nil && !errors.Is(werr, context.Canceled) && !errors.Is(werr, io.ErrClosedPipe) {
+		t.Fatalf("write after cancel err = %v", werr)
+	}
+	if _, ferr := cs.Finish(); !errors.Is(ferr, context.Canceled) {
+		t.Fatalf("Finish err = %v, want context.Canceled", ferr)
+	}
+}

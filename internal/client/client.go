@@ -5,32 +5,37 @@
 // in package server (used by the vsql shell and the network integration
 // tests). Keeping the connector on this interface preserves the paper's
 // layering: the connector only ever talks SQL over a connection.
+//
+// Every operation takes a context.Context: cancellation and deadlines flow
+// from the caller down to the engine (aborting in-flight COPY transactions),
+// and observability rides the same channel — attach an obs.Observer with
+// obs.With and every statement, load stream, and resilience event under that
+// context reports to it.
 package client
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
 
 // Conn is one database session.
 type Conn interface {
 	// Execute runs one SQL statement.
-	Execute(sql string) (*vertica.Result, error)
+	Execute(ctx context.Context, sql string) (*vertica.Result, error)
 	// CopyFrom runs COPY ... FROM STDIN feeding the statement from r —
-	// the VerticaCopyStream bulk-load API (§3.2.2).
-	CopyFrom(sql string, r io.Reader) (*vertica.Result, error)
-	// SetRecorder attaches a resource recorder for the performance layer.
-	SetRecorder(rec *sim.TaskRec, clientNode string)
+	// the VerticaCopyStream bulk-load API (§3.2.2). Cancelling ctx mid-load
+	// fails the stream and aborts the load's transaction.
+	CopyFrom(ctx context.Context, sql string, r io.Reader) (*vertica.Result, error)
 	// Close releases the session, aborting any open transaction.
 	Close()
 }
 
 // Connector opens sessions by node address.
 type Connector interface {
-	Connect(addr string) (Conn, error)
+	Connect(ctx context.Context, addr string) (Conn, error)
 }
 
 // inproc connects directly to an in-process cluster.
@@ -43,13 +48,32 @@ type inproc struct {
 func InProc(c *vertica.Cluster) Connector { return &inproc{cluster: c} }
 
 // Connect implements Connector.
-func (p *inproc) Connect(addr string) (Conn, error) {
+func (p *inproc) Connect(ctx context.Context, addr string) (Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := p.cluster.ConnectAddr(addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	return s, nil
+	return sessionConn{s}, nil
 }
+
+// sessionConn adapts an in-process *vertica.Session to the ctx-first Conn
+// contract (the Session keeps its 1-arg convenience methods for direct use).
+type sessionConn struct {
+	s *vertica.Session
+}
+
+func (c sessionConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
+	return c.s.ExecuteContext(ctx, sql)
+}
+
+func (c sessionConn) CopyFrom(ctx context.Context, sql string, r io.Reader) (*vertica.Result, error) {
+	return c.s.CopyFromContext(ctx, sql, r)
+}
+
+func (c sessionConn) Close() { c.s.Close() }
 
 // CopyStream is a push-style writer over a COPY statement, mirroring the
 // VerticaCopyStream Java API: create it, Write encoded bytes any number of
@@ -62,13 +86,13 @@ type CopyStream struct {
 }
 
 // NewCopyStream starts a COPY ... FROM STDIN on the connection and returns
-// the stream to feed it.
-func NewCopyStream(conn Conn, sql string) *CopyStream {
+// the stream to feed it. Cancelling ctx aborts the load.
+func NewCopyStream(ctx context.Context, conn Conn, sql string) *CopyStream {
 	pr, pw := io.Pipe()
 	cs := &CopyStream{pw: pw, done: make(chan struct{})}
 	go func() {
 		defer close(cs.done)
-		cs.res, cs.err = conn.CopyFrom(sql, pr)
+		cs.res, cs.err = conn.CopyFrom(ctx, sql, pr)
 		// Unblock any in-flight Write if the server stopped reading early.
 		pr.CloseWithError(cs.err)
 	}()

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -8,6 +9,8 @@ import (
 
 	"vsfabric/internal/vertica"
 )
+
+var bg = context.Background()
 
 func cluster(t *testing.T) *vertica.Cluster {
 	t.Helper()
@@ -21,34 +24,34 @@ func cluster(t *testing.T) *vertica.Cluster {
 func TestInProcConnect(t *testing.T) {
 	c := cluster(t)
 	pool := InProc(c)
-	conn, err := pool.Connect(c.Node(1).Addr)
+	conn, err := pool.Connect(bg, c.Node(1).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE t (id INTEGER)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE t (id INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := conn.Execute("SELECT COUNT(*) FROM t")
+	res, err := conn.Execute(bg, "SELECT COUNT(*) FROM t")
 	if err != nil || res.Rows[0][0].I != 0 {
 		t.Errorf("count = %v, %v", res, err)
 	}
-	if _, err := pool.Connect("no-such-host"); err == nil {
+	if _, err := pool.Connect(bg, "no-such-host"); err == nil {
 		t.Error("bad address should fail")
 	}
 }
 
 func TestCopyStream(t *testing.T) {
 	c := cluster(t)
-	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	conn, err := InProc(c).Connect(bg, c.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE t (id INTEGER, name VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}
-	cs := NewCopyStream(conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
+	cs := NewCopyStream(bg, conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
 	for i := 0; i < 3; i++ {
 		if _, err := cs.Write([]byte("1,a\n2,b\n")); err != nil {
 			t.Fatal(err)
@@ -65,22 +68,22 @@ func TestCopyStream(t *testing.T) {
 
 func TestCopyStreamAbort(t *testing.T) {
 	c := cluster(t)
-	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	conn, err := InProc(c).Connect(bg, c.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE t (id INTEGER)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE t (id INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	cs := NewCopyStream(conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
+	cs := NewCopyStream(bg, conn, "COPY t FROM STDIN FORMAT CSV DIRECT")
 	if _, err := cs.Write([]byte("1\n")); err != nil {
 		t.Fatal(err)
 	}
 	cs.Abort(errors.New("client gave up"))
 	// The aborted copy must not have loaded anything (the stream error
 	// fails the statement).
-	res, err := conn.Execute("SELECT COUNT(*) FROM t")
+	res, err := conn.Execute(bg, "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +97,12 @@ func TestCopyStreamAbort(t *testing.T) {
 // io.ErrClosedPipe the plumbing produces.
 func TestCopyStreamRootCause(t *testing.T) {
 	c := cluster(t)
-	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	conn, err := InProc(c).Connect(bg, c.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	cs := NewCopyStream(conn, "COPY missing FROM STDIN FORMAT CSV")
+	cs := NewCopyStream(bg, conn, "COPY missing FROM STDIN FORMAT CSV")
 	var werr error
 	// The rejection lands asynchronously; keep feeding until the pipe breaks.
 	// The loop is bounded by the pipe closing, not by timing.
@@ -123,12 +126,12 @@ func TestCopyStreamRootCause(t *testing.T) {
 
 func TestCopyStreamBadStatement(t *testing.T) {
 	c := cluster(t)
-	conn, err := InProc(c).Connect(c.Node(0).Addr)
+	conn, err := InProc(c).Connect(bg, c.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	cs := NewCopyStream(conn, "COPY missing FROM STDIN FORMAT CSV")
+	cs := NewCopyStream(bg, conn, "COPY missing FROM STDIN FORMAT CSV")
 	// Writes may fail fast once the server side rejects the statement.
 	_, _ = cs.Write([]byte(strings.Repeat("1\n", 10)))
 	if _, err := cs.Finish(); err == nil {

@@ -510,26 +510,62 @@ func TestS2VRoundTripThroughV2S(t *testing.T) {
 // ---------- Options ----------
 
 func TestParseOptions(t *testing.T) {
-	o, err := ParseOptions(map[string]string{
+	o, err := ParseS2VOptions(map[string]string{
 		"host": "h", "table": "t", "numPartitions": "32",
 		"failedRowsPercentTolerance": "0.02", "user": "u",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.NumPartitions != 32 || o.FailedRowsPercentTolerance != 0.02 {
+	if o.NumPartitions != 32 || o.FailedRowsPercentTolerance != 0.02 || o.User != "u" {
 		t.Errorf("opts = %+v", o)
 	}
-	if _, err := ParseOptions(map[string]string{"host": "h"}); err == nil {
+	if o.CopyFormat != "avro" {
+		t.Errorf("default copy_format = %q, want avro", o.CopyFormat)
+	}
+	if _, err := ParseV2SOptions(map[string]string{"host": "h"}); err == nil {
 		t.Error("missing table should fail")
 	}
-	if _, err := ParseOptions(map[string]string{"table": "t"}); err == nil {
+	if _, err := ParseS2VOptions(map[string]string{"table": "t"}); err == nil {
 		t.Error("missing host should fail")
 	}
-	if _, err := ParseOptions(map[string]string{"host": "h", "table": "t", "numPartitions": "-1"}); err == nil {
+	if _, err := ParseV2SOptions(map[string]string{"host": "h", "table": "t", "numPartitions": "-1"}); err == nil {
 		t.Error("bad numPartitions should fail")
 	}
-	if _, err := ParseOptions(map[string]string{"host": "h", "table": "t", "failedRowsPercentTolerance": "1.5"}); err == nil {
+	if _, err := ParseS2VOptions(map[string]string{"host": "h", "table": "t", "failedRowsPercentTolerance": "1.5"}); err == nil {
 		t.Error("tolerance > 1 should fail")
+	}
+}
+
+func TestTypedOptions(t *testing.T) {
+	v, err := NewV2SOptions("t", "h", WithPartitions(8), WithoutLocality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumPartitions != 8 || !v.DisableLocality {
+		t.Errorf("v2s opts = %+v", v)
+	}
+	sv, err := NewS2VOptions("t", "h", WithJobName("j1"), WithTolerance(0.1), WithCopyFormat("CSV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.JobName != "j1" || sv.FailedRowsPercentTolerance != 0.1 || sv.CopyFormat != "csv" {
+		t.Errorf("s2v opts = %+v", sv)
+	}
+	// Direction-specific options reject the wrong constructor.
+	if _, err := NewS2VOptions("t", "h", WithoutLocality()); err == nil {
+		t.Error("WithoutLocality on S2V should fail")
+	}
+	if _, err := NewV2SOptions("t", "h", WithJobName("j")); err == nil {
+		t.Error("WithJobName on V2S should fail")
+	}
+	if _, err := NewS2VOptions("t", "h", WithTolerance(2)); err == nil {
+		t.Error("out-of-range tolerance should fail")
+	}
+	if _, err := NewS2VOptions("t", "h", WithCopyFormat("parquet")); err == nil {
+		t.Error("bad copy_format should fail")
+	}
+	if _, err := NewV2SOptions("", "h"); err == nil {
+		t.Error("empty table should fail")
 	}
 }

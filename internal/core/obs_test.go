@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vsfabric/internal/obs"
+	"vsfabric/internal/spark"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vertica"
+)
+
+// query runs one statement through a fresh session and returns its rows.
+func (h *harness) query(t *testing.T, sql string) []types.Row {
+	t.Helper()
+	s, err := h.cluster.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Execute(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res.Rows
+}
+
+// obsHarness is a harness whose source reports to the cluster's own
+// collector, so connector spans and resilience events surface in v_monitor.
+func obsHarness(t *testing.T, vNodes, sNodes int) *harness {
+	t.Helper()
+	h := newHarness(t, vNodes, sNodes, nil)
+	h.src.WithObserver(h.cluster.Obs())
+	return h
+}
+
+func spansByName(h *harness, name string) []obs.Span {
+	var out []obs.Span
+	for _, sp := range h.cluster.Obs().Spans() {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// TestVMonitorAfterConnectorRoundTrip: after a V2S load and an S2V save, the
+// connector's spans are queryable through the v_monitor system tables and
+// the collector holds the full span taxonomy.
+func TestVMonitorAfterConnectorRoundTrip(t *testing.T) {
+	h := obsHarness(t, 4, 2)
+	h.seedTable(t, "d1", 500)
+	h.cluster.Obs().Reset() // drop the seeding noise; watch only the jobs
+
+	const parts = 4
+	df, err := h.sc.Read().Format(DefaultSourceName).Options(loadOpts(h, "d1", parts)).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("V2S returned %d rows, want 500", len(rows))
+	}
+
+	// Partition spans: one per V2S partition, each carrying its row count.
+	pspans := spansByName(h, "v2s.partition")
+	if len(pspans) != parts {
+		t.Fatalf("v2s.partition spans = %d, want %d", len(pspans), parts)
+	}
+	var pRows int64
+	for _, sp := range pspans {
+		if !sp.OK() {
+			t.Errorf("partition span failed: %+v", sp)
+		}
+		pRows += sp.Rows
+	}
+	if pRows != 500 {
+		t.Errorf("partition spans account for %d rows, want 500", pRows)
+	}
+
+	// Saving the same (lazy) DataFrame re-runs the V2S scan underneath the
+	// S2V job, so both directions land in one trace.
+	err = df.Write().Format(DefaultSourceName).
+		Options(map[string]string{"host": h.host, "table": "d2", "jobname": "obs_job"}).
+		Mode(spark.SaveOverwrite).Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// S2V: one setup span, phase spans for every phase a task entered, and
+	// exactly one committer that ran phases 3-5.
+	if got := spansByName(h, "s2v.setup"); len(got) != 1 || !got[0].OK() {
+		t.Fatalf("s2v.setup spans = %+v, want one clean span", got)
+	}
+	p1 := spansByName(h, "s2v.phase1")
+	if len(p1) == 0 {
+		t.Fatal("no s2v.phase1 spans recorded")
+	}
+	var staged int64
+	for _, sp := range p1 {
+		staged += sp.Rows
+	}
+	if staged != 500 {
+		t.Errorf("phase1 spans staged %d rows, want 500", staged)
+	}
+	if got := spansByName(h, "s2v.phase5"); len(got) != 1 || !got[0].OK() {
+		t.Fatalf("s2v.phase5 spans = %+v, want exactly one committer", got)
+	}
+	for _, sp := range append(spansByName(h, "s2v.phase2"), spansByName(h, "s2v.phase3")...) {
+		if !strings.Contains(sp.Detail, "job obs_job") {
+			t.Errorf("phase span detail %q does not name the job", sp.Detail)
+		}
+	}
+
+	// The same history through SQL: query_requests saw the tasks' statements
+	// (with the executor recorded as the client), load_streams saw one COPY
+	// per staged partition, and projection_storage reflects the new table.
+	s, err := h.cluster.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Execute("SELECT COUNT(*) FROM v_monitor.query_requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.I == 0 {
+		t.Error("query_requests is empty after a connector round trip")
+	}
+	res, err = s.Execute("SELECT accepted_row_count FROM v_monitor.load_streams WHERE success = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded int64
+	for _, r := range res.Rows {
+		loaded += r[0].I
+	}
+	if loaded != 500 {
+		t.Errorf("load_streams accepted %d rows, want 500", loaded)
+	}
+	res, err = s.Execute("SELECT COUNT(*) FROM v_monitor.projection_storage WHERE anchor_table_name = 'd2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.I != int64(h.cluster.NumNodes()) {
+		t.Errorf("projection_storage rows for d2 = %d, want %d", v.I, h.cluster.NumNodes())
+	}
+}
+
+// TestVMonitorUnderConcurrentJobs hammers the collector from concurrent V2S
+// and S2V jobs while a monitor session reads the system tables — the -race
+// guard for the whole observability path.
+func TestVMonitorUnderConcurrentJobs(t *testing.T) {
+	h := obsHarness(t, 4, 4)
+	h.seedTable(t, "src", 300)
+
+	done := make(chan struct{})
+	var mon sync.WaitGroup
+	mon.Add(1)
+	go func() {
+		defer mon.Done()
+		s, err := h.cluster.Connect(1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Close()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, q := range []string{
+				"SELECT COUNT(*) FROM v_monitor.query_requests",
+				"SELECT COUNT(*) FROM v_monitor.load_streams",
+				"SELECT COUNT(*) FROM v_monitor.resilience_events",
+				"SELECT COUNT(*) FROM v_monitor.counters",
+			} {
+				if _, err := s.Execute(q); err != nil {
+					t.Errorf("%s: %v", q, err)
+					return
+				}
+			}
+		}
+	}()
+
+	var jobs sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		jobs.Add(2)
+		go func() {
+			defer jobs.Done()
+			df, err := h.sc.Read().Format(DefaultSourceName).Options(loadOpts(h, "src", 4)).Load()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rows, err := df.Collect()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(rows) != 300 {
+				t.Errorf("concurrent V2S returned %d rows, want 300", len(rows))
+			}
+		}()
+		go func(i int) {
+			defer jobs.Done()
+			df := testDF(h, 200, 4)
+			err := df.Write().Format(DefaultSourceName).
+				Options(loadOpts(h, fmt.Sprintf("conc_out_%d", i), 4)).
+				Mode(spark.SaveOverwrite).Save()
+			if err != nil {
+				t.Errorf("concurrent S2V: %v", err)
+			}
+		}(i)
+	}
+	jobs.Wait()
+	close(done)
+	mon.Wait()
+
+	for i := 0; i < 2; i++ {
+		if got := h.count(t, fmt.Sprintf("conc_out_%d", i)); got != 200 {
+			t.Errorf("conc_out_%d has %d rows, want 200", i, got)
+		}
+	}
+	if got := int(h.cluster.Obs().Counter("span.v2s.partition")); got != 8 {
+		t.Errorf("v2s.partition span counter = %d, want 8", got)
+	}
+}
+
+// TestS2VFailureSpanCompleteness: when an S2V job dies mid-protocol, every
+// phase a task entered still closes its span — the failing phase carries the
+// error, and the job's permanent status row records the failure.
+func TestS2VFailureSpanCompleteness(t *testing.T) {
+	h := newChaosHarness(t, 2, 2, 1, vertica.Config{})
+	h.src.WithObserver(h.cluster.Obs())
+	h.cluster.Obs().Reset()
+
+	// Every task COPY stream is severed and the scheduler allows no retries:
+	// the job must fail in phase 1.
+	h.chaos.SeverCopyAfter("", 256, 8)
+	df := testDF(h.harness, 2000, 2)
+	err := df.Write().Format(DefaultSourceName).
+		Options(fastRetry(loadOpts(h.harness, "doomed", 2))).
+		Mode(spark.SaveOverwrite).Save()
+	if err == nil {
+		t.Fatal("severed COPY with no task retries should fail the job")
+	}
+
+	setup := spansByName(h.harness, "s2v.setup")
+	if len(setup) != 1 || !setup[0].OK() {
+		t.Fatalf("s2v.setup spans = %+v, want one clean span", setup)
+	}
+	p1 := spansByName(h.harness, "s2v.phase1")
+	if len(p1) == 0 {
+		t.Fatal("failed job recorded no s2v.phase1 spans")
+	}
+	failed := 0
+	for _, sp := range p1 {
+		if sp.Err != "" {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("no phase1 span carries the failure: %+v", p1)
+	}
+	// No task got past staging, so the commit phases never opened spans.
+	if got := spansByName(h.harness, "s2v.phase5"); len(got) != 0 {
+		t.Errorf("phase5 spans on a job that died in phase1: %+v", got)
+	}
+
+	res := h.query(t, "SELECT status FROM "+JobStatusTable)
+	if len(res) != 1 || res[0][0].S != "FAILED" {
+		t.Errorf("job status rows = %+v, want one FAILED row", res)
+	}
+}
+
+// TestResilienceEventsAfterInjectedFault: connection faults absorbed by the
+// resilient pool surface as rows in v_monitor.resilience_events.
+func TestResilienceEventsAfterInjectedFault(t *testing.T) {
+	h := newChaosHarness(t, 4, 2, 4, vertica.Config{})
+	h.src.WithObserver(h.cluster.Obs())
+	h.seedTable(t, "rt", 200)
+	h.cluster.Obs().Reset()
+
+	h.chaos.RefuseConnect(h.host, 2)
+	df, err := h.sc.Read().Format(DefaultSourceName).Options(fastRetry(loadOpts(h.harness, "rt", 2))).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatalf("refused connects should be retried: %v", err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("got %d rows, want 200", len(rows))
+	}
+	if got := len(h.chaos.Log()); got != 2 {
+		t.Fatalf("chaos log = %v, want both refusals injected", h.chaos.Log())
+	}
+
+	res := h.query(t, "SELECT COUNT(*) FROM v_monitor.resilience_events WHERE event_type = 'conn_failure'")
+	if res[0][0].I < 2 {
+		t.Errorf("conn_failure events = %d, want >= 2", res[0][0].I)
+	}
+	res = h.query(t, "SELECT COUNT(*) FROM v_monitor.resilience_events WHERE event_type = 'retry'")
+	if res[0][0].I == 0 {
+		t.Error("no retry events recorded for the injected refusals")
+	}
+	if h.cluster.Obs().Counter("backoff") == 0 {
+		t.Error("no backoff counter bumps for the injected refusals")
+	}
+}

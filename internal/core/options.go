@@ -11,11 +11,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
 )
 
@@ -23,9 +25,12 @@ import (
 // matching the paper's "com.vertica.spark.datasource.DefaultSource".
 const DefaultSourceName = "com.vertica.spark.datasource.DefaultSource"
 
-// Options are the key=value options of the External Data Source API calls
-// (the `opts` of Table 1).
-type Options struct {
+// ConnOptions are the settings shared by both connector directions: where to
+// connect, how parallel to be, and how hard the resilience layer tries.
+// Construct V2SOptions/S2VOptions through NewV2SOptions/NewS2VOptions, which
+// validate; the External Data Source API's stringly map form is parsed by
+// ParseV2SOptions/ParseS2VOptions, thin shims over the same constructors.
+type ConnOptions struct {
 	// Table is the target table (or, for loads, a view name).
 	Table string
 	// Host is the address of any one cluster node; the connector discovers
@@ -39,98 +44,267 @@ type Options struct {
 	// (a practical value per §4.2); for S2V it defaults to the DataFrame's
 	// current partitioning.
 	NumPartitions int
-	// FailedRowsPercentTolerance is S2V's rejected-row budget in [0,1]
-	// (§3.2: "user control to specify a tolerance for the number of rows
-	// rejected").
-	FailedRowsPercentTolerance float64
-	// JobName optionally names the S2V job in the permanent status table.
-	JobName string
+	// Retry configures the resilience layer every connector connection goes
+	// through: failover attempts, backoff, circuit breakers, per-operation
+	// deadlines. The zero value uses resilience defaults.
+	Retry resilience.Policy
+	// Observer receives the connector-side trace: v2s.partition and
+	// s2v.phase* spans plus every resilience event (retry, backoff, breaker
+	// transitions, failover). Wire a vertica.Cluster's Obs() collector here
+	// to surface them in v_monitor; nil records nothing. Only settable
+	// programmatically (WithObserver or DefaultSource.WithObserver) — it has
+	// no stringly form.
+	Observer obs.Observer
+}
+
+// validate is the one shared validator behind both constructors.
+func (c *ConnOptions) validate() error {
+	if c.Table == "" {
+		return errors.New(`core: option "table" is required`)
+	}
+	if c.Host == "" {
+		return errors.New(`core: option "host" is required`)
+	}
+	if c.NumPartitions < 0 {
+		return fmt.Errorf("core: numPartitions must be positive, got %d", c.NumPartitions)
+	}
+	return nil
+}
+
+// V2SOptions configure a load (V2S, the LOAD half of Table 1).
+type V2SOptions struct {
+	ConnOptions
 	// DisableLocality turns off V2S's hash-ring locality (each task still
 	// gets a unique range but connects to the "wrong" node), the ablation
 	// for the §3.1.2 optimization. Option: disable_locality_optimization.
 	DisableLocality bool
+}
+
+// S2VOptions configure a save (S2V, the SAVE half of Table 1).
+type S2VOptions struct {
+	ConnOptions
+	// JobName names the S2V job in the permanent status table; the source
+	// assigns one when empty.
+	JobName string
+	// FailedRowsPercentTolerance is S2V's rejected-row budget in [0,1]
+	// (§3.2: "user control to specify a tolerance for the number of rows
+	// rejected").
+	FailedRowsPercentTolerance float64
 	// CopyFormat selects the S2V task encoding: "avro" (default, §3.2.2) or
 	// "csv" — the encoding ablation. Option: copy_format.
 	CopyFormat string
-	// Retry configures the resilience layer every connector connection goes
-	// through: failover attempts, backoff, circuit breakers, per-operation
-	// deadlines. The zero value uses resilience defaults. Options:
-	// retry_attempts, retry_backoff_ms, op_timeout_ms.
-	Retry resilience.Policy
 }
 
-// ParseOptions validates and extracts connector options.
-func ParseOptions(m map[string]string) (Options, error) {
-	o := Options{NumPartitions: 0, FailedRowsPercentTolerance: 0}
-	get := func(k string) string {
-		for mk, v := range m {
-			if strings.EqualFold(mk, k) {
-				return v
-			}
-		}
-		return ""
+func (o *S2VOptions) validate() error {
+	if err := o.ConnOptions.validate(); err != nil {
+		return err
 	}
-	o.Table = get("table")
-	o.Host = get("host")
-	o.User = get("user")
-	o.Password = get("password")
-	o.DB = get("db")
-	o.JobName = get("jobname")
-	if o.Table == "" {
-		return o, fmt.Errorf("core: option \"table\" is required")
+	if o.FailedRowsPercentTolerance < 0 || o.FailedRowsPercentTolerance > 1 {
+		return fmt.Errorf("core: failedRowsPercentTolerance must be in [0,1], got %g", o.FailedRowsPercentTolerance)
 	}
-	if o.Host == "" {
-		return o, fmt.Errorf("core: option \"host\" is required")
-	}
-	if v := get("numpartitions"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return o, fmt.Errorf("core: bad numPartitions %q", v)
-		}
-		o.NumPartitions = n
-	}
-	if v := get("disable_locality_optimization"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return o, fmt.Errorf("core: bad disable_locality_optimization %q", v)
-		}
-		o.DisableLocality = b
-	}
-	switch cf := strings.ToLower(get("copy_format")); cf {
-	case "", "avro":
-		o.CopyFormat = "avro"
-	case "csv":
-		o.CopyFormat = "csv"
+	switch o.CopyFormat {
+	case "", "avro", "csv":
 	default:
-		return o, fmt.Errorf("core: bad copy_format %q (want avro or csv)", cf)
+		return fmt.Errorf("core: bad copy_format %q (want avro or csv)", o.CopyFormat)
 	}
-	if v := get("retry_attempts"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return o, fmt.Errorf("core: bad retry_attempts %q", v)
-		}
-		o.Retry.MaxAttempts = n
+	return nil
+}
+
+// Option is a functional option accepted by NewV2SOptions and NewS2VOptions.
+// Shared options apply to either direction; direction-specific ones
+// (WithoutLocality, WithJobName, ...) reject the wrong constructor with a
+// clear error instead of being silently dropped.
+type Option struct {
+	v2s func(*V2SOptions) error
+	s2v func(*S2VOptions) error
+}
+
+// connOption lifts a shared-field mutation into both directions.
+func connOption(f func(*ConnOptions)) Option {
+	return Option{
+		v2s: func(o *V2SOptions) error { f(&o.ConnOptions); return nil },
+		s2v: func(o *S2VOptions) error { f(&o.ConnOptions); return nil },
 	}
-	if v := get("retry_backoff_ms"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return o, fmt.Errorf("core: bad retry_backoff_ms %q", v)
-		}
-		o.Retry.BaseBackoff = time.Duration(n) * time.Millisecond
+}
+
+// WithCredentials sets the user, password, and database name.
+func WithCredentials(user, password, db string) Option {
+	return connOption(func(c *ConnOptions) { c.User, c.Password, c.DB = user, password, db })
+}
+
+// WithPartitions requests n-way parallelism.
+func WithPartitions(n int) Option {
+	return connOption(func(c *ConnOptions) { c.NumPartitions = n })
+}
+
+// WithRetry installs a resilience policy.
+func WithRetry(p resilience.Policy) Option {
+	return connOption(func(c *ConnOptions) { c.Retry = p })
+}
+
+// WithObserver attaches an observer for connector spans and resilience
+// events.
+func WithObserver(o obs.Observer) Option {
+	return connOption(func(c *ConnOptions) { c.Observer = o })
+}
+
+// WithoutLocality disables the §3.1.2 locality optimization (loads only).
+func WithoutLocality() Option {
+	return Option{
+		v2s: func(o *V2SOptions) error { o.DisableLocality = true; return nil },
+		s2v: func(*S2VOptions) error {
+			return errors.New("core: disable_locality_optimization applies only to loads (V2S)")
+		},
 	}
-	if v := get("op_timeout_ms"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return o, fmt.Errorf("core: bad op_timeout_ms %q", v)
-		}
-		o.Retry.OpTimeout = time.Duration(n) * time.Millisecond
+}
+
+func s2vOnly(name string, f func(*S2VOptions)) Option {
+	return Option{
+		v2s: func(*V2SOptions) error {
+			return fmt.Errorf("core: %s applies only to saves (S2V)", name)
+		},
+		s2v: func(o *S2VOptions) error { f(o); return nil },
 	}
-	if v := get("failedrowspercenttolerance"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f < 0 || f > 1 {
-			return o, fmt.Errorf("core: bad failedRowsPercentTolerance %q (want [0,1])", v)
+}
+
+// WithJobName names the save's row in the permanent job status table.
+func WithJobName(name string) Option {
+	return s2vOnly("jobName", func(o *S2VOptions) { o.JobName = name })
+}
+
+// WithTolerance sets the rejected-row budget in [0,1].
+func WithTolerance(f float64) Option {
+	return s2vOnly("failedRowsPercentTolerance", func(o *S2VOptions) { o.FailedRowsPercentTolerance = f })
+}
+
+// WithCopyFormat selects the task encoding, "avro" or "csv".
+func WithCopyFormat(format string) Option {
+	return s2vOnly("copy_format", func(o *S2VOptions) { o.CopyFormat = strings.ToLower(format) })
+}
+
+// NewV2SOptions builds validated load options.
+func NewV2SOptions(table, host string, opts ...Option) (V2SOptions, error) {
+	o := V2SOptions{ConnOptions: ConnOptions{Table: table, Host: host}}
+	for _, op := range opts {
+		if err := op.v2s(&o); err != nil {
+			return o, err
 		}
-		o.FailedRowsPercentTolerance = f
+	}
+	if err := o.ConnOptions.validate(); err != nil {
+		return o, err
 	}
 	return o, nil
+}
+
+// NewS2VOptions builds validated save options.
+func NewS2VOptions(table, host string, opts ...Option) (S2VOptions, error) {
+	o := S2VOptions{ConnOptions: ConnOptions{Table: table, Host: host}, CopyFormat: "avro"}
+	for _, op := range opts {
+		if err := op.s2v(&o); err != nil {
+			return o, err
+		}
+	}
+	if err := o.validate(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stringly shims: the External Data Source API hands the connector a
+// map[string]string (the `opts` of Table 1). These parse that map into the
+// typed options above — all validation lives in the constructors; the shims
+// only turn strings into values, with actionable errors naming the bad key.
+
+// optLookup finds a key case-insensitively (the Spark options map convention).
+func optLookup(m map[string]string, k string) string {
+	for mk, v := range m {
+		if strings.EqualFold(mk, k) {
+			return v
+		}
+	}
+	return ""
+}
+
+// parseCommon converts the shared string options into functional options.
+func parseCommon(m map[string]string) (table, host string, opts []Option, err error) {
+	table = optLookup(m, "table")
+	host = optLookup(m, "host")
+	if u, p, db := optLookup(m, "user"), optLookup(m, "password"), optLookup(m, "db"); u != "" || p != "" || db != "" {
+		opts = append(opts, WithCredentials(u, p, db))
+	}
+	if v := optLookup(m, "numpartitions"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n <= 0 {
+			return table, host, opts, fmt.Errorf("core: bad numPartitions %q", v)
+		}
+		opts = append(opts, WithPartitions(n))
+	}
+	var pol resilience.Policy
+	havePol := false
+	if v := optLookup(m, "retry_attempts"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n <= 0 {
+			return table, host, opts, fmt.Errorf("core: bad retry_attempts %q", v)
+		}
+		pol.MaxAttempts, havePol = n, true
+	}
+	if v := optLookup(m, "retry_backoff_ms"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n <= 0 {
+			return table, host, opts, fmt.Errorf("core: bad retry_backoff_ms %q", v)
+		}
+		pol.BaseBackoff, havePol = time.Duration(n)*time.Millisecond, true
+	}
+	if v := optLookup(m, "op_timeout_ms"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n <= 0 {
+			return table, host, opts, fmt.Errorf("core: bad op_timeout_ms %q", v)
+		}
+		pol.OpTimeout, havePol = time.Duration(n)*time.Millisecond, true
+	}
+	if havePol {
+		opts = append(opts, WithRetry(pol))
+	}
+	return table, host, opts, nil
+}
+
+// ParseV2SOptions parses the map form of load options.
+func ParseV2SOptions(m map[string]string) (V2SOptions, error) {
+	table, host, opts, err := parseCommon(m)
+	if err != nil {
+		return V2SOptions{}, err
+	}
+	if v := optLookup(m, "disable_locality_optimization"); v != "" {
+		b, convErr := strconv.ParseBool(v)
+		if convErr != nil {
+			return V2SOptions{}, fmt.Errorf("core: bad disable_locality_optimization %q", v)
+		}
+		if b {
+			opts = append(opts, WithoutLocality())
+		}
+	}
+	return NewV2SOptions(table, host, opts...)
+}
+
+// ParseS2VOptions parses the map form of save options.
+func ParseS2VOptions(m map[string]string) (S2VOptions, error) {
+	table, host, opts, err := parseCommon(m)
+	if err != nil {
+		return S2VOptions{}, err
+	}
+	if v := optLookup(m, "jobname"); v != "" {
+		opts = append(opts, WithJobName(v))
+	}
+	if v := optLookup(m, "failedrowspercenttolerance"); v != "" {
+		f, convErr := strconv.ParseFloat(v, 64)
+		if convErr != nil || f < 0 || f > 1 {
+			return S2VOptions{}, fmt.Errorf("core: bad failedRowsPercentTolerance %q (want [0,1])", v)
+		}
+		opts = append(opts, WithTolerance(f))
+	}
+	if v := optLookup(m, "copy_format"); v != "" {
+		opts = append(opts, WithCopyFormat(v))
+	}
+	return NewS2VOptions(table, host, opts...)
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"vsfabric/internal/avro"
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
@@ -29,7 +31,7 @@ type s2vWriter struct {
 	// rpool wraps pool with failover/backoff; built once per run, its host
 	// set is installed after setup discovers the cluster layout.
 	rpool *resilience.ResilientConnector
-	opts  Options
+	opts  S2VOptions
 	mode  spark.SaveMode
 
 	staging   string
@@ -50,8 +52,10 @@ type taskReport struct {
 func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	trace := sc.Conf().Trace
 	setupRec := trace.Task("driver-00-setup", "")
+	setupCtx := obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: setupRec}), "driver")
 
 	w.rpool = resilience.NewResilient(w.pool, nil, w.opts.Retry)
+	w.rpool.SetObserver(w.opts.Observer)
 	// The driver connection is self-healing: a connection dropped at a phase
 	// boundary (between statements) is re-dialed — failing over to another
 	// node — and the statement retried. Every driver statement is autocommit
@@ -59,8 +63,6 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	// so a retry after a pre-execution drop cannot double-apply.
 	conn := resilience.NewDriverConn(w.rpool, w.opts.Host)
 	defer conn.Close()
-	conn.SetRecorder(setupRec, "driver")
-	setupRec.Fixed(sim.FixedConnect)
 
 	if w.opts.NumPartitions > 0 {
 		rep, err := df.Repartition(w.opts.NumPartitions)
@@ -76,7 +78,11 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	nParts := rdd.NumPartitions()
 	w.schema = df.Schema()
 
-	if err := w.setup(conn, nParts); err != nil {
+	sp := obs.Start(w.opts.Observer, "s2v.setup", "driver")
+	sp.SetDetail(w.opts.JobName)
+	err = w.setup(setupCtx, conn, nParts)
+	sp.End(err)
+	if err != nil {
 		return err
 	}
 
@@ -90,20 +96,20 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	_, jobErr := reports.Collect()
 
 	teardownRec := trace.Task("driver-99-teardown", "")
-	conn.SetRecorder(teardownRec, "driver")
+	teardownCtx := obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: teardownRec}), "driver")
 	if jobErr != nil {
 		// Total failure or a task out of retries: the staging table is
 		// abandoned, the target is untouched, and the permanent status
 		// table records the failure (best effort — if Vertica is also gone
 		// the row simply stays unfinished, §3.2).
-		w.markFailed(conn)
-		w.dropTemp(conn, true)
+		w.markFailed(teardownCtx, conn)
+		w.dropTemp(teardownCtx, conn, true)
 		return fmt.Errorf("core: S2V job %q failed: %w", w.opts.JobName, jobErr)
 	}
 
 	// The job's tasks all completed; the last committer has decided the
 	// outcome. Read it back and clean up.
-	res, err := conn.Execute(fmt.Sprintf(
+	res, err := conn.Execute(teardownCtx, fmt.Sprintf(
 		"SELECT status, failed_rows_percent FROM %s WHERE job_name = '%s'", JobStatusTable, sqlEscape(w.opts.JobName)))
 	if err != nil {
 		return err
@@ -112,7 +118,7 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 		return fmt.Errorf("core: job %q missing from %s", w.opts.JobName, JobStatusTable)
 	}
 	status, pct := res.Rows[0][0].S, res.Rows[0][1].F
-	w.dropTemp(conn, status != "SUCCESS")
+	w.dropTemp(teardownCtx, conn, status != "SUCCESS")
 	if status != "SUCCESS" {
 		return fmt.Errorf("%w: %.4f%% rejected (job %q)", ErrToleranceExceeded, pct*100, w.opts.JobName)
 	}
@@ -121,13 +127,13 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 
 // setup creates the staging table, the three bookkeeping tables, and the
 // per-task status rows (§3.2: "3 temporary tables, and 1 permanent table").
-func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
+func (w *s2vWriter) setup(ctx context.Context, conn client.Conn, nParts int) error {
 	job := sanitizeIdent(w.opts.JobName)
 	w.staging = "s2v_stage_" + job
 	w.status = "s2v_task_status_" + job
 	w.committer = "s2v_last_committer_" + job
 
-	targetExists, err := w.tableExists(conn, w.opts.Table)
+	targetExists, err := w.tableExists(ctx, conn, w.opts.Table)
 	if err != nil {
 		return err
 	}
@@ -140,7 +146,7 @@ func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
 		if !targetExists {
 			return fmt.Errorf("core: table %q does not exist (mode: append)", w.opts.Table)
 		}
-		lay, err := discoverLayout(conn, w.opts.Table)
+		lay, err := discoverLayout(ctx, conn, w.opts.Table)
 		if err != nil {
 			return err
 		}
@@ -156,7 +162,7 @@ func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
 		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.status),
 		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.committer),
 	} {
-		if _, err := conn.Execute(stmt); err != nil {
+		if _, err := conn.Execute(ctx, stmt); err != nil {
 			return err
 		}
 	}
@@ -180,12 +186,12 @@ func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
 	}
 	ddl = append(ddl, fmt.Sprintf("INSERT INTO %s VALUES %s", w.status, strings.Join(taskRows, ", ")))
 	for _, stmt := range ddl {
-		if _, err := conn.Execute(stmt); err != nil {
+		if _, err := conn.Execute(ctx, stmt); err != nil {
 			return err
 		}
 	}
 
-	lay, err := discoverLayout(conn, w.staging)
+	lay, err := discoverLayout(ctx, conn, w.staging)
 	if err != nil {
 		return err
 	}
@@ -193,6 +199,15 @@ func (w *s2vWriter) setup(conn client.Conn, nParts int) error {
 	// From here on, task and driver reconnects can fail over cluster-wide.
 	w.rpool.SetHosts(w.addrs)
 	return nil
+}
+
+// phaseSpan opens one "s2v.phaseN" span for a task. Every phase a task enters
+// gets exactly one span, and the span closes with that phase's error — the
+// contract the observability tests pin down.
+func (w *s2vWriter) phaseSpan(name string, tc *spark.TaskContext, p int) *obs.ActiveSpan {
+	sp := obs.Start(w.opts.Observer, name, tc.ExecNode)
+	sp.SetDetail(fmt.Sprintf("job %s task %d attempt %d", w.opts.JobName, p, tc.Attempt))
+	return sp
 }
 
 // runTask is one task attempt's walk through the five phases of Figure 5.
@@ -203,25 +218,24 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	if err := tc.Checkpoint("s2v.task_start"); err != nil {
 		return rep, err
 	}
+	ctx := taskCtx(tc)
 	// Balance connections across the cluster; retries shift to another node
 	// so a single bad node cannot wedge a task. The resilient pool adds
 	// connect-level failover underneath: a refused or down node costs a
 	// backoff, not a whole task attempt.
 	addr := w.addrs[(p+tc.Attempt)%len(w.addrs)]
-	conn, err := w.rpool.Connect(addr)
+	conn, err := w.rpool.Connect(ctx, addr)
 	if err != nil {
 		return rep, err
 	}
 	defer conn.Close()
-	conn.SetRecorder(tc.Rec, tc.ExecNode)
-	tc.Rec.Fixed(sim.FixedConnect)
 
 	// A restarted attempt first inquires the state of progress (§3.2: tasks
 	// "utilize these tables to inquire the state of progress of all other
 	// tasks"). If the job already committed, the staging table is gone and
 	// there is nothing left to do; if this task's earlier attempt already
 	// saved its data, skip straight to phase 2.
-	res0, err := conn.Execute(fmt.Sprintf(
+	res0, err := conn.Execute(ctx, fmt.Sprintf(
 		"SELECT finished FROM %s WHERE job_name = '%s'", JobStatusTable, sqlEscape(w.opts.JobName)))
 	if err != nil {
 		return rep, err
@@ -229,7 +243,7 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	if len(res0.Rows) == 1 && res0.Rows[0][0].AsBool() {
 		return rep, nil
 	}
-	res0, err = conn.Execute(fmt.Sprintf(
+	res0, err = conn.Execute(ctx, fmt.Sprintf(
 		"SELECT done FROM %s WHERE task_id = %d", w.status, p))
 	if err != nil {
 		return rep, err
@@ -239,16 +253,20 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	// ---- Phase 1: save this partition into the staging table and flip the
 	// task's done flag, both under one transaction.
 	if !alreadyDone {
-		if err := w.phase1(tc, conn, p, rows, &rep); err != nil {
+		sp := w.phaseSpan("s2v.phase1", tc, p)
+		err := w.phase1(ctx, tc, conn, p, rows, &rep)
+		sp.AddRows(rep.Loaded)
+		sp.AddRejected(rep.Rejected)
+		sp.End(err)
+		if err != nil {
 			return rep, err
 		}
 	}
+
 	// ---- Phase 2: are all tasks done?
-	res, err := conn.Execute(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE done = FALSE", w.status))
-	if err != nil {
-		return rep, err
-	}
-	notDone, err := singleInt(res)
+	sp := w.phaseSpan("s2v.phase2", tc, p)
+	notDone, err := w.phase2(ctx, conn)
+	sp.End(err)
 	if err != nil {
 		return rep, err
 	}
@@ -261,19 +279,10 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 
 	// ---- Phase 3: race to become the last committer (leader election via
 	// conditional update).
-	if _, err := conn.Execute("BEGIN"); err != nil {
-		return rep, err
-	}
-	res, err = conn.Execute(fmt.Sprintf(
-		"UPDATE %s SET task_id = %d WHERE task_id = -1", w.committer, p))
+	sp = w.phaseSpan("s2v.phase3", tc, p)
+	err = w.phase3(ctx, conn, p)
+	sp.End(err)
 	if err != nil {
-		return rep, err
-	}
-	if res.RowsAffected == 1 {
-		if _, err := conn.Execute("COMMIT"); err != nil {
-			return rep, err
-		}
-	} else if _, err := conn.Execute("ROLLBACK"); err != nil {
 		return rep, err
 	}
 	if err := tc.Checkpoint("s2v.phase3.after"); err != nil {
@@ -281,11 +290,9 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	}
 
 	// ---- Phase 4: did this task win?
-	res, err = conn.Execute(fmt.Sprintf("SELECT task_id FROM %s", w.committer))
-	if err != nil {
-		return rep, err
-	}
-	winner, err := singleInt(res)
+	sp = w.phaseSpan("s2v.phase4", tc, p)
+	winner, err := w.phase4(ctx, conn)
+	sp.End(err)
 	if err != nil {
 		return rep, err
 	}
@@ -295,10 +302,55 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 
 	// ---- Phase 5: the last committer checks the tolerance and atomically
 	// publishes staging into the target together with the final status.
-	res, err = conn.Execute(fmt.Sprintf(
+	sp = w.phaseSpan("s2v.phase5", tc, p)
+	err = w.phase5(ctx, tc, conn)
+	sp.End(err)
+	return rep, err
+}
+
+// phase2 counts the tasks that have not yet staged their data.
+func (w *s2vWriter) phase2(ctx context.Context, conn client.Conn) (int64, error) {
+	res, err := conn.Execute(ctx, fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE done = FALSE", w.status))
+	if err != nil {
+		return 0, err
+	}
+	return singleInt(res)
+}
+
+// phase3 races to claim the committer slot via a conditional update.
+func (w *s2vWriter) phase3(ctx context.Context, conn client.Conn, p int) error {
+	if _, err := conn.Execute(ctx, "BEGIN"); err != nil {
+		return err
+	}
+	res, err := conn.Execute(ctx, fmt.Sprintf(
+		"UPDATE %s SET task_id = %d WHERE task_id = -1", w.committer, p))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 1 {
+		_, err = conn.Execute(ctx, "COMMIT")
+		return err
+	}
+	_, err = conn.Execute(ctx, "ROLLBACK")
+	return err
+}
+
+// phase4 reads back which task won the committer election.
+func (w *s2vWriter) phase4(ctx context.Context, conn client.Conn) (int64, error) {
+	res, err := conn.Execute(ctx, fmt.Sprintf("SELECT task_id FROM %s", w.committer))
+	if err != nil {
+		return 0, err
+	}
+	return singleInt(res)
+}
+
+// phase5 is the last committer's publish: tolerance check, then an atomic
+// status flip together with the staging-into-target move.
+func (w *s2vWriter) phase5(ctx context.Context, tc *spark.TaskContext, conn client.Conn) error {
+	res, err := conn.Execute(ctx, fmt.Sprintf(
 		"SELECT SUM(rows_inserted), SUM(rows_rejected) FROM %s", w.status))
 	if err != nil {
-		return rep, err
+		return err
 	}
 	inserted := res.Rows[0][0].AsFloat()
 	rejected := res.Rows[0][1].AsFloat()
@@ -307,60 +359,55 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 		pct = rejected / (inserted + rejected)
 	}
 	if err := tc.Checkpoint("s2v.phase5.before_commit"); err != nil {
-		return rep, err
+		return err
 	}
 	if pct > w.opts.FailedRowsPercentTolerance {
-		if _, err := conn.Execute(fmt.Sprintf(
+		_, err := conn.Execute(ctx, fmt.Sprintf(
 			"UPDATE %s SET finished = TRUE, failed_rows_percent = %g, status = 'FAILED' WHERE job_name = '%s' AND finished = FALSE",
-			JobStatusTable, pct, sqlEscape(w.opts.JobName))); err != nil {
-			return rep, err
-		}
-		return rep, nil // driver surfaces the FAILED status
+			JobStatusTable, pct, sqlEscape(w.opts.JobName)))
+		return err // driver surfaces the FAILED status
 	}
-	if _, err := conn.Execute("BEGIN"); err != nil {
-		return rep, err
+	if _, err := conn.Execute(ctx, "BEGIN"); err != nil {
+		return err
 	}
-	res, err = conn.Execute(fmt.Sprintf(
+	res, err = conn.Execute(ctx, fmt.Sprintf(
 		"UPDATE %s SET finished = TRUE, failed_rows_percent = %g, status = 'SUCCESS' WHERE job_name = '%s' AND finished = FALSE",
 		JobStatusTable, pct, sqlEscape(w.opts.JobName)))
 	if err != nil {
-		return rep, err
+		return err
 	}
 	if res.RowsAffected != 1 {
 		// A duplicate (or an earlier attempt of this very task) already
 		// committed; nothing left to do.
-		_, err := conn.Execute("ROLLBACK")
-		return rep, err
+		_, err := conn.Execute(ctx, "ROLLBACK")
+		return err
 	}
 	if w.mode == spark.SaveAppend {
 		// One atomic server-side move of the staging data (§5 discusses its
 		// cost; the transaction keeps it exactly-once).
-		if _, err := conn.Execute(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", w.opts.Table, w.staging)); err != nil {
-			return rep, err
+		if _, err := conn.Execute(ctx, fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", w.opts.Table, w.staging)); err != nil {
+			return err
 		}
 	} else {
 		// Overwrite: the staging table atomically becomes the target.
-		if _, err := conn.Execute(fmt.Sprintf("DROP TABLE IF EXISTS %s", w.opts.Table)); err != nil {
-			return rep, err
+		if _, err := conn.Execute(ctx, fmt.Sprintf("DROP TABLE IF EXISTS %s", w.opts.Table)); err != nil {
+			return err
 		}
-		if _, err := conn.Execute(fmt.Sprintf("ALTER TABLE %s RENAME TO %s", w.staging, w.opts.Table)); err != nil {
-			return rep, err
+		if _, err := conn.Execute(ctx, fmt.Sprintf("ALTER TABLE %s RENAME TO %s", w.staging, w.opts.Table)); err != nil {
+			return err
 		}
 	}
-	if _, err := conn.Execute("COMMIT"); err != nil {
-		return rep, err
+	if _, err := conn.Execute(ctx, "COMMIT"); err != nil {
+		return err
 	}
-	if err := tc.Checkpoint("s2v.phase5.after_commit"); err != nil {
-		return rep, err
-	}
-	return rep, nil
+	return tc.Checkpoint("s2v.phase5.after_commit")
 }
 
 // phase1 copies the partition into the staging table and flips this task's
 // done flag, both in one transaction. A duplicate that loses the conditional
 // update aborts, discarding its copy.
-func (w *s2vWriter) phase1(tc *spark.TaskContext, conn client.Conn, p int, rows []types.Row, rep *taskReport) error {
-	if _, err := conn.Execute("BEGIN"); err != nil {
+func (w *s2vWriter) phase1(ctx context.Context, tc *spark.TaskContext, conn client.Conn, p int, rows []types.Row, rep *taskReport) error {
+	if _, err := conn.Execute(ctx, "BEGIN"); err != nil {
 		return err
 	}
 	if err := tc.Checkpoint("s2v.phase1.before_copy"); err != nil {
@@ -370,7 +417,7 @@ func (w *s2vWriter) phase1(tc *spark.TaskContext, conn client.Conn, p int, rows 
 	if w.opts.CopyFormat == "csv" {
 		format = "CSV"
 	}
-	cs := client.NewCopyStream(conn, fmt.Sprintf(
+	cs := client.NewCopyStream(ctx, conn, fmt.Sprintf(
 		"COPY %s FROM STDIN FORMAT %s DIRECT REJECTMAX %d", w.staging, format, int64(1)<<40))
 	if err := w.encodeRows(cs, rows); err != nil {
 		// Abort reports the load's root cause (e.g. the server severing the
@@ -389,20 +436,20 @@ func (w *s2vWriter) phase1(tc *spark.TaskContext, conn client.Conn, p int, rows 
 	if err := tc.Checkpoint("s2v.phase1.after_copy"); err != nil {
 		return err
 	}
-	res, err := conn.Execute(fmt.Sprintf(
+	res, err := conn.Execute(ctx, fmt.Sprintf(
 		"UPDATE %s SET done = TRUE, rows_inserted = %d, rows_rejected = %d WHERE task_id = %d AND done = FALSE",
 		w.status, rep.Loaded, rep.Rejected, p))
 	if err != nil {
 		return err
 	}
 	if res.RowsAffected == 1 {
-		if _, err := conn.Execute("COMMIT"); err != nil {
+		if _, err := conn.Execute(ctx, "COMMIT"); err != nil {
 			return err
 		}
 	} else {
 		// A duplicate of this task already saved its data; abort discards
 		// this attempt's copy so nothing is staged twice.
-		if _, err := conn.Execute("ROLLBACK"); err != nil {
+		if _, err := conn.Execute(ctx, "ROLLBACK"); err != nil {
 			return err
 		}
 		rep.Loaded, rep.Rejected = 0, 0
@@ -434,8 +481,8 @@ func (w *s2vWriter) encodeRows(cs *client.CopyStream, rows []types.Row) error {
 	return aw.Close()
 }
 
-func (w *s2vWriter) tableExists(conn client.Conn, name string) (bool, error) {
-	res, err := conn.Execute(fmt.Sprintf(
+func (w *s2vWriter) tableExists(ctx context.Context, conn client.Conn, name string) (bool, error) {
+	res, err := conn.Execute(ctx, fmt.Sprintf(
 		"SELECT table_name FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(name)))
 	if err != nil {
 		return false, err
@@ -444,15 +491,15 @@ func (w *s2vWriter) tableExists(conn client.Conn, name string) (bool, error) {
 }
 
 // markFailed best-effort records a failed job in the permanent status table.
-func (w *s2vWriter) markFailed(conn client.Conn) {
-	_, _ = conn.Execute(fmt.Sprintf(
+func (w *s2vWriter) markFailed(ctx context.Context, conn client.Conn) {
+	_, _ = conn.Execute(ctx, fmt.Sprintf(
 		"UPDATE %s SET finished = TRUE, status = 'FAILED' WHERE job_name = '%s' AND finished = FALSE",
 		JobStatusTable, sqlEscape(w.opts.JobName)))
 }
 
 // dropTemp removes the bookkeeping tables; withStaging also removes the
 // staging table (it is gone already after a successful overwrite rename).
-func (w *s2vWriter) dropTemp(conn client.Conn, withStaging bool) {
+func (w *s2vWriter) dropTemp(ctx context.Context, conn client.Conn, withStaging bool) {
 	stmts := []string{
 		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.status),
 		fmt.Sprintf("DROP TABLE IF EXISTS %s", w.committer),
@@ -461,7 +508,7 @@ func (w *s2vWriter) dropTemp(conn client.Conn, withStaging bool) {
 		stmts = append(stmts, fmt.Sprintf("DROP TABLE IF EXISTS %s", w.staging))
 	}
 	for _, s := range stmts {
-		_, _ = conn.Execute(s)
+		_, _ = conn.Execute(ctx, s)
 	}
 }
 

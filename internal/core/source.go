@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
 	"vsfabric/internal/vertica"
@@ -14,6 +16,7 @@ import (
 // creates V2S relations, the write side runs the S2V protocol.
 type DefaultSource struct {
 	pool   client.Connector
+	obsv   obs.Observer
 	jobSeq atomic.Uint64
 }
 
@@ -22,29 +25,41 @@ func NewDefaultSource(pool client.Connector) *DefaultSource {
 	return &DefaultSource{pool: pool}
 }
 
+// WithObserver attaches an observer that every relation and save created by
+// this source reports to (connector spans and resilience events). Wire a
+// vertica.Cluster's Obs() collector here to surface them in v_monitor.
+// Returns d for chaining.
+func (d *DefaultSource) WithObserver(o obs.Observer) *DefaultSource {
+	d.obsv = o
+	return d
+}
+
 // Register installs the source under DefaultSourceName.
 func (d *DefaultSource) Register() { spark.RegisterSource(DefaultSourceName, d) }
 
 // CreateRelation implements spark.RelationProvider (the LOAD half of
-// Table 1).
+// Table 1). The map options are the External Data Source API's stringly
+// form; programmatic callers should build V2SOptions via NewV2SOptions.
 func (d *DefaultSource) CreateRelation(sc *spark.Context, options map[string]string) (spark.BaseRelation, error) {
-	opts, err := ParseOptions(options)
+	opts, err := ParseV2SOptions(options)
 	if err != nil {
 		return nil, err
 	}
+	opts.Observer = obs.Multi(opts.Observer, d.obsv)
 	return newV2SRelation(sc, d.pool, opts)
 }
 
 // SaveRelation implements spark.CreatableRelationProvider (the SAVE half of
 // Table 1).
 func (d *DefaultSource) SaveRelation(sc *spark.Context, mode spark.SaveMode, options map[string]string, df *spark.DataFrame) error {
-	opts, err := ParseOptions(options)
+	opts, err := ParseS2VOptions(options)
 	if err != nil {
 		return err
 	}
 	if opts.JobName == "" {
 		opts.JobName = fmt.Sprintf("s2v_job_%d", d.jobSeq.Add(1))
 	}
+	opts.Observer = obs.Multi(opts.Observer, d.obsv)
 	w := &s2vWriter{pool: d.pool, opts: opts, mode: mode}
 	return w.run(sc, df)
 }
@@ -62,9 +77,9 @@ type clusterLayout struct {
 
 // discoverLayout reads v_catalog.nodes / tables / columns / segments through
 // one connection.
-func discoverLayout(conn client.Conn, table string) (*clusterLayout, error) {
+func discoverLayout(ctx context.Context, conn client.Conn, table string) (*clusterLayout, error) {
 	lay := &clusterLayout{}
-	res, err := conn.Execute("SELECT node_address FROM v_catalog.nodes")
+	res, err := conn.Execute(ctx, "SELECT node_address FROM v_catalog.nodes")
 	if err != nil {
 		return nil, err
 	}
@@ -75,14 +90,14 @@ func discoverLayout(conn client.Conn, table string) (*clusterLayout, error) {
 		return nil, fmt.Errorf("core: cluster reports no nodes")
 	}
 
-	res, err = conn.Execute(fmt.Sprintf("SELECT is_segmented FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(table)))
+	res, err = conn.Execute(ctx, fmt.Sprintf("SELECT is_segmented FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(table)))
 	if err != nil {
 		return nil, err
 	}
 	switch len(res.Rows) {
 	case 0:
 		// Not a table: maybe a view.
-		vres, err := conn.Execute(fmt.Sprintf("SELECT view_name FROM v_catalog.views WHERE view_name = '%s'", sqlEscape(table)))
+		vres, err := conn.Execute(ctx, fmt.Sprintf("SELECT view_name FROM v_catalog.views WHERE view_name = '%s'", sqlEscape(table)))
 		if err != nil {
 			return nil, err
 		}
@@ -97,13 +112,13 @@ func discoverLayout(conn client.Conn, table string) (*clusterLayout, error) {
 	if lay.isView {
 		// Views have no catalog columns; take the schema from a zero-row
 		// probe.
-		probe, err := conn.Execute(fmt.Sprintf("SELECT * FROM %s LIMIT 0", table))
+		probe, err := conn.Execute(ctx, fmt.Sprintf("SELECT * FROM %s LIMIT 0", table))
 		if err != nil {
 			return nil, err
 		}
 		lay.schema = probe.Schema
 	} else {
-		cres, err := conn.Execute(fmt.Sprintf(
+		cres, err := conn.Execute(ctx, fmt.Sprintf(
 			"SELECT column_name, data_type FROM v_catalog.columns WHERE table_name = '%s'", sqlEscape(table)))
 		if err != nil {
 			return nil, err
@@ -121,7 +136,7 @@ func discoverLayout(conn client.Conn, table string) (*clusterLayout, error) {
 	}
 
 	if lay.segmented {
-		sres, err := conn.Execute(fmt.Sprintf(
+		sres, err := conn.Execute(ctx, fmt.Sprintf(
 			"SELECT node_address, segment_lower_bound, segment_upper_bound FROM v_catalog.segments WHERE table_name = '%s'",
 			sqlEscape(table)))
 		if err != nil {
@@ -154,8 +169,8 @@ func sqlEscape(s string) string {
 
 // segmentationExpr returns the SQL hash expression matching the table's
 // segmentation, read from the catalog.
-func segmentationExpr(conn client.Conn, table string) (string, error) {
-	res, err := conn.Execute(fmt.Sprintf(
+func segmentationExpr(ctx context.Context, conn client.Conn, table string) (string, error) {
+	res, err := conn.Execute(ctx, fmt.Sprintf(
 		"SELECT segment_expression FROM v_catalog.tables WHERE table_name = '%s'", sqlEscape(table)))
 	if err != nil {
 		return "", err

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
@@ -32,29 +34,47 @@ type querySpec struct {
 type v2sRelation struct {
 	sc      *spark.Context
 	pool    *resilience.ResilientConnector
-	opts    Options
+	opts    V2SOptions
 	lay     *clusterLayout
 	segExpr string
 }
 
-func newV2SRelation(sc *spark.Context, pool client.Connector, opts Options) (*v2sRelation, error) {
+// driverCtx is the context driver-side control queries run under: they carry
+// the "driver" peer name but no sim cost recorder (setup work is not part of
+// any task's modeled cost).
+func driverCtx() context.Context {
+	return obs.WithPeer(context.Background(), "driver")
+}
+
+// taskCtx is the context a task's database operations run under: sim cost
+// events route to the task's recorder, and the executor's name travels to the
+// engine as the session peer.
+func taskCtx(tc *spark.TaskContext) context.Context {
+	ctx := obs.With(context.Background(), sim.Recorder{Rec: tc.Rec})
+	return obs.WithPeer(ctx, tc.ExecNode)
+}
+
+func newV2SRelation(sc *spark.Context, pool client.Connector, opts V2SOptions) (*v2sRelation, error) {
 	// All connections — driver discovery and task scans — go through the
 	// resilient pool; once the layout is known, its host set makes every
-	// connect failover-capable across the whole cluster.
+	// connect failover-capable across the whole cluster. The pool reports
+	// every recovery action to the options' observer.
 	rpool := resilience.NewResilient(pool, nil, opts.Retry)
-	conn, err := rpool.Connect(opts.Host)
+	rpool.SetObserver(opts.Observer)
+	ctx := driverCtx()
+	conn, err := rpool.Connect(ctx, opts.Host)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	lay, err := discoverLayout(conn, opts.Table)
+	lay, err := discoverLayout(ctx, conn, opts.Table)
 	if err != nil {
 		return nil, err
 	}
 	rpool.SetHosts(lay.addrs)
 	r := &v2sRelation{sc: sc, pool: rpool, opts: opts, lay: lay}
 	if lay.segmented {
-		expr, err := segmentationExpr(conn, opts.Table)
+		expr, err := segmentationExpr(ctx, conn, opts.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -221,8 +241,8 @@ func (r *v2sRelation) specSQL(spec querySpec, cols []string, pushdown string, ep
 // pinEpoch asks the database for the last closed epoch; every partition
 // query reads AT this epoch, giving the job one consistent snapshot no
 // matter when (or how often) its tasks run (§3.1.2).
-func (r *v2sRelation) pinEpoch() (uint64, error) {
-	res, err := r.pool.Execute(r.opts.Host, "SELECT LAST_EPOCH()", nil)
+func (r *v2sRelation) pinEpoch(ctx context.Context) (uint64, error) {
+	res, err := r.pool.Execute(ctx, r.opts.Host, "SELECT LAST_EPOCH()")
 	if err != nil {
 		return 0, err
 	}
@@ -245,7 +265,7 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 	if err != nil {
 		return nil, err
 	}
-	epoch, err := r.pinEpoch()
+	epoch, err := r.pinEpoch(driverCtx())
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +286,9 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 		if err := tc.Checkpoint("v2s.task_start"); err != nil {
 			return nil, err
 		}
+		ctx := taskCtx(tc)
+		sp := obs.Start(rel.opts.Observer, "v2s.partition", tc.ExecNode)
+		sp.SetDetail(fmt.Sprintf("partition %d/%d: %d specs, epoch %d", p, len(specs), len(specs[p]), epoch))
 		var out []types.Row
 		for _, spec := range specs[p] {
 			// Execute retries the connect+execute pair with failover, so a
@@ -274,16 +297,16 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 			// (KSafety ≥ 1) — without burning a whole Spark task retry. The
 			// query is a pinned-epoch read, so re-running it is free of
 			// side effects and returns identical rows.
-			res, err := pool.Execute(spec.addr, rel.specSQL(spec, requiredCols, pushdown, epoch, false),
-				func(conn client.Conn) {
-					conn.SetRecorder(tc.Rec, tc.ExecNode)
-					tc.Rec.Fixed(sim.FixedConnect)
-				})
+			sp.SetPeer(spec.addr)
+			res, err := pool.Execute(ctx, spec.addr, rel.specSQL(spec, requiredCols, pushdown, epoch, false))
 			if err != nil {
+				sp.End(err)
 				return nil, err
 			}
+			sp.AddRows(int64(len(res.Rows)))
 			out = append(out, res.Rows...)
 		}
+		sp.End(nil)
 		if err := tc.Checkpoint("v2s.task_done"); err != nil {
 			return nil, err
 		}
@@ -298,7 +321,8 @@ func (r *v2sRelation) CountRows(filters []spark.Filter) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	epoch, err := r.pinEpoch()
+	ctx := driverCtx()
+	epoch, err := r.pinEpoch(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -306,7 +330,7 @@ func (r *v2sRelation) CountRows(filters []spark.Filter) (int64, error) {
 	total := int64(0)
 	for _, group := range specs {
 		for _, spec := range group {
-			res, err := r.pool.Execute(spec.addr, r.specSQL(spec, nil, pushdown, epoch, true), nil)
+			res, err := r.pool.Execute(ctx, spec.addr, r.specSQL(spec, nil, pushdown, epoch, true))
 			if err != nil {
 				return 0, err
 			}

@@ -16,15 +16,23 @@
 package jdbcsource
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/spark"
 	"vsfabric/internal/types"
 )
+
+// taskCtx routes sim cost events to the task's recorder and carries the
+// executor's name as the session peer.
+func taskCtx(tc *spark.TaskContext) context.Context {
+	return obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: tc.Rec}), tc.ExecNode)
+}
 
 // SourceName is the registration name, mirroring Spark's "jdbc" format.
 const SourceName = "jdbc"
@@ -122,12 +130,13 @@ func (s *Source) CreateRelation(sc *spark.Context, m map[string]string) (spark.B
 	if err != nil {
 		return nil, err
 	}
-	conn, err := s.pool.Connect(opts.host)
+	ctx := context.Background()
+	conn, err := s.pool.Connect(ctx, opts.host)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	res, err := conn.Execute(fmt.Sprintf(
+	res, err := conn.Execute(ctx, fmt.Sprintf(
 		"SELECT column_name, data_type FROM v_catalog.columns WHERE table_name = '%s'", escape(opts.table)))
 	if err != nil {
 		return nil, err
@@ -199,14 +208,15 @@ func (r *relation) BuildScan(requiredCols []string, filters []spark.Filter) (*sp
 			sql += " WHERE " + strings.Join(where, " AND ")
 		}
 		// All partitions connect to the single configured host.
-		conn, err := rel.pool.Connect(rel.opts.host)
+		ctx := taskCtx(tc)
+		conn, err := rel.pool.Connect(ctx, rel.opts.host)
 		if err != nil {
 			return nil, err
 		}
 		defer conn.Close()
-		conn.SetRecorder(tc.Rec, tc.ExecNode)
+		// The raw pool does not emit connect costs itself.
 		tc.Rec.Fixed(sim.FixedConnect)
-		res, err := conn.Execute(sql)
+		res, err := conn.Execute(ctx, sql)
 		if err != nil {
 			return nil, err
 		}
@@ -223,18 +233,19 @@ func (s *Source) SaveRelation(sc *spark.Context, mode spark.SaveMode, m map[stri
 		return err
 	}
 	schema := df.Schema()
-	setup, err := s.pool.Connect(opts.host)
+	sctx := context.Background()
+	setup, err := s.pool.Connect(sctx, opts.host)
 	if err != nil {
 		return err
 	}
 	exists := true
-	if _, err := setup.Execute("SELECT COUNT(*) FROM " + opts.table); err != nil {
+	if _, err := setup.Execute(sctx, "SELECT COUNT(*) FROM "+opts.table); err != nil {
 		exists = false
 	}
 	switch mode {
 	case spark.SaveOverwrite:
 		if exists {
-			if _, err := setup.Execute("DROP TABLE " + opts.table); err != nil {
+			if _, err := setup.Execute(sctx, "DROP TABLE "+opts.table); err != nil {
 				setup.Close()
 				return err
 			}
@@ -247,7 +258,7 @@ func (s *Source) SaveRelation(sc *spark.Context, mode spark.SaveMode, m map[stri
 		}
 	}
 	if !exists {
-		if _, err := setup.Execute(fmt.Sprintf("CREATE TABLE %s %s", opts.table, ddlColumns(schema))); err != nil {
+		if _, err := setup.Execute(sctx, fmt.Sprintf("CREATE TABLE %s %s", opts.table, ddlColumns(schema))); err != nil {
 			setup.Close()
 			return err
 		}
@@ -263,14 +274,15 @@ func (s *Source) SaveRelation(sc *spark.Context, mode spark.SaveMode, m map[stri
 		if err := tc.Checkpoint("jdbc.save.task_start"); err != nil {
 			return err
 		}
-		conn, err := s.pool.Connect(host)
+		ctx := taskCtx(tc)
+		conn, err := s.pool.Connect(ctx, host)
 		if err != nil {
 			return err
 		}
 		defer conn.Close()
-		conn.SetRecorder(tc.Rec, tc.ExecNode)
+		// The raw pool does not emit connect costs itself.
 		tc.Rec.Fixed(sim.FixedConnect)
-		if _, err := conn.Execute("BEGIN"); err != nil {
+		if _, err := conn.Execute(ctx, "BEGIN"); err != nil {
 			return err
 		}
 		for off := 0; off < len(rows); off += batch {
@@ -282,7 +294,7 @@ func (s *Source) SaveRelation(sc *spark.Context, mode spark.SaveMode, m map[stri
 			for _, r := range rows[off:end] {
 				vals = append(vals, "("+rowLiterals(r)+")")
 			}
-			if _, err := conn.Execute(fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(vals, ", "))); err != nil {
+			if _, err := conn.Execute(ctx, fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(vals, ", "))); err != nil {
 				return err
 			}
 			if err := tc.Checkpoint("jdbc.save.mid_batch"); err != nil {
@@ -290,7 +302,7 @@ func (s *Source) SaveRelation(sc *spark.Context, mode spark.SaveMode, m map[stri
 			}
 		}
 		// Per-partition commit: independent of every other task.
-		if _, err := conn.Execute("COMMIT"); err != nil {
+		if _, err := conn.Execute(ctx, "COMMIT"); err != nil {
 			return err
 		}
 		return tc.Checkpoint("jdbc.save.after_commit")

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingCap bounds the span and event rings of a Collector unless
+// overridden — old entries are overwritten, never reallocated, so a
+// long-running fabric holds a fixed observability footprint.
+const DefaultRingCap = 4096
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring[T any] struct {
+	buf  []T
+	next int // index of the slot the next write lands in
+	n    int // number of valid entries (<= cap)
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) add(v T) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// snapshot returns the entries oldest-first.
+func (r *ring[T]) snapshot() []T {
+	out := make([]T, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Collector is the production Observer: completed spans and events land in
+// bounded rings, and every span/event name also bumps a counter. It backs
+// the v_monitor system tables. Safe for concurrent use; when disabled via
+// SetEnabled(false) both hooks return after a single atomic load and Start
+// declines to open spans at all.
+type Collector struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu       sync.Mutex
+	spans    *ring[Span]
+	events   *ring[Event]
+	counters map[string]int64
+}
+
+// NewCollector returns an enabled Collector with DefaultRingCap rings.
+func NewCollector() *Collector { return NewCollectorCap(DefaultRingCap) }
+
+// NewCollectorCap returns an enabled Collector whose span and event rings
+// hold at most capacity entries each.
+func NewCollectorCap(capacity int) *Collector {
+	c := &Collector{
+		spans:    newRing[Span](capacity),
+		events:   newRing[Event](capacity),
+		counters: make(map[string]int64),
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// Enabled reports whether the collector is recording.
+func (c *Collector) Enabled() bool { return c.enabled.Load() }
+
+// SetEnabled turns recording on or off. Disabling does not clear history.
+func (c *Collector) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Reset discards all recorded spans, events, and counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = newRing[Span](len(c.spans.buf))
+	c.events = newRing[Event](len(c.events.buf))
+	c.counters = make(map[string]int64)
+}
+
+// SpanEnd records a completed span (assigning its ID) and bumps the
+// "span." + name counter.
+func (c *Collector) SpanEnd(sp Span) {
+	if !c.enabled.Load() {
+		return
+	}
+	sp.ID = c.seq.Add(1)
+	c.mu.Lock()
+	c.spans.add(sp)
+	c.counters["span."+sp.Name]++
+	c.mu.Unlock()
+}
+
+// Event records an event and bumps its counter. Events whose Payload is
+// non-nil are resource-accounting records for the sim cost model: they count
+// but are not kept in the event ring (they arrive per row batch and would
+// flush the interesting history).
+func (c *Collector) Event(ev Event) {
+	if !c.enabled.Load() {
+		return
+	}
+	if ev.Time.IsZero() && ev.Payload == nil {
+		ev.Time = time.Now()
+	}
+	c.mu.Lock()
+	c.counters[ev.Name]++
+	if ev.Payload == nil {
+		c.events.add(ev)
+	}
+	c.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans.snapshot()
+}
+
+// Events returns the retained events, oldest first.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events.snapshot()
+}
+
+// Counters returns a copy of all counters.
+func (c *Collector) Counters() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns one counter's value (0 if never bumped).
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}

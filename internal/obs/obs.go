@@ -1,0 +1,219 @@
+// Package obs is the fabric-wide observability layer: low-overhead trace
+// spans and event/counter records threaded through the connector, the
+// resilience layer, and the database engine. Completed spans and events land
+// in a bounded in-memory Collector, which the engine exposes back through
+// SQL as the v_monitor system tables — the loop real Vertica closes with
+// v_monitor.query_requests and PROFILE.
+//
+// The layer is built to cost nothing when unused: a nil Observer produces a
+// nil *ActiveSpan whose methods are no-ops, a disabled Collector refuses
+// spans before any clock is read, and hot paths guard with a single nil or
+// atomic-bool check.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span is one completed, timed operation: a SQL execute, a COPY stream, a
+// V2S partition read, one S2V phase. Err is empty on success.
+type Span struct {
+	ID    uint64
+	Name  string // span taxonomy name, e.g. "execute", "copy", "v2s.partition", "s2v.phase1"
+	Node  string // database node involved ("" if none)
+	Peer  string // client/executor on the other end ("" if none)
+	Detail string // SQL text, table name, or phase detail
+
+	Start    time.Time
+	Duration time.Duration
+
+	Rows     int64 // result or loaded rows
+	Rejected int64 // rejected rows (COPY)
+	Bytes    int64 // payload bytes moved
+
+	Err string // "" = success
+}
+
+// OK reports whether the span completed without error.
+func (s Span) OK() bool { return s.Err == "" }
+
+// Event is one point-in-time occurrence: a retry, a breaker transition, a
+// failover — or a resource-accounting record carried opaquely in Payload for
+// the simulation cost model.
+type Event struct {
+	Time   time.Time
+	Name   string // event taxonomy name, e.g. "retry", "backoff", "breaker_open", "failover"
+	Node   string // node the event concerns ("" if none)
+	Detail string
+
+	// Payload carries structured data for observers that understand it (the
+	// sim recorder unwraps sim.Event values); the Collector stores events
+	// with a Payload only as counters, not in the event ring.
+	Payload any
+}
+
+// Observer receives completed spans and events. Implementations must be
+// safe for concurrent use. The Collector is the production observer; the
+// sim package's Recorder adapts the same hook to the performance model.
+type Observer interface {
+	SpanEnd(sp Span)
+	Event(ev Event)
+}
+
+// enabler lets Start skip span bookkeeping entirely for observers that are
+// present but switched off (a disabled Collector).
+type enabler interface{ Enabled() bool }
+
+// ActiveSpan is an in-flight span. A nil *ActiveSpan is valid and all its
+// methods are no-ops, so call sites need no observer nil-checks.
+type ActiveSpan struct {
+	o  Observer
+	sp Span
+}
+
+// Start opens a span against o. It returns nil — a no-op span — when o is
+// nil or reports itself disabled, so the only cost on the disabled path is
+// this check.
+func Start(o Observer, name, node string) *ActiveSpan {
+	if o == nil {
+		return nil
+	}
+	if e, ok := o.(enabler); ok && !e.Enabled() {
+		return nil
+	}
+	return &ActiveSpan{o: o, sp: Span{Name: name, Node: node, Start: time.Now()}}
+}
+
+// SetPeer records the client/executor side of the span.
+func (a *ActiveSpan) SetPeer(peer string) {
+	if a != nil {
+		a.sp.Peer = peer
+	}
+}
+
+// SetDetail records the span's detail text (SQL, table, phase note).
+func (a *ActiveSpan) SetDetail(d string) {
+	if a != nil {
+		a.sp.Detail = d
+	}
+}
+
+// AddRows accumulates result/loaded rows.
+func (a *ActiveSpan) AddRows(n int64) {
+	if a != nil {
+		a.sp.Rows += n
+	}
+}
+
+// AddRejected accumulates rejected rows.
+func (a *ActiveSpan) AddRejected(n int64) {
+	if a != nil {
+		a.sp.Rejected += n
+	}
+}
+
+// AddBytes accumulates payload bytes.
+func (a *ActiveSpan) AddBytes(n int64) {
+	if a != nil {
+		a.sp.Bytes += n
+	}
+}
+
+// End closes the span with err (nil = success) and delivers it. Safe to call
+// on a nil span.
+func (a *ActiveSpan) End(err error) {
+	if a == nil {
+		return
+	}
+	a.sp.Duration = time.Since(a.sp.Start)
+	if err != nil {
+		a.sp.Err = err.Error()
+	}
+	a.o.SpanEnd(a.sp)
+}
+
+// multi fans out to several observers.
+type multi []Observer
+
+func (m multi) SpanEnd(sp Span) {
+	for _, o := range m {
+		o.SpanEnd(sp)
+	}
+}
+
+func (m multi) Event(ev Event) {
+	for _, o := range m {
+		o.Event(ev)
+	}
+}
+
+func (m multi) Enabled() bool {
+	for _, o := range m {
+		if e, ok := o.(enabler); !ok || e.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Multi combines observers; nils are dropped, and a single survivor is
+// returned unwrapped.
+func Multi(os ...Observer) Observer {
+	var out multi
+	for _, o := range os {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type ctxKey int
+
+const (
+	observerKey ctxKey = iota
+	peerKey
+)
+
+// With attaches an observer to the context; operations executed under it
+// (engine statements, resilient connects) report to o.
+func With(ctx context.Context, o Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey, o)
+}
+
+// From extracts the context's observer (nil if none).
+func From(ctx context.Context) Observer {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(observerKey).(Observer)
+	return o
+}
+
+// WithPeer names the client-side node of operations under this context (the
+// Spark executor in the simulated topology, "driver" for driver work).
+func WithPeer(ctx context.Context, peer string) context.Context {
+	if peer == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, peerKey, peer)
+}
+
+// Peer extracts the context's peer name ("" if none).
+func Peer(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	p, _ := ctx.Value(peerKey).(string)
+	return p
+}

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -8,7 +9,6 @@ import (
 	"time"
 
 	"vsfabric/internal/client"
-	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
 
@@ -219,7 +219,7 @@ func (c *ChaosConnector) tick(kind chaosKind, addr, sql string) chaosAction {
 }
 
 // Connect implements client.Connector.
-func (c *ChaosConnector) Connect(addr string) (client.Conn, error) {
+func (c *ChaosConnector) Connect(ctx context.Context, addr string) (client.Conn, error) {
 	act := c.tick(chaosRefuseConnect, addr, "")
 	if act.delay > 0 {
 		c.sleep(act.delay)
@@ -227,7 +227,7 @@ func (c *ChaosConnector) Connect(addr string) (client.Conn, error) {
 	if act.refuse {
 		return nil, fmt.Errorf("%w: node %s", ErrConnRefused, addr)
 	}
-	conn, err := c.inner.Connect(addr)
+	conn, err := c.inner.Connect(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +256,7 @@ func (cc *chaosConn) dead() error {
 }
 
 // Execute implements client.Conn.
-func (cc *chaosConn) Execute(sql string) (*vertica.Result, error) {
+func (cc *chaosConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
 	if cc.broken {
 		return nil, cc.dead()
 	}
@@ -271,7 +271,7 @@ func (cc *chaosConn) Execute(sql string) (*vertica.Result, error) {
 		cc.sever()
 		return nil, Transient(fmt.Errorf("%w: statement never reached %s", ErrConnDropped, cc.addr))
 	}
-	res, err := cc.inner.Execute(sql)
+	res, err := cc.inner.Execute(ctx, sql)
 	if act.dropAfter {
 		cc.sever()
 		return nil, Transient(fmt.Errorf("%w: connection to %s severed after statement ran", ErrConnDropped, cc.addr))
@@ -280,7 +280,7 @@ func (cc *chaosConn) Execute(sql string) (*vertica.Result, error) {
 }
 
 // CopyFrom implements client.Conn.
-func (cc *chaosConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
+func (cc *chaosConn) CopyFrom(ctx context.Context, sql string, r io.Reader) (*vertica.Result, error) {
 	if cc.broken {
 		return nil, cc.dead()
 	}
@@ -296,13 +296,13 @@ func (cc *chaosConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) 
 		return nil, Transient(fmt.Errorf("%w: COPY never reached %s", ErrConnDropped, cc.addr))
 	}
 	if act.dropAfter {
-		_, _ = cc.inner.CopyFrom(sql, r)
+		_, _ = cc.inner.CopyFrom(ctx, sql, r)
 		cc.sever()
 		return nil, Transient(fmt.Errorf("%w: connection to %s severed after COPY ran", ErrConnDropped, cc.addr))
 	}
 	if act.severAt >= 0 {
 		sr := &severedReader{r: r, left: act.severAt}
-		_, err := cc.inner.CopyFrom(sql, sr)
+		_, err := cc.inner.CopyFrom(ctx, sql, sr)
 		cc.sever()
 		if err == nil {
 			// The whole stream fit under the threshold; the sever still kills
@@ -311,12 +311,7 @@ func (cc *chaosConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) 
 		}
 		return nil, Transient(fmt.Errorf("%w: COPY stream to %s cut after %d bytes", ErrConnDropped, cc.addr, act.severAt))
 	}
-	return cc.inner.CopyFrom(sql, r)
-}
-
-// SetRecorder implements client.Conn.
-func (cc *chaosConn) SetRecorder(rec *sim.TaskRec, clientNode string) {
-	cc.inner.SetRecorder(rec, clientNode)
+	return cc.inner.CopyFrom(ctx, sql, r)
 }
 
 // Close implements client.Conn.

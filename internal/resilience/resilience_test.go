@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,9 +11,11 @@ import (
 	"time"
 
 	"vsfabric/internal/client"
-	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
+
+// bg saves typing in tests that don't exercise cancellation.
+var bg = context.Background()
 
 // ---------- taxonomy ----------
 
@@ -63,15 +66,16 @@ type stubConn struct {
 	closed  bool
 }
 
-func (s *stubConn) Execute(sql string) (*vertica.Result, error) {
+func (s *stubConn) Execute(_ context.Context, sql string) (*vertica.Result, error) {
 	if s.execute != nil {
 		return s.execute(sql)
 	}
 	return &vertica.Result{}, nil
 }
-func (s *stubConn) CopyFrom(string, io.Reader) (*vertica.Result, error) { return &vertica.Result{}, nil }
-func (s *stubConn) SetRecorder(*sim.TaskRec, string)                    {}
-func (s *stubConn) Close()                                              { s.closed = true }
+func (s *stubConn) CopyFrom(context.Context, string, io.Reader) (*vertica.Result, error) {
+	return &vertica.Result{}, nil
+}
+func (s *stubConn) Close() { s.closed = true }
 
 // stubConnector scripts per-host connect outcomes.
 type stubConnector struct {
@@ -86,7 +90,7 @@ type stubConnector struct {
 
 func newStubConnector() *stubConnector { return &stubConnector{fail: map[string]int{}} }
 
-func (s *stubConnector) Connect(addr string) (client.Conn, error) {
+func (s *stubConnector) Connect(_ context.Context, addr string) (client.Conn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.calls = append(s.calls, addr)
@@ -133,7 +137,7 @@ func TestConnectRetriesWithBackoff(t *testing.T) {
 	fs := &fakeSleeper{}
 	r := NewResilient(stub, nil, fastPolicy())
 	r.SetSleep(fs.sleep)
-	conn, err := r.Connect("a")
+	conn, err := r.Connect(bg, "a")
 	if err != nil {
 		t.Fatalf("connect should succeed on attempt 3: %v", err)
 	}
@@ -160,7 +164,7 @@ func TestConnectFailsOverAcrossHosts(t *testing.T) {
 	stub.fail["a"] = 100 // a stays dark
 	r := NewResilient(stub, []string{"a", "b", "c"}, fastPolicy())
 	r.SetSleep(func(time.Duration) {})
-	conn, err := r.Connect("a")
+	conn, err := r.Connect(bg, "a")
 	if err != nil {
 		t.Fatalf("failover connect: %v", err)
 	}
@@ -175,7 +179,7 @@ func TestPermanentErrorNoRetry(t *testing.T) {
 	stub.permanentErr = errors.New("bad credentials")
 	r := NewResilient(stub, nil, fastPolicy())
 	r.SetSleep(func(time.Duration) {})
-	if _, err := r.Connect("a"); !strings.Contains(err.Error(), "bad credentials") {
+	if _, err := r.Connect(bg, "a"); !strings.Contains(err.Error(), "bad credentials") {
 		t.Fatalf("err = %v", err)
 	}
 	if len(stub.calls) != 1 {
@@ -196,7 +200,7 @@ func TestBreakerOpensAndCoolsDown(t *testing.T) {
 	// Each Connect call tries a once then fails over to b, so two calls
 	// accumulate the two consecutive failures that trip a's breaker.
 	for i := 0; i < 2; i++ {
-		conn, err := r.Connect("a")
+		conn, err := r.Connect(bg, "a")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +212,7 @@ func TestBreakerOpensAndCoolsDown(t *testing.T) {
 	stub.mu.Lock()
 	stub.calls = nil
 	stub.mu.Unlock()
-	conn, err := r.Connect("a")
+	conn, err := r.Connect(bg, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +229,7 @@ func TestBreakerOpensAndCoolsDown(t *testing.T) {
 	stub.fail["a"] = 0
 	stub.calls = nil
 	stub.mu.Unlock()
-	conn2, err := r.Connect("a")
+	conn2, err := r.Connect(bg, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +255,7 @@ func TestExecuteFailsOverMidScan(t *testing.T) {
 	}
 	r := NewResilient(stub, []string{"a", "b"}, fastPolicy())
 	r.SetSleep(func(time.Duration) {})
-	if _, err := r.Execute("a", "SELECT 1", nil); err != nil {
+	if _, err := r.Execute(bg, "a", "SELECT 1"); err != nil {
 		t.Fatalf("Execute should fail over: %v", err)
 	}
 	if got := <-served; got != "b" {
@@ -270,11 +274,11 @@ func TestDeadlineConnTimesOut(t *testing.T) {
 	pol.OpTimeout = 20 * time.Millisecond
 	r := NewResilient(stub, nil, pol)
 	r.SetSleep(func(time.Duration) {})
-	conn, err := r.Connect("a")
+	conn, err := r.Connect(bg, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = conn.Execute("SELECT 1")
+	_, err = conn.Execute(bg, "SELECT 1")
 	if !errors.Is(err, ErrDeadline) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
@@ -282,7 +286,7 @@ func TestDeadlineConnTimesOut(t *testing.T) {
 		t.Error("deadline errors must classify transient")
 	}
 	// A timed-out connection is abandoned, not reused.
-	if _, err := conn.Execute("SELECT 1"); !errors.Is(err, ErrConnDropped) {
+	if _, err := conn.Execute(bg, "SELECT 1"); !errors.Is(err, ErrConnDropped) {
 		t.Errorf("post-timeout use: err = %v, want ErrConnDropped", err)
 	}
 	close(release) // let the hung op drain and the deferred close run
@@ -304,10 +308,10 @@ func TestChaosRefuseConnect(t *testing.T) {
 	chaos := NewChaos(client.InProc(cl))
 	addr := cl.Node(0).Addr
 	chaos.RefuseConnect(addr, 1)
-	if _, err := chaos.Connect(addr); !errors.Is(err, ErrConnRefused) || !IsTransient(err) {
+	if _, err := chaos.Connect(bg, addr); !errors.Is(err, ErrConnRefused) || !IsTransient(err) {
 		t.Fatalf("first connect: err = %v, want transient ErrConnRefused", err)
 	}
-	conn, err := chaos.Connect(addr)
+	conn, err := chaos.Connect(bg, addr)
 	if err != nil {
 		t.Fatalf("second connect should pass: %v", err)
 	}
@@ -329,18 +333,18 @@ func TestChaosDropOnStatementAbortsTxn(t *testing.T) {
 	chaos := NewChaos(client.InProc(cl))
 	addr := cl.Node(0).Addr
 	chaos.DropOnStatement(addr, "INSERT", 1)
-	conn, err := chaos.Connect(addr)
+	conn, err := chaos.Connect(bg, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Execute("BEGIN"); err != nil {
+	if _, err := conn.Execute(bg, "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Execute("INSERT INTO t VALUES (1)"); !errors.Is(err, ErrConnDropped) {
+	if _, err := conn.Execute(bg, "INSERT INTO t VALUES (1)"); !errors.Is(err, ErrConnDropped) {
 		t.Fatalf("err = %v, want ErrConnDropped", err)
 	}
 	// The session is dead for good, like a real socket.
-	if _, err := conn.Execute("SELECT COUNT(*) FROM t"); !errors.Is(err, ErrConnDropped) {
+	if _, err := conn.Execute(bg, "SELECT COUNT(*) FROM t"); !errors.Is(err, ErrConnDropped) {
 		t.Fatalf("post-drop use: err = %v, want ErrConnDropped", err)
 	}
 	conn.Close()
@@ -372,12 +376,12 @@ func TestChaosSeverCopy(t *testing.T) {
 	chaos := NewChaos(client.InProc(cl))
 	addr := cl.Node(0).Addr
 	chaos.SeverCopyAfter(addr, 8, 1)
-	conn, err := chaos.Connect(addr)
+	conn, err := chaos.Connect(bg, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data := "1,alice\n2,bob\n3,carol\n"
-	_, err = conn.CopyFrom("COPY t FROM STDIN FORMAT CSV", strings.NewReader(data))
+	_, err = conn.CopyFrom(bg, "COPY t FROM STDIN FORMAT CSV", strings.NewReader(data))
 	if !errors.Is(err, ErrConnDropped) {
 		t.Fatalf("err = %v, want ErrConnDropped", err)
 	}
@@ -400,11 +404,11 @@ func TestChaosLatencyAndLog(t *testing.T) {
 	chaos.SetSleep(fs.sleep)
 	addr := cl.Node(0).Addr
 	chaos.AddLatency(addr, 5*time.Millisecond, 2)
-	conn, err := chaos.Connect(addr)
+	conn, err := chaos.Connect(bg, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Execute("SELECT 1"); err != nil {
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -418,12 +422,12 @@ func TestChaosKillNodeOnStatement(t *testing.T) {
 	chaos := NewChaos(client.InProc(cl))
 	addr := cl.Node(1).Addr
 	chaos.KillNodeOnStatement(addr, "SELECT", cl.Node(1), 1)
-	conn, err := chaos.Connect(addr)
+	conn, err := chaos.Connect(bg, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("SELECT 1"); !errors.Is(err, vertica.ErrNodeDown) {
+	if _, err := conn.Execute(bg, "SELECT 1"); !errors.Is(err, vertica.ErrNodeDown) {
 		t.Fatalf("err = %v, want ErrNodeDown (node died mid-session)", err)
 	}
 	if !cl.Node(1).Down() {
@@ -437,27 +441,27 @@ func TestChaosNodeDownWindow(t *testing.T) {
 	victim := cl.Node(1)
 	chaos.NodeDownWindow(victim, 3, 5)
 	addr := cl.Node(0).Addr
-	conn, err := chaos.Connect(addr) // op 1
+	conn, err := chaos.Connect(bg, addr) // op 1
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("SELECT 1"); err != nil { // op 2
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil { // op 2
 		t.Fatal(err)
 	}
 	if victim.Down() {
 		t.Fatal("window must not open before startOp")
 	}
-	if _, err := conn.Execute("SELECT 1"); err != nil { // op 3: window opens
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil { // op 3: window opens
 		t.Fatal(err)
 	}
 	if !victim.Down() {
 		t.Fatal("window should be open at op 3")
 	}
-	if _, err := conn.Execute("SELECT 1"); err != nil { // op 4
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil { // op 4
 		t.Fatal(err)
 	}
-	if _, err := conn.Execute("SELECT 1"); err != nil { // op 5: window closes
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil { // op 5: window closes
 		t.Fatal(err)
 	}
 	if victim.Down() {

@@ -1,6 +1,8 @@
 package resilience
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -8,6 +10,7 @@ import (
 	"time"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
@@ -34,7 +37,8 @@ type Policy struct {
 	// node before a trial connection is allowed again. Default 250ms.
 	BreakerCooldown time.Duration
 	// OpTimeout is the per-operation deadline applied to every Execute and
-	// CopyFrom on connections this layer hands out; 0 disables it.
+	// CopyFrom on connections this layer hands out; 0 disables it. It is
+	// enforced as a context deadline layered under the caller's own context.
 	OpTimeout time.Duration
 	// Seed seeds the jitter source, keeping retry schedules reproducible.
 	Seed int64
@@ -82,6 +86,11 @@ type breakerState struct {
 // keep retries away from nodes that just failed, and handed-out connections
 // enforce the policy's per-operation deadline. Permanent errors (SQL errors,
 // schema mismatches) pass through untouched on the first attempt.
+//
+// Every recovery action (retry, backoff, breaker transition, failover)
+// emits an obs.Event to the connector's observer (SetObserver) and to the
+// operation context's observer — this is the event stream behind
+// v_monitor.resilience_events.
 type ResilientConnector struct {
 	inner client.Connector
 	pol   Policy
@@ -89,6 +98,7 @@ type ResilientConnector struct {
 	now   func() time.Time
 
 	mu       sync.Mutex
+	obsv     obs.Observer
 	hosts    []string
 	rng      *rand.Rand
 	breakers map[string]*breakerState
@@ -114,6 +124,30 @@ func NewResilient(inner client.Connector, hosts []string, pol Policy) *Resilient
 // real time passes).
 func (r *ResilientConnector) SetSleep(f func(time.Duration)) { r.sleep = f }
 func (r *ResilientConnector) SetClock(f func() time.Time)    { r.now = f }
+
+// SetObserver attaches an observer that receives every resilience event this
+// connector emits, regardless of operation context. Wire the cluster's
+// collector (vertica.Cluster.Obs) here to surface the events in
+// v_monitor.resilience_events.
+func (r *ResilientConnector) SetObserver(o obs.Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obsv = o
+}
+
+func (r *ResilientConnector) observer() obs.Observer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.obsv
+}
+
+// emit delivers a resilience event to the connector observer and the
+// operation context's observer.
+func (r *ResilientConnector) emit(ctx context.Context, ev obs.Event) {
+	if o := obs.Multi(r.observer(), obs.From(ctx)); o != nil {
+		o.Event(ev)
+	}
+}
 
 // Policy returns the effective (defaulted) policy.
 func (r *ResilientConnector) Policy() Policy { return r.pol }
@@ -166,7 +200,9 @@ func (r *ResilientConnector) pick(cands []string, attempt int) string {
 	return cands[attempt%len(cands)]
 }
 
-func (r *ResilientConnector) noteFailure(host string) {
+// noteFailure counts a connect failure and reports whether it tripped the
+// host's breaker open.
+func (r *ResilientConnector) noteFailure(host string) (opened bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	b := r.breakers[host]
@@ -176,17 +212,24 @@ func (r *ResilientConnector) noteFailure(host string) {
 	}
 	b.consecutive++
 	if b.consecutive >= r.pol.BreakerThreshold {
+		wasOpen := r.now().Before(b.openUntil)
 		b.openUntil = r.now().Add(r.pol.BreakerCooldown)
+		return !wasOpen
 	}
+	return false
 }
 
-func (r *ResilientConnector) noteSuccess(host string) {
+// noteSuccess resets the host's breaker and reports whether a tripped
+// breaker closed.
+func (r *ResilientConnector) noteSuccess(host string) (closed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if b := r.breakers[host]; b != nil {
+		closed = b.consecutive >= r.pol.BreakerThreshold
 		b.consecutive = 0
 		b.openUntil = time.Time{}
 	}
+	return closed
 }
 
 // BreakerOpen reports whether host's breaker is currently open (for tests
@@ -210,20 +253,40 @@ func (r *ResilientConnector) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// sleepBackoff emits the backoff event and sleeps before a retry attempt.
+func (r *ResilientConnector) sleepBackoff(ctx context.Context, attempt int, addr string) {
+	d := r.backoff(attempt - 1)
+	r.emit(ctx, obs.Event{Name: "backoff", Node: addr, Detail: d.String()})
+	r.sleep(d)
+}
+
 // Connect implements client.Connector: it dials addr, failing over across
 // the host set with backoff on transient errors. The returned connection
-// enforces the policy's per-operation deadline.
-func (r *ResilientConnector) Connect(addr string) (client.Conn, error) {
+// enforces the policy's per-operation deadline. Each successful connect
+// reports one sim FixedConnect cost event to the context's observer, so the
+// performance model counts connections wherever they are established.
+func (r *ResilientConnector) Connect(ctx context.Context, addr string) (client.Conn, error) {
 	cands := r.candidates(addr)
 	var lastErr error
 	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			r.sleep(r.backoff(attempt - 1))
+			r.emit(ctx, obs.Event{Name: "retry", Node: addr, Detail: fmt.Sprintf("connect attempt %d", attempt+1)})
+			r.sleepBackoff(ctx, attempt, addr)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		host := r.pick(cands, attempt)
-		conn, err := r.inner.Connect(host)
+		conn, err := r.inner.Connect(ctx, host)
 		if err == nil {
-			r.noteSuccess(host)
+			if r.noteSuccess(host) {
+				r.emit(ctx, obs.Event{Name: "breaker_close", Node: host})
+			}
+			if host != addr {
+				r.emit(ctx, obs.Event{Name: "failover", Node: host, Detail: "requested " + addr})
+			}
+			r.emit(ctx, obs.Event{Name: "sim", Node: host,
+				Payload: sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedConnect}})
 			if r.pol.OpTimeout > 0 {
 				return &deadlineConn{inner: conn, d: r.pol.OpTimeout}, nil
 			}
@@ -232,7 +295,10 @@ func (r *ResilientConnector) Connect(addr string) (client.Conn, error) {
 		if !IsTransient(err) {
 			return nil, err
 		}
-		r.noteFailure(host)
+		r.emit(ctx, obs.Event{Name: "conn_failure", Node: host, Detail: err.Error()})
+		if r.noteFailure(host) {
+			r.emit(ctx, obs.Event{Name: "breaker_open", Node: host})
+		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("resilience: connect to %s failed after %d attempts: %w", addr, r.pol.MaxAttempts, lastErr)
@@ -243,19 +309,19 @@ func (r *ResilientConnector) Connect(addr string) (client.Conn, error) {
 // the session was established (mid-scan) still fails over. Use only for
 // idempotent statements (reads, conditional updates): a connection dropped
 // mid-statement leaves the outcome unknown, and this helper will run the
-// statement again. setup, if non-nil, is applied to each fresh connection
-// before the statement (recorders etc.).
-func (r *ResilientConnector) Execute(addr, sql string, setup func(client.Conn)) (*vertica.Result, error) {
+// statement again.
+func (r *ResilientConnector) Execute(ctx context.Context, addr, sql string) (*vertica.Result, error) {
 	cands := r.candidates(addr)
 	var lastErr error
 	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			r.sleep(r.backoff(attempt - 1))
+			r.emit(ctx, obs.Event{Name: "retry", Node: addr, Detail: fmt.Sprintf("statement attempt %d", attempt+1)})
+			r.sleepBackoff(ctx, attempt, addr)
 		}
 		// Rotate the preferred host per attempt: a node that accepts the
 		// connection but keeps failing statements (dying mid-scan) must not
 		// monopolize the retry budget.
-		conn, err := r.Connect(cands[attempt%len(cands)])
+		conn, err := r.Connect(ctx, cands[attempt%len(cands)])
 		if err != nil {
 			if !IsTransient(err) {
 				return nil, err
@@ -263,10 +329,7 @@ func (r *ResilientConnector) Execute(addr, sql string, setup func(client.Conn)) 
 			lastErr = err
 			continue
 		}
-		if setup != nil {
-			setup(conn)
-		}
-		res, err := conn.Execute(sql)
+		res, err := conn.Execute(ctx, sql)
 		conn.Close()
 		if err == nil {
 			return res, nil
@@ -279,8 +342,9 @@ func (r *ResilientConnector) Execute(addr, sql string, setup func(client.Conn)) 
 	return nil, fmt.Errorf("resilience: statement failed after %d attempts: %w", r.pol.MaxAttempts, lastErr)
 }
 
-// deadlineConn bounds every operation on a connection by a deadline. A timed-
-// out operation abandons the connection: the caller gets ErrDeadline at the
+// deadlineConn bounds every operation on a connection by a deadline, layered
+// as a context deadline under the caller's own context. A timed-out
+// operation abandons the connection: the caller gets ErrDeadline at the
 // deadline, and the underlying session is closed (aborting its transaction)
 // as soon as the hung operation eventually drains — sessions are not safe for
 // concurrent use, so the close must not race the in-flight call.
@@ -295,40 +359,48 @@ type opResult struct {
 	err error
 }
 
-func (c *deadlineConn) call(op func() (*vertica.Result, error)) (*vertica.Result, error) {
+func (c *deadlineConn) call(ctx context.Context, op func(context.Context) (*vertica.Result, error)) (*vertica.Result, error) {
 	if c.hung {
 		return nil, Transient(fmt.Errorf("%w: connection abandoned after earlier timeout", ErrConnDropped))
 	}
+	if c.d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.d)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		return op(ctx)
+	}
 	ch := make(chan opResult, 1)
 	go func() {
-		res, err := op()
+		res, err := op(ctx)
 		ch <- opResult{res, err}
 	}()
-	t := time.NewTimer(c.d)
-	defer t.Stop()
 	select {
 	case out := <-ch:
 		return out.res, out.err
-	case <-t.C:
+	case <-ctx.Done():
+		// The in-flight operation may be stuck inside the substrate (which
+		// cannot always observe cancellation mid-call); abandon the
+		// connection and close it once the call drains.
 		c.hung = true
 		go func() {
 			<-ch
 			c.inner.Close()
 		}()
-		return nil, Transient(fmt.Errorf("operation exceeded %v: %w", c.d, ErrDeadline))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, Transient(fmt.Errorf("operation exceeded %v: %w", c.d, ErrDeadline))
+		}
+		return nil, ctx.Err()
 	}
 }
 
-func (c *deadlineConn) Execute(sql string) (*vertica.Result, error) {
-	return c.call(func() (*vertica.Result, error) { return c.inner.Execute(sql) })
+func (c *deadlineConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
+	return c.call(ctx, func(ctx context.Context) (*vertica.Result, error) { return c.inner.Execute(ctx, sql) })
 }
 
-func (c *deadlineConn) CopyFrom(sql string, rd io.Reader) (*vertica.Result, error) {
-	return c.call(func() (*vertica.Result, error) { return c.inner.CopyFrom(sql, rd) })
-}
-
-func (c *deadlineConn) SetRecorder(rec *sim.TaskRec, clientNode string) {
-	c.inner.SetRecorder(rec, clientNode)
+func (c *deadlineConn) CopyFrom(ctx context.Context, sql string, rd io.Reader) (*vertica.Result, error) {
+	return c.call(ctx, func(ctx context.Context) (*vertica.Result, error) { return c.inner.CopyFrom(ctx, sql, rd) })
 }
 
 func (c *deadlineConn) Close() {
@@ -349,9 +421,6 @@ type DriverConn struct {
 	pool *ResilientConnector
 	addr string
 	conn client.Conn
-
-	rec     *sim.TaskRec
-	recNode string
 }
 
 // NewDriverConn returns a driver connection over the pool; the first
@@ -360,15 +429,14 @@ func NewDriverConn(pool *ResilientConnector, addr string) *DriverConn {
 	return &DriverConn{pool: pool, addr: addr}
 }
 
-func (d *DriverConn) ensure() (client.Conn, error) {
+func (d *DriverConn) ensure(ctx context.Context) (client.Conn, error) {
 	if d.conn != nil {
 		return d.conn, nil
 	}
-	conn, err := d.pool.Connect(d.addr)
+	conn, err := d.pool.Connect(ctx, d.addr)
 	if err != nil {
 		return nil, err
 	}
-	conn.SetRecorder(d.rec, d.recNode)
 	d.conn = conn
 	return conn, nil
 }
@@ -381,14 +449,15 @@ func (d *DriverConn) drop() {
 }
 
 // Execute implements client.Conn.
-func (d *DriverConn) Execute(sql string) (*vertica.Result, error) {
+func (d *DriverConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
 	pol := d.pool.Policy()
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			d.pool.sleep(d.pool.backoff(attempt - 1))
+			d.pool.emit(ctx, obs.Event{Name: "retry", Node: d.addr, Detail: fmt.Sprintf("driver statement attempt %d", attempt+1)})
+			d.pool.sleepBackoff(ctx, attempt, d.addr)
 		}
-		conn, err := d.ensure()
+		conn, err := d.ensure(ctx)
 		if err != nil {
 			if !IsTransient(err) {
 				return nil, err
@@ -396,7 +465,7 @@ func (d *DriverConn) Execute(sql string) (*vertica.Result, error) {
 			lastErr = err
 			continue
 		}
-		res, err := conn.Execute(sql)
+		res, err := conn.Execute(ctx, sql)
 		if err == nil {
 			return res, nil
 		}
@@ -412,24 +481,16 @@ func (d *DriverConn) Execute(sql string) (*vertica.Result, error) {
 // CopyFrom implements client.Conn. The data stream is not replayable, so only
 // the connection is established resiliently; a mid-copy fault surfaces to the
 // caller.
-func (d *DriverConn) CopyFrom(sql string, rd io.Reader) (*vertica.Result, error) {
-	conn, err := d.ensure()
+func (d *DriverConn) CopyFrom(ctx context.Context, sql string, rd io.Reader) (*vertica.Result, error) {
+	conn, err := d.ensure(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := conn.CopyFrom(sql, rd)
+	res, err := conn.CopyFrom(ctx, sql, rd)
 	if err != nil && IsTransient(err) {
 		d.drop()
 	}
 	return res, err
-}
-
-// SetRecorder implements client.Conn.
-func (d *DriverConn) SetRecorder(rec *sim.TaskRec, clientNode string) {
-	d.rec, d.recNode = rec, clientNode
-	if d.conn != nil {
-		d.conn.SetRecorder(rec, clientNode)
-	}
 }
 
 // Close implements client.Conn.

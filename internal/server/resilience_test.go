@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"vsfabric/internal/resilience"
 	"vsfabric/internal/vertica"
 )
+
+var bg = context.Background()
 
 // TestOpTimeoutAgainstHungServer points a client at a black-hole endpoint —
 // it accepts connections but never answers — and checks that the per-call
@@ -34,13 +37,13 @@ func TestOpTimeoutAgainstHungServer(t *testing.T) {
 		Endpoints: map[string]string{"hung": l.Addr().String()},
 		OpTimeout: 50 * time.Millisecond,
 	}
-	conn, err := d.Connect("hung")
+	conn, err := d.Connect(bg, "hung")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
 	start := time.Now()
-	_, err = conn.Execute("SELECT 1")
+	_, err = conn.Execute(bg, "SELECT 1")
 	if err == nil {
 		t.Fatal("execute against a hung server must time out")
 	}
@@ -72,12 +75,12 @@ func TestTransientFlagOverWire(t *testing.T) {
 	t.Cleanup(srv.Close)
 	d := &DialConnector{Endpoints: map[string]string{cl.Node(0).Addr: ep}}
 
-	conn, err := d.Connect(cl.Node(0).Addr)
+	conn, err := d.Connect(bg, cl.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE tw (id INTEGER)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE tw (id INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -85,7 +88,7 @@ func TestTransientFlagOverWire(t *testing.T) {
 	// the transient ErrNodeDown, and the wire protocol must deliver it
 	// transient so the resilient layer retries it.
 	cl.Node(0).SetDown(true)
-	_, err = conn.Execute("SELECT COUNT(*) FROM tw")
+	_, err = conn.Execute(bg, "SELECT COUNT(*) FROM tw")
 	if err == nil {
 		t.Fatal("statement on a down node should fail")
 	}
@@ -101,12 +104,12 @@ func TestTransientFlagOverWire(t *testing.T) {
 
 	// The session survives: bring the node back and the same connection works.
 	cl.Node(0).SetDown(false)
-	if _, err := conn.Execute("SELECT COUNT(*) FROM tw"); err != nil {
+	if _, err := conn.Execute(bg, "SELECT COUNT(*) FROM tw"); err != nil {
 		t.Fatalf("session should recover once the node is back: %v", err)
 	}
 
 	// Control: a permanent error must NOT pick up the transient mark.
-	_, err = conn.Execute("SELECT * FROM missing")
+	_, err = conn.Execute(bg, "SELECT * FROM missing")
 	if err == nil {
 		t.Fatal("unknown table should error")
 	}
@@ -146,12 +149,12 @@ func TestResilientFailoverOverTCP(t *testing.T) {
 	pol.BaseBackoff = time.Millisecond
 	pol.MaxBackoff = 4 * time.Millisecond
 	r := resilience.NewResilient(d, []string{cl.Node(0).Addr, cl.Node(1).Addr}, pol)
-	conn, err := r.Connect(cl.Node(0).Addr)
+	conn, err := r.Connect(bg, cl.Node(0).Addr)
 	if err != nil {
 		t.Fatalf("connect should fail over to the live node: %v", err)
 	}
 	defer conn.Close()
-	res, err := conn.Execute("SELECT LAST_EPOCH()")
+	res, err := conn.Execute(bg, "SELECT LAST_EPOCH()")
 	if err != nil {
 		t.Fatal(err)
 	}

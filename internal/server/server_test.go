@@ -10,6 +10,7 @@ import (
 	"vsfabric/internal/vertica"
 )
 
+
 // startCluster brings up a cluster with one TCP server per node and returns
 // the connector mapping node addresses to TCP endpoints.
 func startCluster(t *testing.T, nodes int) (*vertica.Cluster, *DialConnector) {
@@ -33,48 +34,48 @@ func startCluster(t *testing.T, nodes int) (*vertica.Cluster, *DialConnector) {
 
 func TestQueryOverTCP(t *testing.T) {
 	cl, d := startCluster(t, 2)
-	conn, err := d.Connect(cl.Node(0).Addr)
+	conn, err := d.Connect(bg, cl.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE t (id INTEGER, name VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')"); err != nil {
+	if _, err := conn.Execute(bg, "INSERT INTO t VALUES (1, 'a'), (2, 'b')"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := conn.Execute("SELECT id, name FROM t WHERE id = 2")
+	res, err := conn.Execute(bg, "SELECT id, name FROM t WHERE id = 2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Rows) != 1 || res.Rows[0][1].S != "b" {
 		t.Errorf("rows = %v", res.Rows)
 	}
-	if _, err := conn.Execute("SELECT * FROM missing"); err == nil {
+	if _, err := conn.Execute(bg, "SELECT * FROM missing"); err == nil {
 		t.Error("remote error should surface")
 	}
 	// The session survives an error and stays usable.
-	if _, err := conn.Execute("SELECT COUNT(*) FROM t"); err != nil {
+	if _, err := conn.Execute(bg, "SELECT COUNT(*) FROM t"); err != nil {
 		t.Errorf("session should survive an error: %v", err)
 	}
 }
 
 func TestTransactionsOverTCP(t *testing.T) {
 	cl, d := startCluster(t, 2)
-	a, err := d.Connect(cl.Node(0).Addr)
+	a, err := d.Connect(bg, cl.Node(0).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := d.Connect(cl.Node(1).Addr)
+	b, err := d.Connect(bg, cl.Node(1).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
 	mustExec := func(c *TCPConn, sql string) *vertica.Result {
 		t.Helper()
-		res, err := c.Execute(sql)
+		res, err := c.Execute(bg, sql)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
@@ -97,23 +98,23 @@ func TestTransactionsOverTCP(t *testing.T) {
 
 func TestCopyOverTCP(t *testing.T) {
 	cl, d := startCluster(t, 2)
-	conn, err := d.Connect(cl.Node(1).Addr)
+	conn, err := d.Connect(bg, cl.Node(1).Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Execute("CREATE TABLE t (id INTEGER, v FLOAT)"); err != nil {
+	if _, err := conn.Execute(bg, "CREATE TABLE t (id INTEGER, v FLOAT)"); err != nil {
 		t.Fatal(err)
 	}
 	data := "1,0.5\n2,1.5\n3,2.5\n"
-	res, err := conn.CopyFrom("COPY t FROM STDIN FORMAT CSV DIRECT", strings.NewReader(data))
+	res, err := conn.CopyFrom(bg, "COPY t FROM STDIN FORMAT CSV DIRECT", strings.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Copy == nil || res.Copy.Loaded != 3 {
 		t.Errorf("copy = %+v", res.Copy)
 	}
-	sum, err := conn.Execute("SELECT SUM(v) FROM t")
+	sum, err := conn.Execute(bg, "SELECT SUM(v) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,7 +10,6 @@ import (
 
 	"vsfabric/internal/client"
 	"vsfabric/internal/resilience"
-	"vsfabric/internal/sim"
 	"vsfabric/internal/vertica"
 )
 
@@ -45,47 +45,66 @@ func DialTimeout(addr string, timeout time.Duration) (*TCPConn, error) {
 func (c *TCPConn) SetOpTimeout(d time.Duration) { c.opTimeout = d }
 
 // arm pushes the I/O deadline forward before each frame, so the timeout
-// bounds a stall, not a whole (possibly long) streamed operation.
-func (c *TCPConn) arm() error {
-	if c.opTimeout <= 0 {
-		return nil
+// bounds a stall, not a whole (possibly long) streamed operation. The
+// operation context's own deadline folds in: whichever expires first wins,
+// and a context with no deadline clears any stale one.
+func (c *TCPConn) arm(ctx context.Context) error {
+	var dl time.Time
+	if c.opTimeout > 0 {
+		dl = time.Now().Add(c.opTimeout)
 	}
-	return c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	if d, ok := ctx.Deadline(); ok && (dl.IsZero() || d.Before(dl)) {
+		dl = d
+	}
+	return c.conn.SetDeadline(dl)
 }
 
-func (c *TCPConn) writeFrame(typ byte, payload []byte) error {
-	if err := c.arm(); err != nil {
+func (c *TCPConn) writeFrame(ctx context.Context, typ byte, payload []byte) error {
+	if err := c.arm(ctx); err != nil {
 		return err
 	}
 	return writeFrame(c.conn, typ, payload)
 }
 
 // Execute implements client.Conn.
-func (c *TCPConn) Execute(sql string) (*vertica.Result, error) {
+func (c *TCPConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	payload, err := json.Marshal(request{SQL: sql})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.writeFrame(frameQuery, payload); err != nil {
+	if err := c.writeFrame(ctx, frameQuery, payload); err != nil {
 		return nil, err
 	}
-	return c.readResponse()
+	return c.readResponse(ctx)
 }
 
-// CopyFrom implements client.Conn: it streams r as COPY data frames.
-func (c *TCPConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
+// CopyFrom implements client.Conn: it streams r as COPY data frames. Context
+// cancellation is observed between frames; the stream is terminated so the
+// server-side COPY fails cleanly rather than hanging.
+func (c *TCPConn) CopyFrom(ctx context.Context, sql string, r io.Reader) (*vertica.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	payload, err := json.Marshal(request{SQL: sql})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.writeFrame(frameCopy, payload); err != nil {
+	if err := c.writeFrame(ctx, frameCopy, payload); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 64<<10)
 	for {
+		if err := ctx.Err(); err != nil {
+			_ = c.writeFrame(ctx, frameCopyEnd, nil)
+			_, _ = c.readResponse(ctx)
+			return nil, err
+		}
 		n, err := r.Read(buf)
 		if n > 0 {
-			if werr := c.writeFrame(frameCopyData, buf[:n]); werr != nil {
+			if werr := c.writeFrame(ctx, frameCopyData, buf[:n]); werr != nil {
 				return nil, werr
 			}
 		}
@@ -95,26 +114,22 @@ func (c *TCPConn) CopyFrom(sql string, r io.Reader) (*vertica.Result, error) {
 		if err != nil {
 			// Still terminate the stream so the server-side COPY fails
 			// cleanly rather than hanging.
-			_ = c.writeFrame(frameCopyEnd, nil)
-			_, _ = c.readResponse()
+			_ = c.writeFrame(ctx, frameCopyEnd, nil)
+			_, _ = c.readResponse(ctx)
 			return nil, err
 		}
 	}
-	if err := c.writeFrame(frameCopyEnd, nil); err != nil {
+	if err := c.writeFrame(ctx, frameCopyEnd, nil); err != nil {
 		return nil, err
 	}
-	return c.readResponse()
+	return c.readResponse(ctx)
 }
-
-// SetRecorder implements client.Conn. Resource recording is an in-process
-// benchmarking facility; over the wire it is a no-op.
-func (c *TCPConn) SetRecorder(*sim.TaskRec, string) {}
 
 // Close implements client.Conn.
 func (c *TCPConn) Close() { _ = c.conn.Close() }
 
-func (c *TCPConn) readResponse() (*vertica.Result, error) {
-	if err := c.arm(); err != nil {
+func (c *TCPConn) readResponse(ctx context.Context) (*vertica.Result, error) {
+	if err := c.arm(ctx); err != nil {
 		return nil, err
 	}
 	typ, payload, err := readFrame(c.conn)
@@ -156,7 +171,7 @@ type DialConnector struct {
 }
 
 // Connect implements client.Connector.
-func (d *DialConnector) Connect(addr string) (client.Conn, error) {
+func (d *DialConnector) Connect(ctx context.Context, addr string) (client.Conn, error) {
 	ep, ok := d.Endpoints[addr]
 	if !ok {
 		// Allow dialing a raw endpoint directly.
@@ -166,10 +181,12 @@ func (d *DialConnector) Connect(addr string) (client.Conn, error) {
 	if dt <= 0 {
 		dt = DefaultDialTimeout
 	}
-	c, err := DialTimeout(ep, dt)
+	dialer := net.Dialer{Timeout: dt}
+	nc, err := dialer.DialContext(ctx, "tcp", ep)
 	if err != nil {
 		return nil, err
 	}
+	c := &TCPConn{conn: nc}
 	c.SetOpTimeout(d.OpTimeout)
 	return c, nil
 }

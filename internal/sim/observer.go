@@ -1,0 +1,26 @@
+package sim
+
+import "vsfabric/internal/obs"
+
+// Recorder adapts a TaskRec to the obs.Observer hook, so the performance
+// model consumes the same event stream as the production collector: engine
+// and resilience code emit obs.Events whose Payload is a sim.Event, and this
+// observer unwraps them into the task's cost trace. Span-end notifications
+// carry no simulated cost and are ignored.
+//
+// A Recorder with a nil Rec is valid and drops everything (TaskRec methods
+// are nil-safe), matching the rest of the sim package's contract.
+type Recorder struct {
+	Rec *TaskRec
+}
+
+// SpanEnd implements obs.Observer; spans carry wall-clock timings, not
+// simulated cost, so the recorder ignores them.
+func (Recorder) SpanEnd(obs.Span) {}
+
+// Event implements obs.Observer: cost-model events ride in ev.Payload.
+func (r Recorder) Event(ev obs.Event) {
+	if e, ok := ev.Payload.(Event); ok {
+		r.Rec.Add(e)
+	}
+}

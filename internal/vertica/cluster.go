@@ -14,6 +14,7 @@ import (
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/dfs"
 	"vsfabric/internal/expr"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/txn"
 	"vsfabric/internal/types"
@@ -72,6 +73,10 @@ type Cluster struct {
 	sessMu   sync.Mutex
 	sessions map[int]int // node id → open session count
 	jobSeq   atomic.Uint64
+
+	// mon collects engine-side spans (query executes, COPY streams) and
+	// backs the v_monitor.query_requests / load_streams system tables.
+	mon *obs.Collector
 }
 
 // NewCluster creates a cluster with the given configuration.
@@ -89,6 +94,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		dfs:      dfs.New(),
 		udx:      make(map[string]UDxFunc),
 		sessions: make(map[int]int),
+		mon:      obs.NewCollector(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &Node{
@@ -133,6 +139,11 @@ func (c *Cluster) LastEpoch() uint64 { return c.txm.LastEpoch() }
 
 // NextJobID returns a cluster-unique id suffix for connector temp tables.
 func (c *Cluster) NextJobID() uint64 { return c.jobSeq.Add(1) }
+
+// Obs exposes the cluster's monitoring collector: the span/counter store
+// behind the v_monitor system tables. Disable it (Obs().SetEnabled(false))
+// to run with zero observability overhead, e.g. for benchmarking.
+func (c *Cluster) Obs() *obs.Collector { return c.mon }
 
 // RegisterUDx installs (or replaces) a scalar UDx under the given name.
 // Names are case-insensitive.

@@ -9,6 +9,7 @@ import (
 	"vsfabric/internal/avro"
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/expr"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/txn"
@@ -182,7 +183,7 @@ func (s *Session) executeInsert(st *vsql.Insert) (*Result, error) {
 	}
 	s.record(sim.Event{
 		Type:       sim.LoadFlowEv,
-		CNode:      s.clientNode,
+		CNode:      s.peer,
 		VNode:      s.node.Name,
 		WireBytes:  rowsWireSize(rows) + float64(32*len(rows)), // statement framing
 		EncodeKind: sim.CPUCSVFormat,
@@ -396,13 +397,29 @@ func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
 }
 
 // executeCopyStream bulk-loads rows arriving on the client stream (the
-// VerticaCopyStream path S2V uses, §3.2.2).
+// VerticaCopyStream path S2V uses, §3.2.2). It wraps the load in the
+// engine-side "copy" span that backs v_monitor.load_streams.
 func (s *Session) executeCopyStream(cp *vsql.Copy, r io.Reader) (*Result, error) {
+	sp := obs.Start(s.cluster.mon, "copy", s.node.Name)
+	sp.SetPeer(s.peer)
+	sp.SetDetail(cp.Table)
+	counted := &countingReader{r: r}
+	res, err := s.copyStream(cp, counted)
+	sp.AddBytes(counted.n)
+	if res != nil && res.Copy != nil {
+		sp.AddRows(res.Copy.Loaded)
+		sp.AddRejected(res.Copy.Rejected)
+	}
+	sp.End(err)
+	return res, err
+}
+
+// copyStream parses and writes the rows of one COPY ... FROM STDIN load.
+func (s *Session) copyStream(cp *vsql.Copy, counted *countingReader) (*Result, error) {
 	if s.node.Down() {
 		return nil, fmt.Errorf("%w: node %d went down", ErrNodeDown, s.node.ID)
 	}
 	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
-	counted := &countingReader{r: r}
 	var rows []types.Row
 	var rejected []string
 	tbl, ok := s.cluster.cat.Table(cp.Table)
@@ -491,7 +508,7 @@ func (s *Session) executeCopyStream(cp *vsql.Copy, r io.Reader) (*Result, error)
 	}
 	s.record(sim.Event{
 		Type:       sim.LoadFlowEv,
-		CNode:      s.clientNode,
+		CNode:      s.peer,
 		VNode:      s.node.Name,
 		WireBytes:  float64(counted.n),
 		EncodeKind: encodeKind,

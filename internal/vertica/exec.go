@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/expr"
@@ -26,10 +27,12 @@ func snapshotVis(c *Cluster) storage.Visibility {
 }
 
 // scanStats accumulates the per-query resource accounting that becomes one
-// QueryFlowEv for the performance layer.
+// QueryFlowEv for the performance layer, plus the optional per-operator
+// profile a PROFILE statement collects.
 type scanStats struct {
 	scanRows map[string]float64
 	shuffle  map[[2]string]float64
+	prof     *queryProfile // nil unless the query runs under PROFILE
 }
 
 func newScanStats() *scanStats {
@@ -38,6 +41,11 @@ func newScanStats() *scanStats {
 
 // executeSelect plans and runs a SELECT.
 func (s *Session) executeSelect(st *vsql.Select) (*Result, error) {
+	return s.executeSelectProf(st, nil)
+}
+
+// executeSelectProf is executeSelect with optional operator profiling.
+func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result, error) {
 	// Resolve the read snapshot: AT EPOCH pins it; otherwise read-committed.
 	vis := s.vis().v
 	if st.AtEpoch != nil && !st.AtEpoch.Latest {
@@ -51,6 +59,7 @@ func (s *Session) executeSelect(st *vsql.Select) (*Result, error) {
 	}
 
 	stats := newScanStats()
+	stats.prof = qp
 	if res, ok, err := s.tryCountPushdown(st, vis, stats); err != nil {
 		return nil, err
 	} else if ok {
@@ -62,12 +71,52 @@ func (s *Session) executeSelect(st *vsql.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	projStart := profClock(qp)
 	out, outSchema, err := project(st, rows, schema)
 	if err != nil {
 		return nil, err
 	}
+	if qp != nil {
+		qp.add(opStat{
+			name: "project", rowsIn: int64(len(rows)), rowsOut: int64(len(out)),
+			dur: time.Since(projStart), detail: projectDetail(st),
+		})
+		if st.Limit >= 0 {
+			qp.add(opStat{
+				name: "limit", rowsIn: int64(len(out)), rowsOut: int64(len(out)),
+				detail: fmt.Sprintf("LIMIT %d", st.Limit),
+			})
+		}
+	}
 	s.recordQuery(out, stats)
 	return &Result{Schema: outSchema, Rows: out, Epoch: vis.Epoch}, nil
+}
+
+// profClock reads the clock only when profiling, keeping the common path
+// free of time syscalls.
+func profClock(qp *queryProfile) time.Time {
+	if qp == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// projectDetail summarizes what the projection operator did.
+func projectDetail(st *vsql.Select) string {
+	var parts []string
+	if hasAggregates(st) {
+		parts = append(parts, "aggregate")
+	}
+	if len(st.GroupBy) > 0 {
+		parts = append(parts, fmt.Sprintf("group by %d cols", len(st.GroupBy)))
+	}
+	if len(st.OrderBy) > 0 {
+		parts = append(parts, fmt.Sprintf("order by %d keys", len(st.OrderBy)))
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%d items", len(st.Items))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // tryCountPushdown answers SELECT COUNT(*) FROM basetable [WHERE ...]
@@ -171,11 +220,20 @@ func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *sca
 	if err != nil {
 		return nil, types.Schema{}, err
 	}
+	joinStart := profClock(stats.prof)
 	joined, joinedSchema, err := hashJoin(left, leftSchema, st.From, right, rightSchema, &st.Join.Right, st.Join)
 	if err != nil {
 		return nil, types.Schema{}, err
 	}
+	if stats.prof != nil {
+		stats.prof.add(opStat{
+			name: "join", rowsIn: int64(len(left) + len(right)), rowsOut: int64(len(joined)),
+			dur:    time.Since(joinStart),
+			detail: fmt.Sprintf("hash join %s.%s = %s.%s", st.From.Name, st.Join.LeftCol, st.Join.Right.Name, st.Join.RightCol),
+		})
+	}
 	// Residual WHERE over the joined rows.
+	filterStart := profClock(stats.prof)
 	out := joined[:0]
 	for _, r := range joined {
 		ok, err := expr.EvalPredicate(st.Where, r, &joinedSchema)
@@ -185,6 +243,12 @@ func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *sca
 		if ok {
 			out = append(out, r)
 		}
+	}
+	if stats.prof != nil && st.Where != nil {
+		stats.prof.add(opStat{
+			name: "filter", rowsIn: int64(len(joined)), rowsOut: int64(len(out)),
+			resRows: int64(len(joined)), dur: time.Since(filterStart), detail: "post-join residual",
+		})
 	}
 	return out, joinedSchema, nil
 }
@@ -211,6 +275,9 @@ type scanOpts struct {
 	// countOnly skips materialization entirely: the scan returns only the
 	// visible-and-matching row count from selection-vector popcounts.
 	countOnly bool
+	// profile turns on kernel-vs-residual work accounting in segment scans
+	// (the PROFILE path).
+	profile bool
 }
 
 // relationRows scans one relation. When where is non-nil the predicate is
@@ -327,6 +394,7 @@ type segResult struct {
 	count    int64
 	scanRows float64
 	shuffleB float64 // bytes gathered to the coordinator (0 when local)
+	fstats   vexec.FilterStats // kernel/residual work split (profile scans only)
 	err      error
 }
 
@@ -340,8 +408,23 @@ type segResult struct {
 func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Visibility, stats *scanStats, opts scanOpts) ([]types.Row, int64, types.Schema, error) {
 	if s.cluster.cfg.RowAtATimeScans {
 		// Ablation/debug knob: run the retained reference implementation.
+		scanStart := profClock(stats.prof)
 		rows, schema, err := s.scanTableRowAtATime(tbl, where, vis, stats)
+		if stats.prof != nil && err == nil {
+			total := int64(0)
+			for _, n := range stats.scanRows {
+				total += int64(n)
+			}
+			stats.prof.add(opStat{
+				name: "scan " + tbl.Def.Name, rowsIn: total, rowsOut: int64(len(rows)),
+				resRows: total, dur: time.Since(scanStart), detail: "row-at-a-time reference",
+			})
+		}
 		return rows, int64(len(rows)), schema, err
+	}
+	scanStart := profClock(stats.prof)
+	if stats.prof != nil {
+		opts.profile = true
 	}
 	schema := tbl.Def.Schema
 	hr, residual := extractHashRange(where, tbl)
@@ -403,6 +486,8 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 	// query's accounting on the coordinating goroutine only.
 	var out []types.Row
 	var count int64
+	var fstats vexec.FilterStats
+	var scanned int64
 	for i, res := range results {
 		if res.err != nil {
 			return nil, 0, types.Schema{}, res.err
@@ -412,10 +497,31 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 			stats.shuffle[[2]string{sim.VName(jobs[i].homeNode), s.node.Name}] += res.shuffleB
 		}
 		count += res.count
+		scanned += int64(res.scanRows)
+		fstats.KernelRows += res.fstats.KernelRows
+		fstats.ResidualRows += res.fstats.ResidualRows
 		out = append(out, res.rows...)
 	}
 	if opts.limit >= 0 && int64(len(out)) > opts.limit {
 		out = out[:opts.limit]
+	}
+	if stats.prof != nil {
+		rowsOut := int64(len(out))
+		if opts.countOnly {
+			rowsOut = count
+		}
+		detail := fmt.Sprintf("%d segments, %d kernels", len(jobs), pred.NumKernels())
+		if opts.countOnly {
+			detail += ", count pushdown"
+		}
+		if opts.limit >= 0 {
+			detail += fmt.Sprintf(", limit %d pushed down", opts.limit)
+		}
+		stats.prof.add(opStat{
+			name: "scan " + tbl.Def.Name, rowsIn: scanned, rowsOut: rowsOut,
+			vecRows: fstats.KernelRows, resRows: fstats.ResidualRows,
+			dur: time.Since(scanStart), detail: detail,
+		})
 	}
 	return out, count, outSchema, nil
 }
@@ -426,8 +532,12 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 func (s *Session) scanSegment(job segJob, vis storage.Visibility, hr vhash.Range, pred *vexec.Pred, needIdx []int, opts scanOpts) segResult {
 	res := segResult{scanRows: float64(job.store.TotalRows())}
 	local := job.homeNode == s.node.ID
+	var fs *vexec.FilterStats
+	if opts.profile {
+		fs = &res.fstats
+	}
 	err := job.store.ScanBatches(vis, hr, func(b *storage.Batch) bool {
-		if err := pred.FilterBatch(b); err != nil {
+		if err := pred.FilterBatchStats(b, fs); err != nil {
 			res.err = err
 			return false
 		}
@@ -769,17 +879,17 @@ func qualify(tr *vsql.TableRef, col string) string {
 
 // recordQuery emits the QueryFlowEv for a completed SELECT.
 func (s *Session) recordQuery(rows []types.Row, stats *scanStats) {
-	if s.rec == nil {
+	if s.obsv == nil {
 		return
 	}
 	bytes := 0.0
 	for _, r := range rows {
 		bytes += float64(textWireSize(r))
 	}
-	s.rec.Add(sim.Event{
+	s.record(sim.Event{
 		Type:        sim.QueryFlowEv,
 		VNode:       s.node.Name,
-		CNode:       s.clientNode,
+		CNode:       s.peer,
 		ResultBytes: bytes,
 		ResultRows:  float64(len(rows)),
 		ScanRows:    stats.scanRows,

@@ -1,0 +1,163 @@
+package vertica
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+// monitorTable synthesizes the observability half of v_monitor: the system
+// tables backed by the cluster's span/event collector (query_requests,
+// load_streams, resilience_events, counters) and the live projection storage
+// statistics (projection_storage). Reads of these tables are themselves
+// exempt from span recording (see startExecSpan), so monitoring a cluster
+// does not perturb the history being monitored.
+func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row, types.Schema, error) {
+	switch name {
+	case "v_monitor.query_requests":
+		schema := types.NewSchema(
+			types.Column{Name: "request_id", T: types.Int64},
+			types.Column{Name: "node_name", T: types.Varchar},
+			types.Column{Name: "client_name", T: types.Varchar},
+			types.Column{Name: "request", T: types.Varchar},
+			types.Column{Name: "start_timestamp", T: types.Varchar},
+			types.Column{Name: "request_duration_us", T: types.Int64},
+			types.Column{Name: "result_rows", T: types.Int64},
+			types.Column{Name: "success", T: types.Bool},
+			types.Column{Name: "error_message", T: types.Varchar},
+		)
+		var rows []types.Row
+		for _, sp := range s.cluster.mon.Spans() {
+			if sp.Name != "execute" {
+				continue
+			}
+			rows = append(rows, types.Row{
+				types.IntValue(int64(sp.ID)),
+				types.StringValue(sp.Node),
+				types.StringValue(sp.Peer),
+				types.StringValue(sp.Detail),
+				types.StringValue(sp.Start.Format(time.RFC3339Nano)),
+				types.IntValue(sp.Duration.Microseconds()),
+				types.IntValue(sp.Rows),
+				types.BoolValue(sp.OK()),
+				types.StringValue(sp.Err),
+			})
+		}
+		return rows, schema, nil
+
+	case "v_monitor.load_streams":
+		schema := types.NewSchema(
+			types.Column{Name: "stream_id", T: types.Int64},
+			types.Column{Name: "table_name", T: types.Varchar},
+			types.Column{Name: "node_name", T: types.Varchar},
+			types.Column{Name: "client_name", T: types.Varchar},
+			types.Column{Name: "accepted_row_count", T: types.Int64},
+			types.Column{Name: "rejected_row_count", T: types.Int64},
+			types.Column{Name: "input_bytes", T: types.Int64},
+			types.Column{Name: "duration_us", T: types.Int64},
+			types.Column{Name: "success", T: types.Bool},
+			types.Column{Name: "error_message", T: types.Varchar},
+		)
+		var rows []types.Row
+		for _, sp := range s.cluster.mon.Spans() {
+			if sp.Name != "copy" {
+				continue
+			}
+			rows = append(rows, types.Row{
+				types.IntValue(int64(sp.ID)),
+				types.StringValue(sp.Detail),
+				types.StringValue(sp.Node),
+				types.StringValue(sp.Peer),
+				types.IntValue(sp.Rows),
+				types.IntValue(sp.Rejected),
+				types.IntValue(sp.Bytes),
+				types.IntValue(sp.Duration.Microseconds()),
+				types.BoolValue(sp.OK()),
+				types.StringValue(sp.Err),
+			})
+		}
+		return rows, schema, nil
+
+	case "v_monitor.resilience_events":
+		schema := types.NewSchema(
+			types.Column{Name: "event_time", T: types.Varchar},
+			types.Column{Name: "event_type", T: types.Varchar},
+			types.Column{Name: "node_address", T: types.Varchar},
+			types.Column{Name: "detail", T: types.Varchar},
+		)
+		var rows []types.Row
+		for _, ev := range s.cluster.mon.Events() {
+			rows = append(rows, types.Row{
+				types.StringValue(ev.Time.Format(time.RFC3339Nano)),
+				types.StringValue(ev.Name),
+				types.StringValue(ev.Node),
+				types.StringValue(ev.Detail),
+			})
+		}
+		return rows, schema, nil
+
+	case "v_monitor.counters":
+		schema := types.NewSchema(
+			types.Column{Name: "counter_name", T: types.Varchar},
+			types.Column{Name: "counter_value", T: types.Int64},
+		)
+		counters := s.cluster.mon.Counters()
+		names := make([]string, 0, len(counters))
+		for n := range counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var rows []types.Row
+		for _, n := range names {
+			rows = append(rows, types.Row{
+				types.StringValue(n),
+				types.IntValue(counters[n]),
+			})
+		}
+		return rows, schema, nil
+
+	case "v_monitor.projection_storage":
+		schema := types.NewSchema(
+			types.Column{Name: "projection_name", T: types.Varchar},
+			types.Column{Name: "anchor_table_name", T: types.Varchar},
+			types.Column{Name: "node_id", T: types.Int64},
+			types.Column{Name: "node_name", T: types.Varchar},
+			types.Column{Name: "projection_role", T: types.Varchar},
+			types.Column{Name: "ros_containers", T: types.Int64},
+			types.Column{Name: "wos_rows", T: types.Int64},
+			types.Column{Name: "visible_rows", T: types.Int64},
+			types.Column{Name: "data_bytes", T: types.Int64},
+		)
+		var rows []types.Row
+		addStore := func(t string, node int, role string, st *storage.Store) {
+			rows = append(rows, types.Row{
+				types.StringValue(fmt.Sprintf("%s_%s_node%04d", t, role, node)),
+				types.StringValue(t),
+				types.IntValue(int64(node)),
+				types.StringValue(s.cluster.nodes[node].Name),
+				types.StringValue(role),
+				types.IntValue(int64(st.ContainerCount())),
+				types.IntValue(int64(st.WOSLen())),
+				types.IntValue(int64(st.RowCount(vis))),
+				types.IntValue(int64(st.DataBytes())),
+			})
+		}
+		for _, t := range s.cluster.cat.Tables() {
+			for i, st := range t.Stores {
+				addStore(t.Def.Name, i, "super", st)
+			}
+			for r, reps := range t.Buddies {
+				for i, st := range reps {
+					addStore(t.Def.Name, i, fmt.Sprintf("buddy%d", r+1), st)
+				}
+			}
+		}
+		return rows, schema, nil
+
+	default:
+		return nil, types.Schema{}, fmt.Errorf("vertica: unknown system table %q", name)
+	}
+}

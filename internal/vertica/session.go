@@ -1,9 +1,12 @@
 package vertica
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/txn"
 	"vsfabric/internal/types"
@@ -47,23 +50,17 @@ type Session struct {
 	node    *Node
 	tx      *txn.Txn // open explicit transaction, nil in autocommit
 
-	// rec receives resource-usage events for the performance layer; nil
-	// outside benchmarks. clientNode names the connecting client's node in
-	// the simulated topology (e.g. "s3").
-	rec        *sim.TaskRec
-	clientNode string
+	// obsv is the caller's observer for the current statement, extracted
+	// from the statement context (the sim cost recorder in benchmarks, a
+	// collector in tests); peer names the connecting client's host in the
+	// simulated topology (e.g. "s3"). Both are reset per statement.
+	obsv obs.Observer
+	peer string
 	// copyLocal marks the current COPY as reading a node-local file, so its
 	// resource event charges the node's disk instead of the network.
 	copyLocal bool
 
 	closed bool
-}
-
-// SetRecorder attaches a resource-usage recorder; clientNode is the sim
-// topology name of the client host.
-func (s *Session) SetRecorder(rec *sim.TaskRec, clientNode string) {
-	s.rec = rec
-	s.clientNode = clientNode
 }
 
 // Node returns the node this session is connected to.
@@ -85,13 +82,20 @@ func (s *Session) Close() {
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.tx != nil }
 
-// Execute parses and runs one SQL statement.
+// Execute parses and runs one SQL statement under a background context.
 func (s *Session) Execute(sql string) (*Result, error) {
+	return s.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext parses and runs one SQL statement. The context carries
+// cancellation and, via obs.With / obs.WithPeer, the caller's observer and
+// client-host name for the performance layer.
+func (s *Session) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := vsql.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecuteStmt(stmt)
+	return s.executeStmtCtx(ctx, stmt, sql)
 }
 
 // MustExecute is Execute for setup code where failure is a bug.
@@ -103,11 +107,68 @@ func (s *Session) MustExecute(sql string) *Result {
 	return r
 }
 
-// ExecuteStmt runs a parsed statement.
+// ExecuteStmt runs a parsed statement under a background context.
 func (s *Session) ExecuteStmt(stmt vsql.Statement) (*Result, error) {
+	return s.executeStmtCtx(context.Background(), stmt, "")
+}
+
+// executeStmtCtx runs one statement: it binds the context's observer and
+// peer to the session for the statement's duration, opens the engine-side
+// "execute" span feeding v_monitor.query_requests, and dispatches.
+func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlText string) (*Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("vertica: session is closed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.obsv = obs.From(ctx)
+	s.peer = obs.Peer(ctx)
+	sp := s.startExecSpan(stmt, sqlText)
+	res, err := s.dispatch(ctx, stmt)
+	if sp != nil {
+		if res != nil {
+			rows := int64(len(res.Rows))
+			if rows == 0 {
+				rows = res.RowsAffected
+			}
+			sp.AddRows(rows)
+		}
+		sp.End(err)
+	}
+	return res, err
+}
+
+// startExecSpan opens the query_requests span for a statement. Reads of the
+// v_monitor / v_catalog virtual tables are exempt: monitoring queries must
+// not pollute the history they observe.
+func (s *Session) startExecSpan(stmt vsql.Statement, sqlText string) *obs.ActiveSpan {
+	if systemRead(stmt) {
+		return nil
+	}
+	sp := obs.Start(s.cluster.mon, "execute", s.node.Name)
+	if sp == nil {
+		return nil
+	}
+	sp.SetPeer(s.peer)
+	if sqlText == "" {
+		sqlText = fmt.Sprintf("%T", stmt)
+	}
+	sp.SetDetail(sqlText)
+	return sp
+}
+
+// systemRead reports whether stmt is a SELECT over a system table.
+func systemRead(stmt vsql.Statement) bool {
+	sel, ok := stmt.(*vsql.Select)
+	if !ok || sel.From == nil {
+		return false
+	}
+	return strings.HasPrefix(sel.From.Name, "v_monitor.") || strings.HasPrefix(sel.From.Name, "v_catalog.")
+}
+
+// dispatch routes a parsed statement to its executor.
+func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, error) {
 	if s.node.Down() {
 		return nil, fmt.Errorf("%w: node %d went down", ErrNodeDown, s.node.ID)
 	}
@@ -115,6 +176,9 @@ func (s *Session) ExecuteStmt(stmt vsql.Statement) (*Result, error) {
 	case *vsql.Select:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
 		return s.executeSelect(st)
+	case *vsql.Profile:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
+		return s.executeProfile(st)
 	case *vsql.Insert:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
 		return s.executeInsert(st)
@@ -175,6 +239,13 @@ func (s *Session) ExecuteStmt(stmt vsql.Statement) (*Result, error) {
 // CopyFrom runs a COPY ... FROM STDIN statement, reading the encoded data
 // from r. This is the engine half of the VerticaCopyStream API (§3.2.2).
 func (s *Session) CopyFrom(sql string, r io.Reader) (*Result, error) {
+	return s.CopyFromContext(context.Background(), sql, r)
+}
+
+// CopyFromContext is CopyFrom with cancellation: cancelling ctx mid-stream
+// fails the load, and with it the load's transaction — an explicit txn is
+// left for the caller's ROLLBACK, an autocommit load writes nothing.
+func (s *Session) CopyFromContext(ctx context.Context, sql string, r io.Reader) (*Result, error) {
 	stmt, err := vsql.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -186,7 +257,29 @@ func (s *Session) CopyFrom(sql string, r io.Reader) (*Result, error) {
 	if !cp.FromStdin {
 		return nil, fmt.Errorf("vertica: CopyFrom requires COPY ... FROM STDIN")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.obsv = obs.From(ctx)
+	s.peer = obs.Peer(ctx)
+	if ctx.Done() != nil {
+		r = &ctxReader{ctx: ctx, r: r}
+	}
 	return s.executeCopyStream(cp, r)
+}
+
+// ctxReader fails the stream once its context is cancelled, so a COPY parse
+// loop observes cancellation at its next read.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // txnForWrite returns the transaction to run a write under and whether it
@@ -228,9 +321,11 @@ func (s *Session) maybeMoveout() {
 	}
 }
 
+// record forwards a resource-usage event to the statement's observer; the
+// sim.Recorder observer unwraps the payload into the cost trace.
 func (s *Session) record(e sim.Event) {
-	if s.rec != nil {
-		s.rec.Add(e)
+	if s.obsv != nil {
+		s.obsv.Event(obs.Event{Name: "sim", Node: s.node.Name, Payload: e})
 	}
 }
 

@@ -1,8 +1,6 @@
 package vertica
 
 import (
-	"fmt"
-
 	"vsfabric/internal/storage"
 	"vsfabric/internal/types"
 )
@@ -169,6 +167,7 @@ func (s *Session) systemTable(name string, vis storage.Visibility) ([]types.Row,
 		return rows, schema, nil
 
 	default:
-		return nil, types.Schema{}, fmt.Errorf("vertica: unknown system table %q", name)
+		// The observability tables live in monitor.go.
+		return s.monitorTable(name, vis)
 	}
 }

@@ -65,10 +65,28 @@ func Compile(where expr.Expr, schema types.Schema, segIdx []int) *Pred {
 	return p
 }
 
+// FilterStats counts how filtering work split between compiled kernels and
+// the interpreted residual, accumulated across FilterBatchStats calls.
+type FilterStats struct {
+	// KernelRows is the number of selected rows the typed kernels examined
+	// (0 when the predicate compiled to no kernels).
+	KernelRows int64
+	// ResidualRows is the number of rows that survived the kernels and were
+	// evaluated by the interpreted residual (0 when fully compiled).
+	ResidualRows int64
+}
+
 // FilterBatch narrows b.Sel in place: kernels first, then the interpreted
 // residual over materialized rows of the survivors.
-func (p *Pred) FilterBatch(b *storage.Batch) error {
+func (p *Pred) FilterBatch(b *storage.Batch) error { return p.FilterBatchStats(b, nil) }
+
+// FilterBatchStats is FilterBatch with optional work accounting for query
+// profiling; fs may be nil.
+func (p *Pred) FilterBatchStats(b *storage.Batch, fs *FilterStats) error {
 	sel := b.Sel
+	if fs != nil && len(p.kernels) > 0 {
+		fs.KernelRows += int64(len(sel))
+	}
 	for _, k := range p.kernels {
 		if len(sel) == 0 {
 			break
@@ -76,6 +94,9 @@ func (p *Pred) FilterBatch(b *storage.Batch) error {
 		sel = k(b, sel)
 	}
 	if p.residual != nil && len(sel) > 0 {
+		if fs != nil {
+			fs.ResidualRows += int64(len(sel))
+		}
 		out := sel[:0]
 		var scratch types.Row // reused across rows within this batch
 		for _, i := range sel {

@@ -69,6 +69,15 @@ type Select struct {
 
 func (*Select) isStmt() {}
 
+// Profile wraps a SELECT to run it with per-operator instrumentation: the
+// result set is the operator timing breakdown, not the query's rows
+// (Vertica's PROFILE directive).
+type Profile struct {
+	Select *Select
+}
+
+func (*Profile) isStmt() {}
+
 // ColumnDef is one column in a CREATE TABLE.
 type ColumnDef struct {
 	Name string

@@ -99,6 +99,13 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.isKw("SELECT"), p.isKw("AT"):
 		return p.parseSelect()
+	case p.isKw("PROFILE"):
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Profile{Select: sel}, nil
 	case p.isKw("CREATE"):
 		return p.parseCreate()
 	case p.isKw("DROP"):
