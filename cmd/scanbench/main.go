@@ -8,6 +8,7 @@
 //	scanbench                       # 1M rows, 4 nodes, BENCH_scan.json
 //	scanbench -rows 200000 -iters 5
 //	scanbench -out results.json
+//	scanbench -obs                  # also measure span+histogram overhead
 package main
 
 import (
@@ -36,6 +37,10 @@ type Results struct {
 	Nodes    int           `json:"nodes"`
 	Scans    []Measurement `json:"scans"`
 	SpeedupX float64       `json:"speedup_x"` // vectorized vs row-at-a-time, selective scan
+	// ObsOverheadX is collector-enabled / collector-disabled time for the
+	// selective vectorized scan (only with -obs): the cost of span recording
+	// plus latency histogram updates on the query path.
+	ObsOverheadX float64 `json:"obs_overhead_x,omitempty"`
 }
 
 func buildSession(rows, nodes int, rowAtATime, obsOn bool) (*vertica.Session, error) {
@@ -90,7 +95,7 @@ func run() error {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	iters := flag.Int("iters", 10, "timed iterations per configuration")
 	out := flag.String("out", "BENCH_scan.json", "output path")
-	obsOn := flag.Bool("obs", false, "leave the v_monitor collector enabled while timing")
+	obsOn := flag.Bool("obs", false, "also measure span+histogram recording overhead")
 	flag.Parse()
 
 	const (
@@ -108,7 +113,9 @@ func run() error {
 		{"count_vectorized", countAll, false},
 		{"count_row_at_a_time", countAll, true},
 	} {
-		s, err := buildSession(*rows, *nodes, cfg.rowAtATime, *obsOn)
+		// The headline configurations always time the observability-disabled
+		// fast path; overhead is measured separately below.
+		s, err := buildSession(*rows, *nodes, cfg.rowAtATime, false)
 		if err != nil {
 			return err
 		}
@@ -124,6 +131,34 @@ func run() error {
 		res.SpeedupX = float64(res.Scans[1].NsPerOp) / float64(res.Scans[0].NsPerOp)
 	}
 	fmt.Printf("vectorized speedup: %.1fx\n", res.SpeedupX)
+
+	if *obsOn {
+		// Same query, same engine configuration; the only variable is whether
+		// the collector records spans and updates latency histograms.
+		var pair [2]Measurement
+		for i, on := range []bool{false, true} {
+			name := "scan_obs_off"
+			if on {
+				name = "scan_obs_on"
+			}
+			s, err := buildSession(*rows, *nodes, false, on)
+			if err != nil {
+				return err
+			}
+			m, err := timeQuery(s, name, selective, *rows, *iters)
+			s.Close()
+			if err != nil {
+				return err
+			}
+			pair[i] = m
+			res.Scans = append(res.Scans, m)
+			fmt.Printf("%-22s %12d ns/op %14.0f rows/s\n", m.Name, m.NsPerOp, m.RowsPerS)
+		}
+		if pair[0].NsPerOp > 0 {
+			res.ObsOverheadX = float64(pair[1].NsPerOp) / float64(pair[0].NsPerOp)
+		}
+		fmt.Printf("observability overhead: %.3fx\n", res.ObsOverheadX)
+	}
 
 	data, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {

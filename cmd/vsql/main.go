@@ -7,7 +7,8 @@
 //	vsql -listen 127.0.0.1:5433   # also serve node 0 on TCP
 //	vsql -connect 127.0.0.1:5433  # shell against a remote server
 //
-// Shell meta-commands: \dt (tables), \dv (views), \dn (nodes), \q (quit).
+// Shell meta-commands: \dt (tables), \dv (views), \dn (nodes),
+// \trace <file> (export the collected spans as a Chrome trace), \q (quit).
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 	flag.Parse()
 
 	var exec executor
+	var local *vertica.Cluster // non-nil only for the in-process engine
 	switch {
 	case *connect != "":
 		conn, err := server.Dial(*connect)
@@ -61,6 +63,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vsql: %v\n", err)
 			os.Exit(1)
 		}
+		local = cluster
 		if err := core.InstallPMMLSupport(cluster); err != nil {
 			fmt.Fprintf(os.Stderr, "vsql: %v\n", err)
 			os.Exit(1)
@@ -84,10 +87,10 @@ func main() {
 		exec = sess
 		fmt.Printf("vsfabric engine: %d-node cluster (in-process). \\q to quit.\n", *nodes)
 	}
-	repl(exec)
+	repl(exec, local)
 }
 
-func repl(exec executor) {
+func repl(exec executor, cluster *vertica.Cluster) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var pending strings.Builder
@@ -110,6 +113,11 @@ func repl(exec executor) {
 			fmt.Print("vsql=> ")
 			continue
 		}
+		if arg, ok := strings.CutPrefix(strings.TrimSpace(line), `\trace`); ok {
+			exportTrace(cluster, strings.TrimSpace(arg))
+			fmt.Print("vsql=> ")
+			continue
+		}
 		pending.WriteString(line)
 		if strings.Contains(line, ";") {
 			sql := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
@@ -123,6 +131,33 @@ func repl(exec executor) {
 			fmt.Print("vsql-> ")
 		}
 	}
+}
+
+// exportTrace writes the in-process cluster's collected spans as a Chrome
+// trace-event file, loadable in chrome://tracing or Perfetto.
+func exportTrace(cluster *vertica.Cluster, path string) {
+	if cluster == nil {
+		fmt.Println(`ERROR: \trace needs the in-process engine (not -connect)`)
+		return
+	}
+	if path == "" {
+		fmt.Println(`usage: \trace <file>`)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Printf("ERROR: %v\n", err)
+		return
+	}
+	err = cluster.Obs().WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Printf("ERROR: %v\n", err)
+		return
+	}
+	fmt.Printf("trace written to %s\n", path)
 }
 
 func runAndPrint(exec executor, sql string) {

@@ -24,7 +24,9 @@ func main() {
 		log.Fatal(err)
 	}
 	sc := spark.NewContext(spark.Conf{NumExecutors: 4, CoresPerExecutor: 4})
-	core.NewDefaultSource(client.InProc(cluster)).Register()
+	// Report connector spans to the cluster's own collector so the whole job
+	// comes back as one distributed trace in v_monitor.
+	core.NewDefaultSource(client.InProc(cluster)).WithObserver(cluster.Obs()).Register()
 
 	// 1. Raw event logs land on HDFS as CSV — some records malformed, some
 	// with out-of-range values (the reality ETL exists for).
@@ -134,6 +136,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("job record: status=%s rejected=%.4f%%\n", res.Rows[0][0].S, res.Rows[0][1].F*100)
+
+	// 5. The load itself is one distributed trace: job_traces rolls the
+	// s2v.job root up with its phase/COPY children, and latency_histograms
+	// shows where the time went per operation.
+	res, err = sess.Execute("SELECT job_type, duration_us, span_count, node_count, db_rows, success FROM v_monitor.job_traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("trace: type=%s duration_us=%d spans=%d nodes=%d db_rows=%d success=%v\n",
+			r[0].S, r[1].I, r[2].I, r[3].I, r[4].I, r[5].B)
+	}
+	res, err = sess.Execute("SELECT operation, sample_count, p50_us, p99_us FROM v_monitor.latency_histograms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("latency: %-14s n=%-4d p50=%.1fµs p99=%.1fµs\n", r[0].S, r[1].I, r[2].F, r[3].F)
+	}
 }
 
 func parseInt(s string) (int64, error) {

@@ -152,6 +152,73 @@ func TestVMonitorAfterConnectorRoundTrip(t *testing.T) {
 	}
 }
 
+// TestV2SJobTrace: a V2S load is one distributed trace — a v2s.job root
+// opened by the driver at planning time, partition spans parented under it,
+// and the engine's execute spans parented under the partitions — and
+// v_monitor.job_traces rolls it up with the duration derived from the whole
+// trace's extent (the root closes before the lazy tasks run).
+func TestV2SJobTrace(t *testing.T) {
+	h := obsHarness(t, 4, 2)
+	h.seedTable(t, "traced", 400)
+	h.cluster.Obs().Reset()
+
+	const parts = 4
+	df, err := h.sc.Read().Format(DefaultSourceName).Options(loadOpts(h, "traced", parts)).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := df.Collect(); err != nil || len(rows) != 400 {
+		t.Fatalf("collect: %d rows, err %v", len(rows), err)
+	}
+
+	spans := h.cluster.Obs().Spans()
+	byID := make(map[uint64]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.SpanID] = sp
+	}
+	roots := spansByName(h, "v2s.job")
+	if len(roots) != 1 || !roots[0].Root() || !roots[0].OK() {
+		t.Fatalf("v2s.job roots = %+v, want one clean root", roots)
+	}
+	root := roots[0]
+	taskEnd := root.Start
+	for _, sp := range spans {
+		if sp.TraceID != root.TraceID {
+			t.Fatalf("span %q escaped the trace: %+v", sp.Name, sp)
+		}
+		switch sp.Name {
+		case "v2s.partition":
+			if sp.ParentID != root.SpanID {
+				t.Fatalf("partition span parented under %#x, want root %#x", sp.ParentID, root.SpanID)
+			}
+			if e := sp.Start.Add(sp.Duration); e.After(taskEnd) {
+				taskEnd = e
+			}
+		case "execute":
+			parent, ok := byID[sp.ParentID]
+			if !ok {
+				t.Fatalf("execute span has dangling parent %#x", sp.ParentID)
+			}
+			if parent.Name != "v2s.partition" && parent.Name != "v2s.job" {
+				t.Fatalf("execute span parented under %q", parent.Name)
+			}
+		}
+	}
+
+	res := h.query(t, "SELECT job_type, duration_us, span_count, phase_count, success FROM v_monitor.job_traces")
+	if len(res) != 1 || res[0][0].S != "v2s.job" {
+		t.Fatalf("job_traces = %+v, want one v2s.job row", res)
+	}
+	if res[0][3].I != parts || !res[0][4].B {
+		t.Fatalf("job_traces phases/success = %+v, want %d clean partitions", res[0], parts)
+	}
+	// Duration must cover the lazily-run tasks, not just the root's planning
+	// window.
+	if wantMin := taskEnd.Sub(root.Start).Microseconds(); res[0][1].I < wantMin {
+		t.Fatalf("job_traces duration %dµs < trace extent %dµs", res[0][1].I, wantMin)
+	}
+}
+
 // TestVMonitorUnderConcurrentJobs hammers the collector from concurrent V2S
 // and S2V jobs while a monitor session reads the system tables — the -race
 // guard for the whole observability path.

@@ -39,6 +39,10 @@ type s2vWriter struct {
 	committer string
 	addrs     []string
 	schema    types.Schema
+	// jobSC is the root s2v.job span's identity; every task parents its
+	// phase spans (and, through them, the engine spans on whichever node the
+	// task connected to) under it.
+	jobSC obs.SpanContext
 }
 
 // taskReport is what each partition's task returns to the driver.
@@ -48,11 +52,25 @@ type taskReport struct {
 	RejectedSample []string
 }
 
-// run executes setup, the parallel five-phase task protocol, and teardown.
+// run opens the job's root trace span and executes setup, the parallel
+// five-phase task protocol, and teardown under it. The root span covers the
+// whole job wall-clock — S2V is synchronous — and closes with the job's
+// outcome.
 func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
+	job := obs.Start(w.opts.Observer, "s2v.job", "driver")
+	job.SetDetail(fmt.Sprintf("job %s -> %s", w.opts.JobName, w.opts.Table))
+	w.jobSC = job.SpanContext()
+	err := w.runJob(sc, df)
+	job.End(err)
+	return err
+}
+
+// runJob executes setup, the parallel five-phase task protocol, and teardown.
+func (w *s2vWriter) runJob(sc *spark.Context, df *spark.DataFrame) error {
 	trace := sc.Conf().Trace
 	setupRec := trace.Task("driver-00-setup", "")
 	setupCtx := obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: setupRec}), "driver")
+	setupCtx = obs.WithSpanContext(setupCtx, w.jobSC)
 
 	w.rpool = resilience.NewResilient(w.pool, nil, w.opts.Retry)
 	w.rpool.SetObserver(w.opts.Observer)
@@ -78,9 +96,9 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 	nParts := rdd.NumPartitions()
 	w.schema = df.Schema()
 
-	sp := obs.Start(w.opts.Observer, "s2v.setup", "driver")
+	sp := obs.StartChild(setupCtx, w.opts.Observer, "s2v.setup", "driver")
 	sp.SetDetail(w.opts.JobName)
-	err = w.setup(setupCtx, conn, nParts)
+	err = w.setup(obs.WithSpan(setupCtx, sp), conn, nParts)
 	sp.End(err)
 	if err != nil {
 		return err
@@ -97,6 +115,7 @@ func (w *s2vWriter) run(sc *spark.Context, df *spark.DataFrame) error {
 
 	teardownRec := trace.Task("driver-99-teardown", "")
 	teardownCtx := obs.WithPeer(obs.With(context.Background(), sim.Recorder{Rec: teardownRec}), "driver")
+	teardownCtx = obs.WithSpanContext(teardownCtx, w.jobSC)
 	if jobErr != nil {
 		// Total failure or a task out of retries: the staging table is
 		// abandoned, the target is untouched, and the permanent status
@@ -201,11 +220,12 @@ func (w *s2vWriter) setup(ctx context.Context, conn client.Conn, nParts int) err
 	return nil
 }
 
-// phaseSpan opens one "s2v.phaseN" span for a task. Every phase a task enters
+// phaseSpan opens one "s2v.phaseN" span for a task, parented under the span
+// context carried by ctx (the root s2v.job span). Every phase a task enters
 // gets exactly one span, and the span closes with that phase's error — the
 // contract the observability tests pin down.
-func (w *s2vWriter) phaseSpan(name string, tc *spark.TaskContext, p int) *obs.ActiveSpan {
-	sp := obs.Start(w.opts.Observer, name, tc.ExecNode)
+func (w *s2vWriter) phaseSpan(ctx context.Context, name string, tc *spark.TaskContext, p int) *obs.ActiveSpan {
+	sp := obs.StartChild(ctx, w.opts.Observer, name, tc.ExecNode)
 	sp.SetDetail(fmt.Sprintf("job %s task %d attempt %d", w.opts.JobName, p, tc.Attempt))
 	return sp
 }
@@ -218,7 +238,11 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	if err := tc.Checkpoint("s2v.task_start"); err != nil {
 		return rep, err
 	}
-	ctx := taskCtx(tc)
+	// The task joins the job's trace: status queries parent directly under the
+	// root s2v.job span, and each phase body runs under its own phase span so
+	// the engine spans it triggers (on whichever node, local or remote) nest
+	// correctly.
+	ctx := obs.WithSpanContext(taskCtx(tc), w.jobSC)
 	// Balance connections across the cluster; retries shift to another node
 	// so a single bad node cannot wedge a task. The resilient pool adds
 	// connect-level failover underneath: a refused or down node costs a
@@ -253,8 +277,8 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	// ---- Phase 1: save this partition into the staging table and flip the
 	// task's done flag, both under one transaction.
 	if !alreadyDone {
-		sp := w.phaseSpan("s2v.phase1", tc, p)
-		err := w.phase1(ctx, tc, conn, p, rows, &rep)
+		sp := w.phaseSpan(ctx, "s2v.phase1", tc, p)
+		err := w.phase1(obs.WithSpan(ctx, sp), tc, conn, p, rows, &rep)
 		sp.AddRows(rep.Loaded)
 		sp.AddRejected(rep.Rejected)
 		sp.End(err)
@@ -264,8 +288,8 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	}
 
 	// ---- Phase 2: are all tasks done?
-	sp := w.phaseSpan("s2v.phase2", tc, p)
-	notDone, err := w.phase2(ctx, conn)
+	sp := w.phaseSpan(ctx, "s2v.phase2", tc, p)
+	notDone, err := w.phase2(obs.WithSpan(ctx, sp), conn)
 	sp.End(err)
 	if err != nil {
 		return rep, err
@@ -279,8 +303,8 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 
 	// ---- Phase 3: race to become the last committer (leader election via
 	// conditional update).
-	sp = w.phaseSpan("s2v.phase3", tc, p)
-	err = w.phase3(ctx, conn, p)
+	sp = w.phaseSpan(ctx, "s2v.phase3", tc, p)
+	err = w.phase3(obs.WithSpan(ctx, sp), conn, p)
 	sp.End(err)
 	if err != nil {
 		return rep, err
@@ -290,8 +314,8 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 	}
 
 	// ---- Phase 4: did this task win?
-	sp = w.phaseSpan("s2v.phase4", tc, p)
-	winner, err := w.phase4(ctx, conn)
+	sp = w.phaseSpan(ctx, "s2v.phase4", tc, p)
+	winner, err := w.phase4(obs.WithSpan(ctx, sp), conn)
 	sp.End(err)
 	if err != nil {
 		return rep, err
@@ -302,8 +326,8 @@ func (w *s2vWriter) runTask(tc *spark.TaskContext, p int, rows []types.Row) (tas
 
 	// ---- Phase 5: the last committer checks the tolerance and atomically
 	// publishes staging into the target together with the final status.
-	sp = w.phaseSpan("s2v.phase5", tc, p)
-	err = w.phase5(ctx, tc, conn)
+	sp = w.phaseSpan(ctx, "s2v.phase5", tc, p)
+	err = w.phase5(obs.WithSpan(ctx, sp), tc, conn)
 	sp.End(err)
 	return rep, err
 }

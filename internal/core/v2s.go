@@ -265,8 +265,16 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 	if err != nil {
 		return nil, err
 	}
-	epoch, err := r.pinEpoch(driverCtx())
+	// The job's root span: driver-side planning runs inside it, and every
+	// partition read (plus the engine spans it causes, on whichever node and
+	// over whatever transport) parents under its identity. The root closes
+	// when the scan is planned — tasks run later, lazily — so the root's own
+	// duration covers planning; v_monitor.job_traces reports the job's
+	// end-to-end duration as the extent of the whole trace.
+	job := obs.Start(r.opts.Observer, "v2s.job", "driver")
+	epoch, err := r.pinEpoch(obs.WithSpan(driverCtx(), job))
 	if err != nil {
+		job.End(err)
 		return nil, err
 	}
 	specs := r.planPartitions()
@@ -280,15 +288,21 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 			}
 		}
 	}
+	job.SetDetail(fmt.Sprintf("%s: %d partitions, epoch %d", r.opts.Table, len(specs), epoch))
+	jobSC := job.SpanContext()
+	job.End(nil)
 	pool := r.pool
 	rel := r
 	return spark.NewRDD(r.sc, len(specs), func(tc *spark.TaskContext, p int) ([]types.Row, error) {
 		if err := tc.Checkpoint("v2s.task_start"); err != nil {
 			return nil, err
 		}
-		ctx := taskCtx(tc)
-		sp := obs.Start(rel.opts.Observer, "v2s.partition", tc.ExecNode)
+		ctx := obs.WithSpanContext(taskCtx(tc), jobSC)
+		sp := obs.StartChild(ctx, rel.opts.Observer, "v2s.partition", tc.ExecNode)
 		sp.SetDetail(fmt.Sprintf("partition %d/%d: %d specs, epoch %d", p, len(specs), len(specs[p]), epoch))
+		// Engine/wire spans from this task's queries parent under the
+		// partition span, not the job directly.
+		ctx = obs.WithSpan(ctx, sp)
 		var out []types.Row
 		for _, spec := range specs[p] {
 			// Execute retries the connect+execute pair with failover, so a

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format — the JSON
+// schema chrome://tracing and Perfetto both ingest. "X" events are complete
+// spans (ts + dur, microseconds); "M" events are metadata naming processes
+// and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the retained spans as Chrome trace-event JSON:
+// one "X" (complete) event per span, one trace-viewer thread per fabric node
+// (driver, executors, Vertica nodes), span identity and byte/row accounting
+// in args. Load the file in chrome://tracing or https://ui.perfetto.dev to
+// see a whole job's timeline across every process it touched.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans := c.Spans()
+
+	// Stable node → tid mapping, alphabetical so re-exports diff cleanly.
+	nodes := map[string]int{}
+	for _, sp := range spans {
+		node := sp.Node
+		if node == "" {
+			node = "(none)"
+		}
+		nodes[node] = 0
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		nodes[n] = i + 1
+	}
+
+	const pid = 1
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": "vsfabric"},
+	}}}
+	for _, n := range names {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: nodes[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+
+	for _, sp := range spans {
+		node := sp.Node
+		if node == "" {
+			node = "(none)"
+		}
+		args := map[string]any{
+			"trace_id":  fmt.Sprintf("%016x", sp.TraceID),
+			"span_id":   fmt.Sprintf("%016x", sp.SpanID),
+			"parent_id": fmt.Sprintf("%016x", sp.ParentID),
+		}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		if sp.Peer != "" {
+			args["peer"] = sp.Peer
+		}
+		if sp.Rows != 0 {
+			args["rows"] = sp.Rows
+		}
+		if sp.Rejected != 0 {
+			args["rejected"] = sp.Rejected
+		}
+		if sp.Bytes != 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Err != "" {
+			args["error"] = sp.Err
+		}
+		dur := float64(sp.Duration.Nanoseconds()) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // trace viewers drop zero-duration X events
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(sp.Start.UnixNano()) / 1e3,
+			Dur:  dur,
+			Pid:  pid,
+			Tid:  nodes[node],
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&tr)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,11 @@ type Collector struct {
 	enabled atomic.Bool
 	seq     atomic.Uint64
 
+	// hists maps span name → *histogram. A sync.Map keeps the per-span
+	// lookup lock-free once a name has been seen (names are a small fixed
+	// taxonomy, so the store path runs a handful of times per process).
+	hists sync.Map
+
 	mu       sync.Mutex
 	spans    *ring[Span]
 	events   *ring[Event]
@@ -82,26 +88,37 @@ func (c *Collector) Enabled() bool { return c.enabled.Load() }
 // SetEnabled turns recording on or off. Disabling does not clear history.
 func (c *Collector) SetEnabled(on bool) { c.enabled.Store(on) }
 
-// Reset discards all recorded spans, events, and counters.
+// Reset discards all recorded spans, events, counters, and histograms.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.spans = newRing[Span](len(c.spans.buf))
 	c.events = newRing[Event](len(c.events.buf))
 	c.counters = make(map[string]int64)
+	c.hists.Range(func(k, _ any) bool { c.hists.Delete(k); return true })
 }
 
-// SpanEnd records a completed span (assigning its ID) and bumps the
-// "span." + name counter.
+// SpanEnd records a completed span (assigning its ID), bumps the
+// "span." + name counter, and folds the duration into the name's latency
+// histogram (atomic buckets — no lock beyond the ring's existing one).
 func (c *Collector) SpanEnd(sp Span) {
 	if !c.enabled.Load() {
 		return
 	}
 	sp.ID = c.seq.Add(1)
+	c.histFor(sp.Name).observe(sp.Duration)
 	c.mu.Lock()
 	c.spans.add(sp)
 	c.counters["span."+sp.Name]++
 	c.mu.Unlock()
+}
+
+func (c *Collector) histFor(name string) *histogram {
+	if h, ok := c.hists.Load(name); ok {
+		return h.(*histogram)
+	}
+	h, _ := c.hists.LoadOrStore(name, &histogram{})
+	return h.(*histogram)
 }
 
 // Event records an event and bumps its counter. Events whose Payload is
@@ -153,4 +170,26 @@ func (c *Collector) Counter(name string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counters[name]
+}
+
+// Histograms snapshots every span name's latency distribution, sorted by
+// name. This backs v_monitor.latency_histograms.
+func (c *Collector) Histograms() []Histogram {
+	var out []Histogram
+	c.hists.Range(func(k, v any) bool {
+		out = append(out, v.(*histogram).snapshot(k.(string)))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histogram snapshots one span name's latency distribution; ok is false if
+// no span under that name has completed.
+func (c *Collector) Histogram(name string) (Histogram, bool) {
+	h, ok := c.hists.Load(name)
+	if !ok {
+		return Histogram{}, false
+	}
+	return h.(*histogram).snapshot(name), true
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log₂ latency buckets. Bucket i counts
+// durations in [2^i, 2^(i+1)) ns — 64 buckets cover every representable
+// duration, so no clamping logic runs on the record path.
+const histBuckets = 64
+
+// histogram is one span name's latency distribution. Updates are pure
+// atomics: SpanEnd touches two counters and never takes a lock, so the
+// histogram layer adds no contention to the collector's hot path.
+type histogram struct {
+	count   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func bucketOf(d time.Duration) int {
+	n := d.Nanoseconds()
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(n)) - 1
+}
+
+// bucketUpper is bucket i's exclusive upper bound.
+func bucketUpper(i int) time.Duration {
+	if i >= 62 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(1) << (i + 1)
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count durations
+// fell below UpperBound (and at or above the previous bucket's bound).
+type HistogramBucket struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
+// Histogram is a point-in-time snapshot of one span name's latency
+// distribution, with percentiles derived from the log₂ buckets. Each
+// percentile is reported as the upper bound of the bucket the rank falls in,
+// so it over-estimates by at most 2x — the resolution bucketed histograms
+// trade for fixed memory and lock-free updates.
+type Histogram struct {
+	Name    string
+	Count   int64
+	Buckets []HistogramBucket
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Max     time.Duration // upper bound of the highest non-empty bucket
+}
+
+// Quantile returns the latency bound below which fraction q of samples fall.
+func (h Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.UpperBound
+		}
+	}
+	return h.Max
+}
+
+// snapshot materializes the histogram under a name.
+func (h *histogram) snapshot(name string) Histogram {
+	out := Histogram{Name: name, Count: h.count.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			ub := bucketUpper(i)
+			out.Buckets = append(out.Buckets, HistogramBucket{UpperBound: ub, Count: n})
+			out.Max = ub
+		}
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out
+}

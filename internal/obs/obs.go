@@ -13,6 +13,7 @@ package obs
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,16 @@ type Span struct {
 	Node  string // database node involved ("" if none)
 	Peer  string // client/executor on the other end ("" if none)
 	Detail string // SQL text, table name, or phase detail
+
+	// TraceID groups every span of one distributed job, SpanID identifies
+	// this span within it, and ParentID links to the parent span (0 = root).
+	// A root span's TraceID equals its SpanID, so a trace is named by its
+	// root. The identity crosses goroutines via context (WithSpan) and
+	// process boundaries via SpanContext (the wire protocol carries exactly
+	// its two fields).
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
 
 	Start    time.Time
 	Duration time.Duration
@@ -37,6 +48,41 @@ type Span struct {
 
 // OK reports whether the span completed without error.
 func (s Span) OK() bool { return s.Err == "" }
+
+// Root reports whether the span is the root of its trace.
+func (s Span) Root() bool { return s.ParentID == 0 }
+
+// SpanContext is the propagatable identity of a span: enough to parent
+// children under it from another goroutine or another process. The zero
+// value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// idState drives NewID: a shared counter whose values are scrambled through
+// a splitmix64 finalizer, giving unique, random-looking 64-bit IDs with one
+// atomic add and no locks. Seeded from the clock so IDs differ across runs.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// NewID returns a process-unique non-zero identifier for traces and spans.
+func NewID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15) // golden-ratio increment (splitmix64)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
+}
 
 // Event is one point-in-time occurrence: a retry, a breaker transition, a
 // failover — or a resource-accounting record carried opaquely in Payload for
@@ -82,7 +128,32 @@ func Start(o Observer, name, node string) *ActiveSpan {
 	if e, ok := o.(enabler); ok && !e.Enabled() {
 		return nil
 	}
-	return &ActiveSpan{o: o, sp: Span{Name: name, Node: node, Start: time.Now()}}
+	id := NewID()
+	return &ActiveSpan{o: o, sp: Span{Name: name, Node: node, TraceID: id, SpanID: id, Start: time.Now()}}
+}
+
+// StartChild opens a span parented under the context's active span (or its
+// remotely-propagated SpanContext). With no trace in the context it degrades
+// to Start — a fresh root — so call sites need no conditionals.
+func StartChild(ctx context.Context, o Observer, name, node string) *ActiveSpan {
+	a := Start(o, name, node)
+	if a == nil {
+		return nil
+	}
+	if pc := SpanContextFrom(ctx); pc.Valid() {
+		a.sp.TraceID = pc.TraceID
+		a.sp.ParentID = pc.SpanID
+	}
+	return a
+}
+
+// SpanContext returns the span's propagatable identity (zero on a nil span,
+// so an untraced path propagates "no trace").
+func (a *ActiveSpan) SpanContext() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.sp.TraceID, SpanID: a.sp.SpanID}
 }
 
 // SetPeer records the client/executor side of the span.
@@ -180,6 +251,7 @@ type ctxKey int
 const (
 	observerKey ctxKey = iota
 	peerKey
+	spanCtxKey
 )
 
 // With attaches an observer to the context; operations executed under it
@@ -216,4 +288,31 @@ func Peer(ctx context.Context) string {
 	}
 	p, _ := ctx.Value(peerKey).(string)
 	return p
+}
+
+// WithSpan marks a as the context's active span: StartChild calls under the
+// returned context parent their spans beneath it. A nil span leaves ctx
+// unchanged, so untraced paths compose for free.
+func WithSpan(ctx context.Context, a *ActiveSpan) context.Context {
+	return WithSpanContext(ctx, a.SpanContext())
+}
+
+// WithSpanContext installs a remotely-propagated parent identity — the
+// server side of the wire protocol uses this to parent its sessions' spans
+// under the remote job. An invalid (zero) context is a no-op.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey, sc)
+}
+
+// SpanContextFrom extracts the context's active trace identity (zero if the
+// context carries none).
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanCtxKey).(SpanContext)
+	return sc
 }

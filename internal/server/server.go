@@ -11,6 +11,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -19,6 +20,7 @@ import (
 	"net"
 	"sync"
 
+	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
 	"vsfabric/internal/vertica"
 )
@@ -37,6 +39,15 @@ const maxFrame = 1 << 28
 
 type request struct {
 	SQL string `json:"sql"`
+	// TraceID/ParentID propagate the client's trace context across the wire
+	// (0 = untraced): the server-side session parents its execute/copy spans
+	// under the remote caller's span, so one connector job reads as a single
+	// trace spanning driver, executors, and every Vertica node.
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Peer names the remote client (the Spark executor in the simulated
+	// topology); the server falls back to the connection's remote address.
+	Peer string `json:"peer,omitempty"`
 }
 
 type response struct {
@@ -48,14 +59,15 @@ type response struct {
 	Transient bool `json:"transient,omitempty"`
 }
 
+// writeFrame emits one frame with a single Write: header and payload are
+// coalesced into one buffer, halving syscalls per frame and leaving no
+// partial-write window between the header and its payload.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [5]byte
-	hdr[0] = typ
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 5+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -153,7 +165,7 @@ func (s *Server) handle(conn net.Conn) {
 				_ = sendError(conn, err)
 				continue
 			}
-			res, err := sess.Execute(req.SQL)
+			res, err := sess.ExecuteContext(s.reqCtx(conn, req), req.SQL)
 			if err != nil {
 				_ = sendError(conn, err)
 				continue
@@ -165,7 +177,7 @@ func (s *Server) handle(conn net.Conn) {
 				_ = sendError(conn, err)
 				continue
 			}
-			res, err := sess.CopyFrom(req.SQL, &copyReader{conn: conn})
+			res, err := sess.CopyFromContext(s.reqCtx(conn, req), req.SQL, &copyReader{conn: conn})
 			if err != nil {
 				_ = sendError(conn, err)
 				continue
@@ -176,6 +188,25 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// reqCtx builds the context one remote request executes under: the node's
+// own collector observes it (so remote sessions surface in this node's
+// v_monitor even outside a traced job), the span Peer is stamped from the
+// wire-carried client name or, failing that, the connection's remote
+// address, and any propagated trace context parents the session's spans
+// under the remote job.
+func (s *Server) reqCtx(conn net.Conn, req request) context.Context {
+	ctx := obs.With(context.Background(), s.cluster.Obs())
+	peer := req.Peer
+	if peer == "" {
+		peer = conn.RemoteAddr().String()
+	}
+	ctx = obs.WithPeer(ctx, peer)
+	if req.TraceID != 0 {
+		ctx = obs.WithSpanContext(ctx, obs.SpanContext{TraceID: req.TraceID, SpanID: req.ParentID})
+	}
+	return ctx
 }
 
 // copyReader streams 'D' frames until 'E'.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vsfabric/internal/client"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
 	"vsfabric/internal/vertica"
 )
@@ -66,12 +67,23 @@ func (c *TCPConn) writeFrame(ctx context.Context, typ byte, payload []byte) erro
 	return writeFrame(c.conn, typ, payload)
 }
 
+// newRequest stamps a request with the context's trace identity and peer
+// name, so the span tree a job builds client-side continues uninterrupted on
+// the server.
+func newRequest(ctx context.Context, sql string) request {
+	req := request{SQL: sql, Peer: obs.Peer(ctx)}
+	if sc := obs.SpanContextFrom(ctx); sc.Valid() {
+		req.TraceID, req.ParentID = sc.TraceID, sc.SpanID
+	}
+	return req
+}
+
 // Execute implements client.Conn.
 func (c *TCPConn) Execute(ctx context.Context, sql string) (*vertica.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	payload, err := json.Marshal(request{SQL: sql})
+	payload, err := json.Marshal(newRequest(ctx, sql))
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +100,7 @@ func (c *TCPConn) CopyFrom(ctx context.Context, sql string, r io.Reader) (*verti
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	payload, err := json.Marshal(request{SQL: sql})
+	payload, err := json.Marshal(newRequest(ctx, sql))
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package vertica
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -398,9 +399,10 @@ func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
 
 // executeCopyStream bulk-loads rows arriving on the client stream (the
 // VerticaCopyStream path S2V uses, §3.2.2). It wraps the load in the
-// engine-side "copy" span that backs v_monitor.load_streams.
-func (s *Session) executeCopyStream(cp *vsql.Copy, r io.Reader) (*Result, error) {
-	sp := obs.Start(s.cluster.mon, "copy", s.node.Name)
+// engine-side "copy" span that backs v_monitor.load_streams, parented under
+// the context's trace (an S2V phase 1, possibly remote).
+func (s *Session) executeCopyStream(ctx context.Context, cp *vsql.Copy, r io.Reader) (*Result, error) {
+	sp := obs.StartChild(ctx, s.cluster.mon, "copy", s.node.Name)
 	sp.SetPeer(s.peer)
 	sp.SetDetail(cp.Table)
 	counted := &countingReader{r: r}
@@ -523,7 +525,7 @@ func (s *Session) copyStream(cp *vsql.Copy, counted *countingReader) (*Result, e
 
 // executeCopyFile bulk-loads a node-local CSV file — the native parallel
 // COPY baseline of §4.7.3.
-func (s *Session) executeCopyFile(cp *vsql.Copy) (*Result, error) {
+func (s *Session) executeCopyFile(ctx context.Context, cp *vsql.Copy) (*Result, error) {
 	f, err := os.Open(cp.FromPath)
 	if err != nil {
 		return nil, fmt.Errorf("vertica: COPY: %w", err)
@@ -531,7 +533,7 @@ func (s *Session) executeCopyFile(cp *vsql.Copy) (*Result, error) {
 	defer f.Close()
 	s.copyLocal = true
 	defer func() { s.copyLocal = false }()
-	return s.executeCopyStream(cp, f)
+	return s.executeCopyStream(ctx, cp, f)
 }
 
 type countingReader struct {

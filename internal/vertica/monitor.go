@@ -3,8 +3,10 @@ package vertica
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"vsfabric/internal/obs"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/types"
 )
@@ -119,6 +121,12 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		}
 		return rows, schema, nil
 
+	case "v_monitor.job_traces":
+		return jobTraces(s.cluster.mon)
+
+	case "v_monitor.latency_histograms":
+		return latencyHistograms(s.cluster.mon)
+
 	case "v_monitor.projection_storage":
 		schema := types.NewSchema(
 			types.Column{Name: "projection_name", T: types.Varchar},
@@ -160,4 +168,118 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 	default:
 		return nil, types.Schema{}, fmt.Errorf("vertica: unknown system table %q", name)
 	}
+}
+
+// jobTraces rolls every retained distributed trace up to one row per root
+// job span (v2s.job / s2v.job) — the Data-Collector-style view a DBA queries
+// to see what each connector job did across the whole fabric. The DB-side
+// columns (db_rows/db_bytes/rejected_rows) sum only engine execute/copy
+// spans, so connector-layer spans wrapping the same work are not counted
+// twice.
+func jobTraces(mon *obs.Collector) ([]types.Row, types.Schema, error) {
+	schema := types.NewSchema(
+		types.Column{Name: "trace_id", T: types.Varchar},
+		types.Column{Name: "job_type", T: types.Varchar},
+		types.Column{Name: "job_name", T: types.Varchar},
+		types.Column{Name: "start_timestamp", T: types.Varchar},
+		types.Column{Name: "duration_us", T: types.Int64},
+		types.Column{Name: "span_count", T: types.Int64},
+		types.Column{Name: "node_count", T: types.Int64},
+		types.Column{Name: "phase_count", T: types.Int64},
+		types.Column{Name: "db_rows", T: types.Int64},
+		types.Column{Name: "db_bytes", T: types.Int64},
+		types.Column{Name: "rejected_rows", T: types.Int64},
+		types.Column{Name: "error_count", T: types.Int64},
+		types.Column{Name: "success", T: types.Bool},
+	)
+	spans := mon.Spans()
+	byTrace := make(map[uint64][]obs.Span)
+	for _, sp := range spans {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	var rows []types.Row
+	for _, root := range spans {
+		if !root.Root() || !strings.HasSuffix(root.Name, ".job") {
+			continue
+		}
+		trace := byTrace[root.TraceID]
+		nodes := make(map[string]bool)
+		var phases, dbRows, dbBytes, rejected, errs int64
+		end := root.Start.Add(root.Duration)
+		for _, sp := range trace {
+			if sp.Node != "" {
+				nodes[sp.Node] = true
+			}
+			if strings.HasPrefix(sp.Name, "s2v.phase") || sp.Name == "s2v.setup" || sp.Name == "v2s.partition" {
+				phases++
+			}
+			if sp.Name == "execute" || sp.Name == "copy" {
+				dbRows += sp.Rows
+				dbBytes += sp.Bytes
+				rejected += sp.Rejected
+			}
+			if !sp.OK() {
+				errs++
+			}
+			// The root v2s.job span closes at planning time while its tasks
+			// are still running, so the job's end-to-end duration is the
+			// extent of the whole trace, not the root span alone.
+			if e := sp.Start.Add(sp.Duration); e.After(end) {
+				end = e
+			}
+		}
+		rows = append(rows, types.Row{
+			types.StringValue(fmt.Sprintf("%016x", root.TraceID)),
+			types.StringValue(root.Name),
+			types.StringValue(root.Detail),
+			types.StringValue(root.Start.Format(time.RFC3339Nano)),
+			types.IntValue(end.Sub(root.Start).Microseconds()),
+			types.IntValue(int64(len(trace))),
+			types.IntValue(int64(len(nodes))),
+			types.IntValue(phases),
+			types.IntValue(dbRows),
+			types.IntValue(dbBytes),
+			types.IntValue(rejected),
+			types.IntValue(errs),
+			types.BoolValue(errs == 0 && root.OK()),
+		})
+	}
+	return rows, schema, nil
+}
+
+// latencyHistograms renders the collector's per-span-name log₂ latency
+// distributions: sample counts, derived percentiles (as fractional
+// microseconds — bucket upper bounds, so each over-estimates by at most 2x),
+// and the raw buckets as "upper_bound_ns:count" pairs.
+func latencyHistograms(mon *obs.Collector) ([]types.Row, types.Schema, error) {
+	schema := types.NewSchema(
+		types.Column{Name: "operation", T: types.Varchar},
+		types.Column{Name: "sample_count", T: types.Int64},
+		types.Column{Name: "p50_us", T: types.Float64},
+		types.Column{Name: "p95_us", T: types.Float64},
+		types.Column{Name: "p99_us", T: types.Float64},
+		types.Column{Name: "max_us", T: types.Float64},
+		types.Column{Name: "buckets", T: types.Varchar},
+	)
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var rows []types.Row
+	for _, h := range mon.Histograms() {
+		var b strings.Builder
+		for i, bk := range h.Buckets {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%d", bk.UpperBound.Nanoseconds(), bk.Count)
+		}
+		rows = append(rows, types.Row{
+			types.StringValue(h.Name),
+			types.IntValue(h.Count),
+			types.FloatValue(us(h.P50)),
+			types.FloatValue(us(h.P95)),
+			types.FloatValue(us(h.P99)),
+			types.FloatValue(us(h.Max)),
+			types.StringValue(b.String()),
+		})
+	}
+	return rows, schema, nil
 }

@@ -124,7 +124,7 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 	}
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
-	sp := s.startExecSpan(stmt, sqlText)
+	sp := s.startExecSpan(ctx, stmt, sqlText)
 	res, err := s.dispatch(ctx, stmt)
 	if sp != nil {
 		if res != nil {
@@ -139,14 +139,16 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 	return res, err
 }
 
-// startExecSpan opens the query_requests span for a statement. Reads of the
-// v_monitor / v_catalog virtual tables are exempt: monitoring queries must
-// not pollute the history they observe.
-func (s *Session) startExecSpan(stmt vsql.Statement, sqlText string) *obs.ActiveSpan {
+// startExecSpan opens the query_requests span for a statement, parented
+// under the context's active trace (a connector job phase, possibly on the
+// far side of a TCP connection). Reads of the v_monitor / v_catalog virtual
+// tables are exempt: monitoring queries must not pollute the history they
+// observe.
+func (s *Session) startExecSpan(ctx context.Context, stmt vsql.Statement, sqlText string) *obs.ActiveSpan {
 	if systemRead(stmt) {
 		return nil
 	}
-	sp := obs.Start(s.cluster.mon, "execute", s.node.Name)
+	sp := obs.StartChild(ctx, s.cluster.mon, "execute", s.node.Name)
 	if sp == nil {
 		return nil
 	}
@@ -230,7 +232,7 @@ func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, e
 		if st.FromStdin {
 			return nil, fmt.Errorf("vertica: COPY FROM STDIN requires CopyFrom with a data stream")
 		}
-		return s.executeCopyFile(st)
+		return s.executeCopyFile(ctx, st)
 	default:
 		return nil, fmt.Errorf("vertica: unsupported statement %T", stmt)
 	}
@@ -265,7 +267,7 @@ func (s *Session) CopyFromContext(ctx context.Context, sql string, r io.Reader) 
 	if ctx.Done() != nil {
 		r = &ctxReader{ctx: ctx, r: r}
 	}
-	return s.executeCopyStream(cp, r)
+	return s.executeCopyStream(ctx, cp, r)
 }
 
 // ctxReader fails the stream once its context is cancelled, so a COPY parse
