@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race bench recover-test
 
 # The full verification gate: what CI (and every PR) must keep green.
 check: build vet lint race
@@ -21,6 +21,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Crash-recovery smoke: the WAL/persistence units plus the kill-and-restart
+# chaos suite (crash at every WAL record boundary), under the race detector.
+recover-test:
+	$(GO) test -race ./internal/wal/
+	$(GO) test -race -run 'Persist|Marshal|Encode|ContainerCache|DrainCommitted|MoveoutContainerOrder|LoadWOS' ./internal/storage/
+	$(GO) test -race -run 'AHM|CommitRequiresLog|Abort|SetNextTag' ./internal/txn/
+	$(GO) test -race -run 'Durable|Checkpoint|KillAndRestart|CrashMid|ReplayProperty|AtEpoch' ./internal/vertica/
 
 # Microbenchmarks plus the scan-throughput gate: BENCH_scan.json records
 # ns/op and rows/s for the vectorized pipeline vs the row-at-a-time

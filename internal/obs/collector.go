@@ -140,6 +140,18 @@ func (c *Collector) Event(ev Event) {
 	c.mu.Unlock()
 }
 
+// Add bumps a counter by delta directly, without recording an event. This is
+// the byte/record accounting path (wal.bytes and friends), where a ring entry
+// per increment would be pure noise.
+func (c *Collector) Add(name string, delta int64) {
+	if !c.enabled.Load() {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
 // Spans returns the retained spans, oldest first.
 func (c *Collector) Spans() []Span {
 	c.mu.Lock()

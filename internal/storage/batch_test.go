@@ -117,7 +117,7 @@ func TestScanBatchesMatchesScan(t *testing.T) {
 
 	// After moveout the WOS rows become a ROS container; equivalence and
 	// counts must be unchanged.
-	if err := s.Moveout(); err != nil {
+	if err := s.Moveout(6); err != nil {
 		t.Fatal(err)
 	}
 	for _, vis := range []Visibility{{Epoch: 6}, {Epoch: 100}} {
@@ -293,7 +293,7 @@ func TestScanBatchesRace(t *testing.T) {
 			return r[0].I%97 == int64(i%97)
 		})
 		if i%5 == 0 {
-			if err := s.Moveout(); err != nil {
+			if err := s.Moveout(epoch); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ContainerCache is a byte-bounded LRU of decoded ROS containers keyed by
+// file path. It fronts container loads during cluster open/recovery so that
+// repeated reopens (the kill-and-restart chaos suite, a node cycling through
+// restarts) decode each container file once instead of per open. Cached
+// entries hold the pristine on-disk state; Load hands out Clones, so clusters
+// sharing a cache never share mutable delete vectors.
+type ContainerCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	lru      *list.List // front = most recent; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key   string
+	c     *ROSContainer
+	bytes int
+}
+
+// DefaultCacheBytes bounds a container cache when no explicit budget is
+// configured (64 MiB).
+const DefaultCacheBytes = 64 << 20
+
+// NewContainerCache returns a cache bounded to maxBytes of decoded column
+// data (<= 0 uses DefaultCacheBytes).
+func NewContainerCache(maxBytes int) *ContainerCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &ContainerCache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Load returns a private clone of the container cached under key, calling
+// read to decode it on a miss. A single oversized container is still cached
+// alone and evicted on the next insert.
+func (cc *ContainerCache) Load(key string, read func() (*ROSContainer, error)) (*ROSContainer, error) {
+	cc.mu.Lock()
+	if el, ok := cc.entries[key]; ok {
+		cc.lru.MoveToFront(el)
+		cc.hits++
+		c := el.Value.(*cacheEntry).c
+		cc.mu.Unlock()
+		return c.Clone(), nil
+	}
+	cc.misses++
+	cc.mu.Unlock()
+
+	c, err := read()
+	if err != nil {
+		return nil, err
+	}
+	size := c.DataBytes() + 12*c.RowCount // columns + hashes + delete vector
+	cc.mu.Lock()
+	if _, ok := cc.entries[key]; !ok {
+		cc.entries[key] = cc.lru.PushFront(&cacheEntry{key: key, c: c, bytes: size})
+		cc.curBytes += size
+		for cc.curBytes > cc.maxBytes && cc.lru.Len() > 1 {
+			oldest := cc.lru.Back()
+			e := oldest.Value.(*cacheEntry)
+			cc.lru.Remove(oldest)
+			delete(cc.entries, e.key)
+			cc.curBytes -= e.bytes
+		}
+	}
+	cc.mu.Unlock()
+	return c.Clone(), nil
+}
+
+// Invalidate drops a key (the checkpoint rewrote or removed its file).
+func (cc *ContainerCache) Invalidate(key string) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		cc.lru.Remove(el)
+		delete(cc.entries, e.key)
+		cc.curBytes -= e.bytes
+	}
+}
+
+// Stats reports cache hit/miss counts and the current resident bytes.
+func (cc *ContainerCache) Stats() (hits, misses int64, bytes int) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses, cc.curBytes
+}

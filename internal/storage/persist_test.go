@@ -1,0 +1,337 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/types"
+	"vsfabric/internal/vhash"
+)
+
+func persistSchema() types.Schema {
+	return types.Schema{Cols: []types.Column{
+		{Name: "id", T: types.Int64},
+		{Name: "score", T: types.Float64},
+		{Name: "name", T: types.Varchar},
+		{Name: "ok", T: types.Bool},
+	}}
+}
+
+func persistRows() []types.Row {
+	return []types.Row{
+		{types.IntValue(1), types.FloatValue(1.5), types.StringValue("a"), types.BoolValue(true)},
+		{types.IntValue(-7), types.NullValue(types.Float64), types.StringValue(""), types.BoolValue(false)},
+		{types.NullValue(types.Int64), types.FloatValue(-0.25), types.NullValue(types.Varchar), types.NullValue(types.Bool)},
+	}
+}
+
+func TestEncodeRowsRoundTrip(t *testing.T) {
+	schema := persistSchema()
+	rows := persistRows()
+	data, err := EncodeRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, gotRows, err := DecodeRows(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.NumCols() != schema.NumCols() {
+		t.Fatalf("schema lost columns: %d vs %d", gotSchema.NumCols(), schema.NumCols())
+	}
+	if !rowsEqual(gotRows, rows) {
+		t.Fatalf("rows changed across encode/decode:\n got %v\nwant %v", gotRows, rows)
+	}
+	// Empty batch must round-trip too (a COPY of zero rows is legal).
+	data, err = EncodeRows(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, gotRows, err = DecodeRows(data); err != nil || len(gotRows) != 0 {
+		t.Fatalf("empty batch: %v rows, err %v", gotRows, err)
+	}
+}
+
+func TestMarshalContainerRoundTrip(t *testing.T) {
+	schema := persistSchema()
+	rows := persistRows()
+	c, err := NewROSContainer(rows, schema, []int{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One committed delete, one provisional delete mark. The provisional mark
+	// must be written as live — the WAL replays it, not the container file.
+	c.mu.Lock()
+	c.del = make([]uint64, len(rows))
+	c.del[0] = 5
+	c.del[1] = ProvisionalBase + 9
+	c.mu.Unlock()
+
+	data, err := MarshalContainer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalContainer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StartEpoch() != 3 || got.RowCount != len(rows) {
+		t.Fatalf("start=%d rows=%d", got.StartEpoch(), got.RowCount)
+	}
+	for i := range rows {
+		if got.Hashes[i] != c.Hashes[i] {
+			t.Fatalf("hash %d changed: %d vs %d", i, got.Hashes[i], c.Hashes[i])
+		}
+		gr := got.Row(i)
+		for j := range rows[i] {
+			if types.Compare(gr[j], rows[i][j]) != 0 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, gr[j], rows[i][j])
+			}
+		}
+	}
+	if got.del[0] != 5 {
+		t.Fatalf("committed delete lost: del[0]=%d", got.del[0])
+	}
+	if got.del[1] != 0 {
+		t.Fatalf("provisional delete persisted: del[1]=%d", got.del[1])
+	}
+
+	// No-deletes container round-trips with a nil delete vector.
+	c2, _ := NewROSContainer(rows, schema, []int{0}, 2)
+	data2, err := MarshalContainer(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := UnmarshalContainer(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.del != nil {
+		t.Fatalf("expected nil delete vector, got %v", got2.del)
+	}
+}
+
+func TestMarshalContainerRefusesProvisional(t *testing.T) {
+	c, _ := NewROSContainer(persistRows(), persistSchema(), []int{0}, ProvisionalBase+1)
+	if _, err := MarshalContainer(c); err == nil {
+		t.Fatal("provisional container must not be persistable")
+	}
+}
+
+func TestUnmarshalContainerRejectsCorruption(t *testing.T) {
+	c, _ := NewROSContainer(persistRows(), persistSchema(), []int{0}, 2)
+	data, err := MarshalContainer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if _, err := UnmarshalContainer(bad); err == nil {
+			t.Fatalf("flipped byte at %d went undetected", off)
+		} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "CRC") {
+			t.Logf("corruption surfaced as: %v", err)
+		}
+	}
+	if _, err := UnmarshalContainer(data[:8]); err == nil {
+		t.Fatal("truncated container went undetected")
+	}
+}
+
+func TestMarshalWOSRoundTrip(t *testing.T) {
+	schema := persistSchema()
+	s := NewStore(schema, []int{0})
+	s.AppendWOS(persistRows(), 4)
+	// A committed delete ahead of the AHM (retained row) and a provisional
+	// insert; the snapshot keeps the first, skips the second.
+	s.DeleteWhere(Visibility{Epoch: 6}, 6, func(r types.Row) bool {
+		return !r[0].Null && r[0].I == 1
+	})
+	s.AppendWOS([]types.Row{{types.IntValue(99), types.FloatValue(0), types.StringValue("prov"), types.BoolValue(true)}}, ProvisionalBase+7)
+
+	data, n, err := s.MarshalWOS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("snapshot has %d rows, want 3 committed", n)
+	}
+	s2 := NewStore(schema, []int{0})
+	if err := s2.LoadWOS(data); err != nil {
+		t.Fatal(err)
+	}
+	full := vhash.Range{Lo: 0, Hi: vhash.RingSize}
+	// At epoch 5 the delete isn't visible: all 3 rows.
+	if got := collectScan(s2, Visibility{Epoch: 5}, full); len(got) != 3 {
+		t.Fatalf("epoch 5: %d rows, want 3", len(got))
+	}
+	// At epoch 6 the deleted row disappears.
+	if got := collectScan(s2, Visibility{Epoch: 6}, full); len(got) != 2 {
+		t.Fatalf("epoch 6: %d rows, want 2", len(got))
+	}
+	// Loaded hashes must match freshly computed segmentation hashes, or
+	// segment-pruned scans would silently miss rows.
+	want := collectScan(s, Visibility{Epoch: 5}, full)
+	for _, seg := range vhash.Segments(4) {
+		a := collectScan(s, Visibility{Epoch: 5}, seg)
+		b := collectScan(s2, Visibility{Epoch: 5}, seg)
+		if !rowsEqual(a, b) {
+			t.Fatalf("segment %v: %d vs %d rows", seg, len(b), len(a))
+		}
+	}
+	_ = want
+}
+
+func TestContainerCache(t *testing.T) {
+	schema := persistSchema()
+	base, _ := NewROSContainer(persistRows(), schema, []int{0}, 2)
+	data, err := MarshalContainer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	read := func() (*ROSContainer, error) {
+		reads++
+		return UnmarshalContainer(data)
+	}
+	cc := NewContainerCache(1 << 20)
+	c1, err := cc.Load("k1", read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cc.Load("k1", read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 1 {
+		t.Fatalf("cache missed a warm key: %d reads", reads)
+	}
+	if c1 == c2 {
+		t.Fatal("Load must clone: two loads returned the same container")
+	}
+	// Mutating one clone's delete vector must not leak into later loads.
+	c1.mu.Lock()
+	if c1.del == nil {
+		c1.del = make([]uint64, c1.RowCount)
+	}
+	c1.del[0] = 10
+	c1.mu.Unlock()
+	c3, err := cc.Load("k1", read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.del != nil && c3.del[0] == 10 {
+		t.Fatal("clone mutation leaked into cache")
+	}
+	hits, misses, _ := cc.Stats()
+	if hits < 2 || misses != 1 {
+		t.Fatalf("stats: hits=%d misses=%d", hits, misses)
+	}
+	// Invalidate forces a re-read.
+	cc.Invalidate("k1")
+	if _, err := cc.Load("k1", read); err != nil {
+		t.Fatal(err)
+	}
+	if reads != 2 {
+		t.Fatalf("invalidate did not evict: %d reads", reads)
+	}
+	// A tiny cache evicts down to a single (oversized) resident entry.
+	small := NewContainerCache(1)
+	for i := 0; i < 3; i++ {
+		if _, err := small.Load(fmt.Sprintf("k%d", i), read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one, _ := cc.Load("k1", read)
+	_, _, bytes := small.Stats()
+	if perEntry := one.DataBytes() + 12*one.RowCount; bytes > perEntry {
+		t.Fatalf("tiny cache retained %d bytes (> one entry %d)", bytes, perEntry)
+	}
+}
+
+// TestDrainCommittedRespectsAHM pins down the moveout row-loss bug: a row
+// whose committed delete epoch is ahead of the AHM must stay in the WOS so
+// pinned readers between insert and delete still see it.
+func TestDrainCommittedRespectsAHM(t *testing.T) {
+	mk := func() *WOS {
+		w := NewWOS()
+		w.Append([]types.Row{{types.IntValue(1)}}, nil, 2) // live committed
+		w.Append([]types.Row{{types.IntValue(2)}}, nil, 2) // deleted at 6
+		w.Append([]types.Row{{types.IntValue(3)}}, nil, ProvisionalBase+4)
+		w.DeleteWhere(Visibility{Epoch: 6}, 6, func(r types.Row) bool { return r[0].I == 2 })
+		return w
+	}
+
+	// AHM behind the delete: the deleted row must be retained, not purged.
+	w := mk()
+	rows, _, epochs := w.DrainCommitted(3)
+	if len(rows) != 1 || rows[0][0].I != 1 || epochs[0] != 2 {
+		t.Fatalf("ahm=3 drained %v", rows)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("ahm=3 retained %d rows, want deleted row + provisional", w.Len())
+	}
+	// A reader pinned at epoch 3 must still see row 2 after the drain.
+	seen := 0
+	w.Scan(Visibility{Epoch: 3}, vhash.Range{Lo: 0, Hi: vhash.RingSize}, func(r types.Row) bool {
+		if r[0].I == 2 {
+			seen++
+		}
+		return true
+	})
+	if seen != 1 {
+		t.Fatal("pinned reader lost the deleted-but-retained row")
+	}
+
+	// AHM at the delete epoch: purge is now safe.
+	w = mk()
+	rows, _, _ = w.DrainCommitted(6)
+	if len(rows) != 1 || w.Len() != 1 {
+		t.Fatalf("ahm=6: drained %d, retained %d (want 1 drained, provisional only)", len(rows), w.Len())
+	}
+
+	// Provisional delete mark: keep buffered regardless of AHM.
+	w = NewWOS()
+	w.Append([]types.Row{{types.IntValue(9)}}, nil, 2)
+	w.DeleteWhere(Visibility{Epoch: 6, Tag: ProvisionalBase + 8}, ProvisionalBase+8, func(types.Row) bool { return true })
+	if rows, _, _ := w.DrainCommitted(100); len(rows) != 0 || w.Len() != 1 {
+		t.Fatalf("provisionally deleted row moved out: drained %d, kept %d", len(rows), w.Len())
+	}
+}
+
+// TestMoveoutContainerOrderDeterministic: rows buffered at multiple epochs
+// must produce containers in ascending epoch order, every time. (The old code
+// ranged over a map — ordering varied run to run, so two buddy replicas could
+// disagree on container layout.)
+func TestMoveoutContainerOrderDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		s := NewStore(batchSchema(), []int{0})
+		// Interleave epochs out of order on purpose.
+		for _, e := range []uint64{5, 2, 9, 3, 7} {
+			s.AppendWOS(batchRows(int(e)*10, int(e)*10+3), e)
+		}
+		if err := s.Moveout(9); err != nil {
+			t.Fatal(err)
+		}
+		cs := s.Containers()
+		if len(cs) != 5 {
+			t.Fatalf("trial %d: %d containers, want 5", trial, len(cs))
+		}
+		var prev uint64
+		for i, c := range cs {
+			if c.StartEpoch() <= prev {
+				t.Fatalf("trial %d: container %d epoch %d not ascending (prev %d)",
+					trial, i, c.StartEpoch(), prev)
+			}
+			prev = c.StartEpoch()
+		}
+	}
+}
+
+func TestLoadWOSRejectsGarbage(t *testing.T) {
+	s := NewStore(persistSchema(), []int{0})
+	if err := s.LoadWOS([]byte("not a wos snapshot")); err == nil {
+		t.Fatal("garbage WOS snapshot accepted")
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"vsfabric/internal/types"
@@ -56,6 +57,13 @@ type ROSContainer struct {
 	mu    sync.RWMutex
 	start uint64   // insert epoch or provisional tag
 	del   []uint64 // delete epoch/tag per row; 0 = live
+
+	// diskRef is the path of the container's persisted file ("" if the
+	// container has never been written), and dirty reports whether its MVCC
+	// state (start epoch or delete vector) changed since that write. The
+	// checkpoint uses the pair to skip rewriting unchanged containers.
+	diskRef string
+	dirty   bool
 }
 
 // NewROSContainer builds a container from rows. segIdx are the segmentation
@@ -87,6 +95,44 @@ func (c *ROSContainer) StartEpoch() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.start
+}
+
+// DiskRef returns the path the container was last persisted to ("" if never)
+// and whether its MVCC state has changed since.
+func (c *ROSContainer) DiskRef() (ref string, dirty bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.diskRef, c.dirty
+}
+
+// SetDiskRef records that the container's current committed state is durable
+// at the given path, clearing the dirty flag.
+func (c *ROSContainer) SetDiskRef(ref string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.diskRef = ref
+	c.dirty = false
+}
+
+// Clone returns a container sharing the immutable column data (Cols, Hashes,
+// Schema) but with independent mutable MVCC state: the start epoch, the
+// delete vector, and the disk reference. The container cache hands out clones
+// so concurrently open clusters never share delete vectors.
+func (c *ROSContainer) Clone() *ROSContainer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nc := &ROSContainer{
+		Schema:   c.Schema,
+		Cols:     c.Cols,
+		RowCount: c.RowCount,
+		Hashes:   c.Hashes,
+		start:    c.start,
+		diskRef:  c.diskRef,
+	}
+	if c.del != nil {
+		nc.del = append(make([]uint64, 0, len(c.del)), c.del...)
+	}
+	return nc
 }
 
 // Row materializes row i.
@@ -163,9 +209,14 @@ func (s *Store) AppendWOS(rows []types.Row, tag uint64) {
 }
 
 // Moveout converts committed WOS contents into ROS containers, mirroring the
-// Vertica Tuple Mover. Provisional (uncommitted) rows stay in the WOS.
-func (s *Store) Moveout() error {
-	rows, hashes, epochs := s.wos.DrainCommitted()
+// Vertica Tuple Mover. Provisional (uncommitted) rows stay in the WOS, as do
+// committed rows whose delete epoch is still ahead of the Ancient History
+// Mark (a reader pinned between the insert and delete epochs must keep
+// seeing them). Containers are built in ascending epoch order so the store's
+// container sequence — and with it the deterministic segment-order merge of
+// parallel scans — is stable across runs.
+func (s *Store) Moveout(ahm uint64) error {
+	rows, hashes, epochs := s.wos.DrainCommitted(ahm)
 	if len(rows) == 0 {
 		return nil
 	}
@@ -173,7 +224,13 @@ func (s *Store) Moveout() error {
 	for i, e := range epochs {
 		groups[e] = append(groups[e], i)
 	}
-	for e, idxs := range groups {
+	order := make([]uint64, 0, len(groups))
+	for e := range groups {
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, e := range order {
+		idxs := groups[e]
 		batch := make([]types.Row, len(idxs))
 		for j, i := range idxs {
 			batch[j] = rows[i]
@@ -202,11 +259,16 @@ func (s *Store) snapshot() []*ROSContainer {
 
 // Scan calls fn for every row visible under vis whose segmentation hash lies
 // in hr (pass the full ring to scan everything). Returning false stops the
-// scan.
+// scan. The container's delete vector is snapshotted once per container under
+// a single RLock rather than locking around every row.
 func (s *Store) Scan(vis Visibility, hr vhash.Range, fn func(row types.Row) bool) {
 	for _, c := range s.snapshot() {
 		c.mu.RLock()
 		start := c.start
+		var del []uint64
+		if c.del != nil {
+			del = append(make([]uint64, 0, len(c.del)), c.del...)
+		}
 		c.mu.RUnlock()
 		if !vis.seesInsert(start) {
 			continue
@@ -215,13 +277,7 @@ func (s *Store) Scan(vis Visibility, hr vhash.Range, fn func(row types.Row) bool
 			if !hr.Contains(c.Hashes[i]) {
 				continue
 			}
-			c.mu.RLock()
-			del := uint64(0)
-			if c.del != nil {
-				del = c.del[i]
-			}
-			c.mu.RUnlock()
-			if vis.seesDelete(del) {
+			if del != nil && vis.seesDelete(del[i]) {
 				continue
 			}
 			if !fn(c.Row(i)) {
@@ -261,6 +317,7 @@ func (s *Store) DeleteWhere(vis Visibility, tag uint64, match func(types.Row) bo
 				}
 				if c.del[i] == 0 || c.del[i] == tag {
 					c.del[i] = tag
+					c.dirty = true
 					n++
 				}
 				c.mu.Unlock()
@@ -278,6 +335,7 @@ func (s *Store) RebaseInserts(tag, epoch uint64) {
 		c.mu.Lock()
 		if c.start == tag {
 			c.start = epoch
+			c.dirty = true
 		}
 		c.mu.Unlock()
 	}
@@ -307,6 +365,7 @@ func (s *Store) RebaseDeletes(tag, epoch uint64) {
 		for i := range c.del {
 			if c.del[i] == tag {
 				c.del[i] = epoch
+				c.dirty = true
 			}
 		}
 		c.mu.Unlock()
@@ -321,6 +380,7 @@ func (s *Store) ClearDeletes(tag uint64) {
 		for i := range c.del {
 			if c.del[i] == tag {
 				c.del[i] = 0
+				c.dirty = true
 			}
 		}
 		c.mu.Unlock()
@@ -369,6 +429,17 @@ func (s *Store) Validate() error {
 // WOSLen returns the number of rows buffered in the WOS (for moveout
 // policy).
 func (s *Store) WOSLen() int { return s.wos.Len() }
+
+// Containers returns a snapshot of the store's ROS containers in order. The
+// checkpoint walks it to persist committed containers.
+func (s *Store) Containers() []*ROSContainer { return s.snapshot() }
+
+// AttachContainer appends a container loaded from disk (crash recovery).
+func (s *Store) AttachContainer(c *ROSContainer) {
+	s.mu.Lock()
+	s.ros = append(s.ros, c)
+	s.mu.Unlock()
+}
 
 // TotalRows returns the physical number of rows across ROS containers and
 // the WOS, regardless of visibility — the amount of work a full scan visits.

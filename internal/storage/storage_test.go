@@ -268,7 +268,7 @@ func TestWOSMoveoutPreservesEpochs(t *testing.T) {
 	s.AppendWOS(intRows(1), 3)
 	s.AppendWOS(intRows(2), 5)
 	s.AppendWOS(intRows(99), ProvisionalBase+4) // uncommitted: stays in WOS
-	if err := s.Moveout(); err != nil {
+	if err := s.Moveout(5); err != nil {
 		t.Fatal(err)
 	}
 	if s.WOSLen() != 1 {

@@ -123,10 +123,12 @@ func (w *WOS) ClearDeletes(tag uint64) {
 }
 
 // DrainCommitted removes and returns all committed live rows with their
-// hashes and epochs. Provisional rows stay put; rows whose delete has
-// committed are purged (the engine's Ancient History Mark is "now": readers
-// are expected to pin epochs no older than the last moveout).
-func (w *WOS) DrainCommitted() (rows []types.Row, hashes []uint32, epochs []uint64) {
+// hashes and epochs. Provisional rows stay put. Rows whose delete has
+// committed are purged only once no reader can still see them: a row deleted
+// at epoch d is visible to a reader pinned at any epoch p < d, so it must
+// survive until the Ancient History Mark (the minimum pinned epoch) reaches
+// d. Rows with ahm < delete epoch stay buffered; the rest are purged.
+func (w *WOS) DrainCommitted(ahm uint64) (rows []types.Row, hashes []uint32, epochs []uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	keep := 0
@@ -139,8 +141,18 @@ func (w *WOS) DrainCommitted() (rows []types.Row, hashes []uint32, epochs []uint
 			w.starts[keep] = w.starts[i]
 			w.dels[keep] = w.dels[i]
 			keep++
+		case w.dels[i] != 0 && w.dels[i] <= ahm:
+			// Committed delete behind the AHM: no pinned reader can see the
+			// row any more, purge it.
 		case w.dels[i] != 0:
-			// Committed delete: purge.
+			// Committed delete still ahead of the AHM: a reader pinned
+			// between the insert and delete epochs must keep seeing the row,
+			// so it stays buffered until the AHM catches up.
+			w.rows[keep] = w.rows[i]
+			w.hashes[keep] = w.hashes[i]
+			w.starts[keep] = w.starts[i]
+			w.dels[keep] = w.dels[i]
+			keep++
 		default:
 			rows = append(rows, w.rows[i])
 			hashes = append(hashes, w.hashes[i])

@@ -48,13 +48,27 @@ func (m LockMode) String() string {
 	}
 }
 
+// CommitLog is the durability hook the transaction manager drives: a
+// write-ahead log that must make the tag→epoch mapping durable before the
+// commit is acknowledged. The wal package's Log satisfies it.
+type CommitLog interface {
+	// LogCommit records that tag committed at epoch and syncs it to stable
+	// storage. An error fails (and aborts) the commit.
+	LogCommit(tag, epoch uint64) error
+	// LogAbort records that tag aborted. Best-effort: an abort lost to a
+	// crash replays as an uncommitted tag and is discarded anyway.
+	LogAbort(tag uint64) error
+}
+
 // Manager is the cluster-wide transaction manager.
 type Manager struct {
 	mu        sync.Mutex
 	lastEpoch uint64
 	nextTag   uint64
 	locks     map[string]*tableLock
-	commitMu  sync.Mutex // serializes epoch closing
+	pins      map[uint64]int // epoch → reader count
+	log       CommitLog      // guarded by mu; nil when non-durable
+	commitMu  sync.Mutex     // serializes epoch closing
 
 	// LockTimeout bounds how long a transaction waits for a table lock
 	// before giving up (deadlock avoidance by timeout).
@@ -68,9 +82,91 @@ func NewManager() *Manager {
 		lastEpoch:   1,
 		nextTag:     storage.ProvisionalBase + 1,
 		locks:       make(map[string]*tableLock),
+		pins:        make(map[uint64]int),
 		LockTimeout: 10 * time.Second,
 	}
 }
+
+// SetCommitLog installs the write-ahead log that commits must reach before
+// they are acknowledged. Pass nil to detach (non-durable operation). Safe to
+// call while holding CheckpointLock — the checkpoint swaps logs mid-cutover.
+func (m *Manager) SetCommitLog(l CommitLog) {
+	m.mu.Lock()
+	m.log = l
+	m.mu.Unlock()
+}
+
+func (m *Manager) commitLog() CommitLog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log
+}
+
+// SetLastEpoch force-sets the last closed epoch. Recovery-only: called while
+// replaying the WAL, before the cluster serves traffic.
+func (m *Manager) SetLastEpoch(e uint64) {
+	m.mu.Lock()
+	m.lastEpoch = e
+	m.mu.Unlock()
+}
+
+// SetNextTag force-sets the next provisional tag. Recovery-only: the manager
+// must never reissue a tag that appears in the surviving WAL, or a later
+// crash would replay the old tag's records under the new transaction.
+func (m *Manager) SetNextTag(tag uint64) {
+	m.mu.Lock()
+	if tag > m.nextTag {
+		m.nextTag = tag
+	}
+	m.mu.Unlock()
+}
+
+// PinEpoch registers a reader at the given epoch and returns a release
+// function (idempotent). While pinned, the tuple mover will not purge rows
+// whose delete epoch is newer than the pin, so AT EPOCH scans stay exact
+// across concurrent moveouts — the V2S consistent-snapshot guarantee
+// (§3.1.2) extended to storage reclamation.
+func (m *Manager) PinEpoch(epoch uint64) func() {
+	m.mu.Lock()
+	m.pins[epoch]++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if m.pins[epoch] > 1 {
+				m.pins[epoch]--
+			} else {
+				delete(m.pins, epoch)
+			}
+			m.mu.Unlock()
+		})
+	}
+}
+
+// AHM returns the Ancient History Mark: the oldest epoch any pinned reader
+// may still observe (the minimum pinned epoch, or the last closed epoch when
+// nothing is pinned). Storage reclamation may purge a deleted row only once
+// its delete epoch is <= AHM.
+func (m *Manager) AHM() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ahm := m.lastEpoch
+	for e := range m.pins {
+		if e < ahm {
+			ahm = e
+		}
+	}
+	return ahm
+}
+
+// CheckpointLock stalls commits for the duration of a storage checkpoint, so
+// the persisted containers, WOS snapshots, and WAL cutover form one
+// consistent durable epoch. Pair with CheckpointUnlock.
+func (m *Manager) CheckpointLock() { m.commitMu.Lock() }
+
+// CheckpointUnlock releases CheckpointLock.
+func (m *Manager) CheckpointUnlock() { m.commitMu.Unlock() }
 
 // LastEpoch returns the most recently closed (fully committed) epoch —
 // what Vertica calls the "last epoch", the snapshot V2S pins (§3.1.2).
@@ -209,6 +305,16 @@ func (t *Txn) Commit() (uint64, error) {
 	t.m.mu.Lock()
 	epoch := t.m.lastEpoch + 1
 	t.m.mu.Unlock()
+	if clog := t.m.commitLog(); clog != nil {
+		// Durability point: the tag→epoch record must be on stable storage
+		// before any in-memory state advances. If the log write fails the
+		// transaction aborts and the epoch never closes.
+		if err := clog.LogCommit(t.tag, epoch); err != nil {
+			t.m.commitMu.Unlock()
+			t.Abort()
+			return 0, fmt.Errorf("txn: commit log write failed: %w", err)
+		}
+	}
 	for s, k := range t.touched {
 		if k.inserted {
 			s.RebaseInserts(t.tag, epoch)
@@ -238,6 +344,11 @@ func (t *Txn) Abort() {
 		if k.deleted {
 			s.ClearDeletes(t.tag)
 		}
+	}
+	if clog := t.m.commitLog(); clog != nil {
+		// Best-effort: a lost abort record replays as an uncommitted tag and
+		// is discarded by recovery anyway.
+		_ = clog.LogAbort(t.tag)
 	}
 	t.finish()
 }

@@ -16,8 +16,10 @@ import (
 	"vsfabric/internal/expr"
 	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
+	"vsfabric/internal/storage"
 	"vsfabric/internal/txn"
 	"vsfabric/internal/types"
+	"vsfabric/internal/wal"
 )
 
 // UDxFunc is a registered scalar User-Defined Extension: it receives the
@@ -57,6 +59,18 @@ type Config struct {
 	// reference scan instead of the vectorized batch pipeline. Ablation and
 	// benchmarking knob (cmd/scanbench); leave false in production.
 	RowAtATimeScans bool
+	// DataDir, when set, makes the cluster durable: storage persists under
+	// this directory, every write is logged to a write-ahead log fsynced on
+	// commit, and NewCluster recovers the last durable epoch from it on
+	// reopen. Empty (the default) runs fully in memory.
+	DataDir string
+	// ContainerCacheBytes bounds the decoded-container cache used when
+	// loading ROS files from DataDir (0 = storage.DefaultCacheBytes).
+	ContainerCacheBytes int
+	// Cache optionally shares a container cache across clusters (the
+	// kill-and-restart suite reopening the same directory). Nil allocates a
+	// private cache of ContainerCacheBytes.
+	Cache *storage.ContainerCache
 }
 
 // Cluster is a running database cluster.
@@ -77,6 +91,17 @@ type Cluster struct {
 	// mon collects engine-side spans (query executes, COPY streams) and
 	// backs the v_monitor.query_requests / load_streams system tables.
 	mon *obs.Collector
+
+	// Durable-mode state (zero when Config.DataDir is empty): the data
+	// directory, the decoded-container cache, and the current write-ahead
+	// log with its file sequence number. walMu guards the log pointer across
+	// checkpoint cutover; nextDiskID names new data files.
+	dataDir    string
+	cache      *storage.ContainerCache
+	walMu      sync.Mutex
+	wlog       *wal.Log
+	walSeq     uint64
+	nextDiskID atomic.Uint64
 }
 
 // NewCluster creates a cluster with the given configuration.
@@ -104,7 +129,31 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		})
 	}
 	c.registerBuiltins()
+	if cfg.DataDir != "" {
+		c.dataDir = cfg.DataDir
+		c.cache = cfg.Cache
+		if c.cache == nil {
+			c.cache = storage.NewContainerCache(cfg.ContainerCacheBytes)
+		}
+		if err := c.openDurable(); err != nil {
+			return nil, fmt.Errorf("vertica: opening data directory %s: %w", cfg.DataDir, err)
+		}
+	}
 	return c, nil
+}
+
+// Close detaches a durable cluster from its write-ahead log (flushing
+// buffered records). In-memory clusters need no Close.
+func (c *Cluster) Close() error {
+	c.txm.SetCommitLog(nil)
+	c.walMu.Lock()
+	l := c.wlog
+	c.wlog = nil
+	c.walMu.Unlock()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
 }
 
 // MustNewCluster is NewCluster for tests and examples that cannot fail.
@@ -273,24 +322,15 @@ func (c *Cluster) bindFuncs(e expr.Expr) error {
 	return nil
 }
 
-// Moveout runs the tuple mover on every table: committed WOS rows become ROS
-// containers.
+// Moveout runs the tuple mover on every table: committed WOS rows older than
+// the Ancient History Mark become ROS containers (rows a pinned reader can
+// still see stay buffered). On a durable cluster moveout is a checkpoint:
+// the moved containers are persisted and the write-ahead log truncated.
 func (c *Cluster) Moveout() error {
-	for _, t := range c.cat.Tables() {
-		for _, s := range t.Stores {
-			if err := s.Moveout(); err != nil {
-				return err
-			}
-		}
-		for _, reps := range t.Buddies {
-			for _, s := range reps {
-				if err := s.Moveout(); err != nil {
-					return err
-				}
-			}
-		}
+	if c.durable() {
+		return c.Checkpoint()
 	}
-	return nil
+	return c.moveoutAll()
 }
 
 // Connect opens a session against the given node. It enforces the per-node

@@ -29,6 +29,9 @@ func (s *Session) executeCreateTable(st *vsql.CreateTable) (*Result, error) {
 			}
 			return nil, err
 		}
+		if err := s.cluster.logDDL(opCreateTable, ddlPayload{Def: &def}); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	}
 	for _, c := range st.Cols {
@@ -56,6 +59,9 @@ func (s *Session) executeCreateTable(st *vsql.CreateTable) (*Result, error) {
 		}
 		return nil, err
 	}
+	if err := s.cluster.logDDL(opCreateTable, ddlPayload{Def: &def}); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 
@@ -73,7 +79,10 @@ func (s *Session) executeDropTable(st *vsql.DropTable) (*Result, error) {
 				return err
 			}
 			s.cluster.txm.DropTableLock(name)
-			return nil
+			// Logged at application time, like every DDL: commit hooks run
+			// exactly once and are not rolled back, so replay applies the
+			// record where it sits in the log.
+			return s.cluster.logDDL(opDropTable, ddlPayload{Name: name})
 		})
 		return &Result{}, nil
 	}
@@ -81,6 +90,9 @@ func (s *Session) executeDropTable(st *vsql.DropTable) (*Result, error) {
 		return nil, err
 	}
 	s.cluster.txm.DropTableLock(st.Name)
+	if err := s.cluster.logDDL(opDropTable, ddlPayload{Name: st.Name}); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 
@@ -92,11 +104,17 @@ func (s *Session) executeCreateView(st *vsql.CreateView) (*Result, error) {
 	if err := s.cluster.cat.CreateView(st.Name, st.SelectSQL); err != nil {
 		return nil, err
 	}
+	if err := s.cluster.logDDL(opCreateView, ddlPayload{Name: st.Name, SQL: st.SelectSQL}); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 
 func (s *Session) executeDropView(st *vsql.DropView) (*Result, error) {
 	if err := s.cluster.cat.DropView(st.Name, st.IfExists); err != nil {
+		return nil, err
+	}
+	if err := s.cluster.logDDL(opDropView, ddlPayload{Name: st.Name}); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
@@ -113,11 +131,17 @@ func (s *Session) executeRename(st *vsql.AlterRename) (*Result, error) {
 	if s.tx != nil {
 		name, newName := st.Name, st.NewName
 		s.tx.OnCommit(func() error {
-			return s.cluster.cat.RenameTable(name, newName)
+			if err := s.cluster.cat.RenameTable(name, newName); err != nil {
+				return err
+			}
+			return s.cluster.logDDL(opRenameTable, ddlPayload{Name: name, NewName: newName})
 		})
 		return &Result{}, nil
 	}
 	if err := s.cluster.cat.RenameTable(st.Name, st.NewName); err != nil {
+		return nil, err
+	}
+	if err := s.cluster.logDDL(opRenameTable, ddlPayload{Name: st.Name, NewName: st.NewName}); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil

@@ -60,50 +60,25 @@ func routeRows(tbl *catalog.Table, rows []types.Row) [][]types.Row {
 // for resource accounting.
 func (s *Session) writeRows(tx *txn.Txn, tbl *catalog.Table, rows []types.Row, direct bool) (map[[2]string]float64, error) {
 	route := make(map[[2]string]float64)
-	write := func(st interface {
-		AppendROS([]types.Row, uint64) error
-		AppendWOS([]types.Row, uint64)
-	}, batch []types.Row) error {
+	err := forEachTarget(tbl, rows, func(st *storage.Store, nodeID int, batch []types.Row) error {
 		if direct {
-			return st.AppendROS(batch, tx.Tag())
+			if err := st.AppendROS(batch, tx.Tag()); err != nil {
+				return err
+			}
+		} else {
+			st.AppendWOS(batch, tx.Tag())
 		}
-		st.AppendWOS(batch, tx.Tag())
+		tx.NoteInsert(st)
+		if nodeID != s.node.ID {
+			route[[2]string{s.node.Name, sim.VName(nodeID)}] += rowsWireSize(batch)
+		}
 		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if !tbl.Def.Segmented {
-		for i, st := range tbl.Stores {
-			if err := write(st, rows); err != nil {
-				return nil, err
-			}
-			tx.NoteInsert(tbl.Stores[i])
-			if i != s.node.ID {
-				route[[2]string{s.node.Name, sim.VName(i)}] += rowsWireSize(rows)
-			}
-		}
-		return route, nil
-	}
-	buckets := routeRows(tbl, rows)
-	for home, batch := range buckets {
-		if len(batch) == 0 {
-			continue
-		}
-		if err := write(tbl.Stores[home], batch); err != nil {
-			return nil, err
-		}
-		tx.NoteInsert(tbl.Stores[home])
-		if home != s.node.ID {
-			route[[2]string{s.node.Name, sim.VName(home)}] += rowsWireSize(batch)
-		}
-		for r := range tbl.Buddies {
-			host := (home + r + 1) % tbl.NumNodes()
-			if err := write(tbl.Buddies[r][host], batch); err != nil {
-				return nil, err
-			}
-			tx.NoteInsert(tbl.Buddies[r][host])
-			if host != s.node.ID {
-				route[[2]string{s.node.Name, sim.VName(host)}] += rowsWireSize(batch)
-			}
-		}
+	if err := s.logInsert(tx, tbl, rows, direct); err != nil {
+		return nil, err
 	}
 	return route, nil
 }
@@ -308,6 +283,12 @@ func (s *Session) executeUpdate(st *vsql.Update) (*Result, error) {
 	}
 	if len(matched) > 0 {
 		s.deleteRowsEverywhere(tx, tbl, st.Where, vis)
+		if err := s.logDelete(tx, tbl, matched, vis.Epoch); err != nil {
+			if auto {
+				tx.Abort()
+			}
+			return nil, err
+		}
 		if _, err := s.writeRows(tx, tbl, updated, false); err != nil {
 			if auto {
 				tx.Abort()
@@ -392,7 +373,26 @@ func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
 		}
 		return nil, err
 	}
-	n := s.deleteRowsEverywhere(tx, tbl, st.Where, tx.Vis())
+	vis := tx.Vis()
+	// A durable cluster logs the concrete rows the delete marks, so replay
+	// can re-apply it exactly under the same snapshot.
+	var matched []types.Row
+	if s.cluster.durable() {
+		var err error
+		if matched, err = s.collectMatching(tbl, st.Where, vis); err != nil {
+			if auto {
+				tx.Abort()
+			}
+			return nil, err
+		}
+	}
+	n := s.deleteRowsEverywhere(tx, tbl, st.Where, vis)
+	if err := s.logDelete(tx, tbl, matched, vis.Epoch); err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
 	s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedStatusOp})
 	return s.finishWrite(tx, auto, &Result{RowsAffected: int64(n)})
 }

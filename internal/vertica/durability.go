@@ -1,0 +1,817 @@
+package vertica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vsfabric/internal/catalog"
+	"vsfabric/internal/obs"
+	"vsfabric/internal/storage"
+	"vsfabric/internal/txn"
+	"vsfabric/internal/types"
+	"vsfabric/internal/wal"
+)
+
+// This file implements the cluster's durable form: a per-node data directory
+// of ROS container files and WOS snapshots, a write-ahead log, ARIES-style
+// replay on open, and the checkpoint (the durable tuple-mover pass) that
+// persists container state and truncates the log.
+//
+// Layout under Config.DataDir:
+//
+//	MANIFEST.json      — the durable catalog + file map, swapped atomically
+//	wal-<seq>.log      — the current write-ahead log
+//	node-<i>/c-<id>.ros — one file per ROS container on node i
+//	node-<i>/w-<id>.wos — node i's committed WOS snapshot for one table
+//
+// Invariants:
+//   - Provisional (uncommitted) state is never persisted in data files; the
+//     WAL alone carries it, and a checkpoint copies still-pending records
+//     into the fresh log it cuts over to.
+//   - A transaction is durable iff its commit record reached the log —
+//     fsynced before Commit returns.
+//   - The manifest is the recovery root: data files and the new WAL are
+//     written and synced first, then MANIFEST.json is swapped via rename, so
+//     a crash at any instant recovers from whichever manifest is current.
+
+const manifestName = "MANIFEST.json"
+
+// DDL opcodes carried in wal.Record.Op.
+const (
+	opCreateTable byte = iota + 1
+	opDropTable
+	opRenameTable
+	opCreateView
+	opDropView
+)
+
+// ddlPayload is the JSON body of a RecDDL record.
+type ddlPayload struct {
+	Def     *catalog.TableDef `json:"def,omitempty"`
+	Name    string            `json:"name,omitempty"`
+	NewName string            `json:"new_name,omitempty"`
+	SQL     string            `json:"sql,omitempty"`
+}
+
+// storeManifest locates one store's durable files (paths relative to the
+// data directory).
+type storeManifest struct {
+	Containers []string `json:"containers,omitempty"`
+	WOS        string   `json:"wos,omitempty"`
+}
+
+type tableManifest struct {
+	Def          catalog.TableDef  `json:"def"`
+	CreatedEpoch uint64            `json:"created_epoch"`
+	Stores       []storeManifest   `json:"stores"`
+	Buddies      [][]storeManifest `json:"buddies,omitempty"`
+}
+
+type viewManifest struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// manifest is the recovery root: the catalog, every store's data files, and
+// the WAL to replay on top of them.
+type manifest struct {
+	Version      int             `json:"version"`
+	DurableEpoch uint64          `json:"durable_epoch"`
+	WALFile      string          `json:"wal_file"`
+	WALSeq       uint64          `json:"wal_seq"`
+	NextDiskID   uint64          `json:"next_disk_id"`
+	Tables       []tableManifest `json:"tables,omitempty"`
+	Views        []viewManifest  `json:"views,omitempty"`
+}
+
+func (c *Cluster) durable() bool { return c.dataDir != "" }
+
+// curWAL returns the current log under the swap lock.
+func (c *Cluster) curWAL() *wal.Log {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	return c.wlog
+}
+
+// walAppend appends one record to the current log. A record that races a
+// checkpoint's log swap is forwarded to the successor by the sealed log.
+func (c *Cluster) walAppend(rec wal.Record) error {
+	l := c.curWAL()
+	if l == nil {
+		return nil
+	}
+	return l.Append(rec)
+}
+
+func (c *Cluster) walSync() error {
+	l := c.curWAL()
+	if l == nil {
+		return nil
+	}
+	return l.Sync()
+}
+
+// logInsert records the rows an INSERT/COPY wrote under the transaction's
+// provisional tag. Routing is deterministic (segmentation hash), so one
+// logical record regenerates every store's writes on replay.
+func (s *Session) logInsert(tx *txn.Txn, tbl *catalog.Table, rows []types.Row, direct bool) error {
+	if !s.cluster.durable() || len(rows) == 0 {
+		return nil
+	}
+	payload, err := storage.EncodeRows(tbl.Def.Schema, rows)
+	if err != nil {
+		return err
+	}
+	return s.cluster.walAppend(wal.Record{
+		Type: wal.RecInsert, Tag: tx.Tag(), Table: tbl.Def.Name, Direct: direct, Rows: payload,
+	})
+}
+
+// logDelete records the rows a DELETE/UPDATE marked, plus the snapshot epoch
+// the statement read at. Replay re-applies the delete by row equality under
+// the same visibility, which is exact: equal rows hash to the same segment,
+// and the predicate is a pure function of row values.
+func (s *Session) logDelete(tx *txn.Txn, tbl *catalog.Table, matched []types.Row, visEpoch uint64) error {
+	if !s.cluster.durable() || len(matched) == 0 {
+		return nil
+	}
+	payload, err := storage.EncodeRows(tbl.Def.Schema, matched)
+	if err != nil {
+		return err
+	}
+	return s.cluster.walAppend(wal.Record{
+		Type: wal.RecDelete, Tag: tx.Tag(), Epoch: visEpoch, Table: tbl.Def.Name, Rows: payload,
+	})
+}
+
+// logDDL appends a catalog operation and syncs it (DDL applies immediately —
+// autocommit, or a commit hook that is not rolled back — so it must be
+// durable at application).
+func (c *Cluster) logDDL(op byte, p ddlPayload) error {
+	if !c.durable() {
+		return nil
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	if err := c.walAppend(wal.Record{Type: wal.RecDDL, Op: op, DDL: b}); err != nil {
+		return err
+	}
+	return c.walSync()
+}
+
+// forEachTarget visits every store that must receive rows of tbl, with the
+// node the store lives on and that store's share of the rows: unsegmented
+// tables replicate everywhere; segmented tables route each row to its
+// segment's node plus the buddy replicas. This single routing function is
+// shared by the write path and WAL replay, so recovery reproduces placement
+// exactly.
+func forEachTarget(tbl *catalog.Table, rows []types.Row, visit func(st *storage.Store, nodeID int, batch []types.Row) error) error {
+	if !tbl.Def.Segmented {
+		for i, st := range tbl.Stores {
+			if err := visit(st, i, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buckets := routeRows(tbl, rows)
+	for home, batch := range buckets {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := visit(tbl.Stores[home], home, batch); err != nil {
+			return err
+		}
+		for r := range tbl.Buddies {
+			host := (home + r + 1) % tbl.NumNodes()
+			if err := visit(tbl.Buddies[r][host], host, batch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// allStores returns every store holding rows of tbl (primaries then buddies).
+func allStores(tbl *catalog.Table) []*storage.Store {
+	out := append([]*storage.Store(nil), tbl.Stores...)
+	for _, reps := range tbl.Buddies {
+		out = append(out, reps...)
+	}
+	return out
+}
+
+// rowKey is a canonical binary encoding of a row, used to re-match logged
+// delete rows against stored rows during replay. Floats are compared by bit
+// pattern (the logged rows are clones of the stored ones, so bits agree).
+func rowKey(r types.Row) string {
+	var b strings.Builder
+	var tmp [8]byte
+	for _, v := range r {
+		b.WriteByte(byte(v.T))
+		if v.Null {
+			b.WriteByte(1)
+			continue
+		}
+		b.WriteByte(0)
+		switch v.T {
+		case types.Int64:
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+			b.Write(tmp[:])
+		case types.Float64:
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+			b.Write(tmp[:])
+		case types.Bool:
+			if v.B {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		default:
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(v.S)))
+			b.Write(tmp[:4])
+			b.WriteString(v.S)
+		}
+	}
+	return b.String()
+}
+
+// writeFileSync writes data to path atomically: temp file in the same
+// directory, fsync, rename, directory fsync.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable (best-effort:
+// some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// openDurable attaches the cluster to its data directory: it loads the
+// manifest's containers and WOS snapshots (through the container cache),
+// replays the write-ahead log — redoing committed transactions, discarding
+// provisional ones — and reopens the log for appending. A missing manifest
+// initializes a fresh directory.
+func (c *Cluster) openDurable() error {
+	if err := os.MkdirAll(c.dataDir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < c.cfg.Nodes; i++ {
+		if err := os.MkdirAll(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", i)), 0o755); err != nil {
+			return err
+		}
+	}
+	sp := obs.Start(c.mon, "recovery", "v0")
+
+	mPath := filepath.Join(c.dataDir, manifestName)
+	raw, err := os.ReadFile(mPath)
+	if os.IsNotExist(err) {
+		return c.initFreshDir(sp)
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("vertica: corrupt manifest: %w", err)
+	}
+
+	// Rebuild the catalog, loading each store's containers and WOS snapshot.
+	for _, tm := range m.Tables {
+		if len(tm.Stores) != c.cfg.Nodes {
+			return fmt.Errorf("vertica: manifest table %q spans %d nodes, cluster has %d",
+				tm.Def.Name, len(tm.Stores), c.cfg.Nodes)
+		}
+		tbl, err := c.cat.CreateTable(tm.Def, tm.CreatedEpoch)
+		if err != nil {
+			return err
+		}
+		if err := c.loadStores(tbl.Stores, tm.Stores); err != nil {
+			return err
+		}
+		if len(tm.Buddies) != len(tbl.Buddies) {
+			return fmt.Errorf("vertica: manifest table %q has %d buddy sets, expected %d",
+				tm.Def.Name, len(tm.Buddies), len(tbl.Buddies))
+		}
+		for r := range tm.Buddies {
+			if err := c.loadStores(tbl.Buddies[r], tm.Buddies[r]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, vm := range m.Views {
+		if err := c.cat.CreateView(vm.Name, vm.SQL); err != nil {
+			return err
+		}
+	}
+	c.txm.SetLastEpoch(m.DurableEpoch)
+	c.walSeq = m.WALSeq
+	c.nextDiskID.Store(m.NextDiskID)
+
+	// Replay the log on top of the checkpointed state. Recover truncates any
+	// torn tail (a crash mid-append), so the reopened log appends after the
+	// last intact record.
+	walPath := filepath.Join(c.dataDir, m.WALFile)
+	records, err := wal.Recover(walPath)
+	if err != nil {
+		return err
+	}
+	replayed, dropped, err := c.replay(records)
+	if err != nil {
+		return err
+	}
+	c.mon.Add("recovery.replayed_records", int64(replayed))
+	c.mon.Add("recovery.dropped_txns", int64(dropped))
+
+	l, err := wal.Open(walPath)
+	if err != nil {
+		return err
+	}
+	c.attachWAL(l)
+	if sp != nil {
+		sp.SetDetail(fmt.Sprintf("epoch %d, %d records replayed", c.txm.LastEpoch(), replayed))
+		sp.End(nil)
+	}
+	return nil
+}
+
+// initFreshDir lays down the durable skeleton of an empty cluster: a new WAL
+// with a checkpoint record at epoch 1, then the first manifest.
+func (c *Cluster) initFreshDir(sp *obs.ActiveSpan) error {
+	c.walSeq = 1
+	c.nextDiskID.Store(1)
+	walFile := fmt.Sprintf("wal-%d.log", c.walSeq)
+	l, err := wal.Open(filepath.Join(c.dataDir, walFile))
+	if err != nil {
+		return err
+	}
+	if err := l.Append(wal.Record{Type: wal.RecCheckpoint, Epoch: c.txm.LastEpoch()}); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	m := manifest{
+		Version:      1,
+		DurableEpoch: c.txm.LastEpoch(),
+		WALFile:      walFile,
+		WALSeq:       c.walSeq,
+		NextDiskID:   c.nextDiskID.Load(),
+	}
+	if err := c.writeManifest(&m); err != nil {
+		return err
+	}
+	c.attachWAL(l)
+	if sp != nil {
+		sp.SetDetail("fresh data directory")
+		sp.End(nil)
+	}
+	return nil
+}
+
+// attachWAL installs l as the cluster's current log, wiring the byte/fsync
+// counters and the transaction manager's commit hook.
+func (c *Cluster) attachWAL(l *wal.Log) {
+	l.OnWrite = func(n int64) {
+		c.mon.Add("wal.bytes", n)
+		c.mon.Add("wal.records", 1)
+	}
+	l.OnSync = func() { c.mon.Add("wal.fsyncs", 1) }
+	c.walMu.Lock()
+	c.wlog = l
+	c.walMu.Unlock()
+	c.txm.SetCommitLog(l)
+}
+
+// loadStores attaches each manifest store's container files and WOS snapshot.
+func (c *Cluster) loadStores(stores []*storage.Store, sms []storeManifest) error {
+	if len(sms) != len(stores) {
+		return fmt.Errorf("vertica: manifest store count %d, expected %d", len(sms), len(stores))
+	}
+	for i, sm := range sms {
+		for _, ref := range sm.Containers {
+			path := filepath.Join(c.dataDir, ref)
+			cont, err := c.cache.Load(path, func() (*storage.ROSContainer, error) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				return storage.UnmarshalContainer(data)
+			})
+			if err != nil {
+				return fmt.Errorf("vertica: loading container %s: %w", ref, err)
+			}
+			cont.SetDiskRef(ref)
+			stores[i].AttachContainer(cont)
+		}
+		if sm.WOS != "" {
+			data, err := os.ReadFile(filepath.Join(c.dataDir, sm.WOS))
+			if err != nil {
+				return fmt.Errorf("vertica: loading WOS snapshot %s: %w", sm.WOS, err)
+			}
+			if err := stores[i].LoadWOS(data); err != nil {
+				return fmt.Errorf("vertica: WOS snapshot %s: %w", sm.WOS, err)
+			}
+		}
+	}
+	return nil
+}
+
+// txnEffects tracks which stores a replayed transaction touched, so its
+// commit (rebase) or disappearance (drop) hits exactly those stores.
+type txnEffects struct {
+	inserted map[*storage.Store]bool
+	deleted  map[*storage.Store]bool
+}
+
+// replay applies WAL records in order: inserts and deletes re-execute under
+// their original provisional tags, commits rebase them onto their recorded
+// epochs, aborts and still-open tags are discarded. DDL applies immediately,
+// mirroring the engine (commit hooks are not rolled back). Returns the
+// number of records applied and the number of unfinished transactions
+// dropped.
+func (c *Cluster) replay(records []wal.Record) (replayed, dropped int, err error) {
+	open := make(map[uint64]*txnEffects)
+	var maxTag uint64
+	effects := func(tag uint64) *txnEffects {
+		e, ok := open[tag]
+		if !ok {
+			e = &txnEffects{inserted: make(map[*storage.Store]bool), deleted: make(map[*storage.Store]bool)}
+			open[tag] = e
+		}
+		return e
+	}
+	for _, rec := range records {
+		if rec.Tag > maxTag {
+			maxTag = rec.Tag
+		}
+		switch rec.Type {
+		case wal.RecInsert:
+			tbl, ok := c.cat.Table(rec.Table)
+			if !ok {
+				return replayed, dropped, fmt.Errorf("vertica: replay: insert into unknown table %q", rec.Table)
+			}
+			_, rows, derr := storage.DecodeRows(rec.Rows)
+			if derr != nil {
+				return replayed, dropped, fmt.Errorf("vertica: replay: %w", derr)
+			}
+			e := effects(rec.Tag)
+			werr := forEachTarget(tbl, rows, func(st *storage.Store, _ int, batch []types.Row) error {
+				if rec.Direct {
+					if aerr := st.AppendROS(batch, rec.Tag); aerr != nil {
+						return aerr
+					}
+				} else {
+					st.AppendWOS(batch, rec.Tag)
+				}
+				e.inserted[st] = true
+				return nil
+			})
+			if werr != nil {
+				return replayed, dropped, werr
+			}
+		case wal.RecDelete:
+			tbl, ok := c.cat.Table(rec.Table)
+			if !ok {
+				return replayed, dropped, fmt.Errorf("vertica: replay: delete from unknown table %q", rec.Table)
+			}
+			_, rows, derr := storage.DecodeRows(rec.Rows)
+			if derr != nil {
+				return replayed, dropped, fmt.Errorf("vertica: replay: %w", derr)
+			}
+			keys := make(map[string]bool, len(rows))
+			for _, r := range rows {
+				keys[rowKey(r)] = true
+			}
+			vis := storage.Visibility{Epoch: rec.Epoch, Tag: rec.Tag}
+			match := func(r types.Row) bool { return keys[rowKey(r)] }
+			e := effects(rec.Tag)
+			for _, st := range allStores(tbl) {
+				st.DeleteWhere(vis, rec.Tag, match)
+				e.deleted[st] = true
+			}
+		case wal.RecCommit:
+			if e, ok := open[rec.Tag]; ok {
+				for st := range e.inserted {
+					st.RebaseInserts(rec.Tag, rec.Epoch)
+				}
+				for st := range e.deleted {
+					st.RebaseDeletes(rec.Tag, rec.Epoch)
+				}
+				delete(open, rec.Tag)
+			}
+			c.txm.SetLastEpoch(rec.Epoch)
+		case wal.RecAbort:
+			if e, ok := open[rec.Tag]; ok {
+				for st := range e.inserted {
+					st.DropInserts(rec.Tag)
+				}
+				for st := range e.deleted {
+					st.ClearDeletes(rec.Tag)
+				}
+				delete(open, rec.Tag)
+			}
+		case wal.RecDDL:
+			if derr := c.replayDDL(rec); derr != nil {
+				return replayed, dropped, derr
+			}
+		case wal.RecCheckpoint:
+			if rec.Epoch > c.txm.LastEpoch() {
+				c.txm.SetLastEpoch(rec.Epoch)
+			}
+		}
+		replayed++
+	}
+	// Transactions with no commit record did not happen: drop their
+	// provisional writes exactly as an abort would.
+	for tag, e := range open {
+		for st := range e.inserted {
+			st.DropInserts(tag)
+		}
+		for st := range e.deleted {
+			st.ClearDeletes(tag)
+		}
+		dropped++
+	}
+	// Never reissue a tag that appears in the surviving log: a reused tag
+	// would fuse a dead transaction's replayed records with a live one after
+	// a second crash.
+	if maxTag > 0 {
+		c.txm.SetNextTag(maxTag + 1)
+	}
+	return replayed, dropped, nil
+}
+
+func (c *Cluster) replayDDL(rec wal.Record) error {
+	var p ddlPayload
+	if err := json.Unmarshal(rec.DDL, &p); err != nil {
+		return fmt.Errorf("vertica: replay: corrupt DDL record: %w", err)
+	}
+	switch rec.Op {
+	case opCreateTable:
+		if p.Def == nil {
+			return fmt.Errorf("vertica: replay: CREATE TABLE record without definition")
+		}
+		_, err := c.cat.CreateTable(*p.Def, c.txm.LastEpoch())
+		return err
+	case opDropTable:
+		if err := c.cat.DropTable(p.Name, true); err != nil {
+			return err
+		}
+		c.txm.DropTableLock(p.Name)
+		return nil
+	case opRenameTable:
+		return c.cat.RenameTable(p.Name, p.NewName)
+	case opCreateView:
+		return c.cat.CreateView(p.Name, p.SQL)
+	case opDropView:
+		return c.cat.DropView(p.Name, true)
+	default:
+		return fmt.Errorf("vertica: replay: unknown DDL opcode %d", rec.Op)
+	}
+}
+
+// Checkpoint runs the durable tuple-mover pass: moveout, persist every
+// committed container and WOS snapshot, cut the WAL over to a fresh file
+// (carrying records of still-open transactions), and swap the manifest.
+// Commits are stalled for the duration, so the persisted state is exactly
+// the durable epoch the new manifest names. On a non-durable cluster it
+// degrades to a plain moveout.
+func (c *Cluster) Checkpoint() error {
+	if !c.durable() {
+		return c.moveoutAll()
+	}
+	sp := obs.Start(c.mon, "checkpoint", "v0")
+	c.txm.CheckpointLock()
+	defer c.txm.CheckpointUnlock()
+
+	if err := c.moveoutAll(); err != nil {
+		return err
+	}
+	durableEpoch := c.txm.LastEpoch()
+
+	m := manifest{Version: 1, DurableEpoch: durableEpoch}
+	for _, tbl := range c.cat.Tables() {
+		tm := tableManifest{Def: tbl.Def, CreatedEpoch: tbl.CreatedEpoch}
+		sms, err := c.persistStores(tbl.Stores, tbl.Def.Name)
+		if err != nil {
+			return err
+		}
+		tm.Stores = sms
+		for _, reps := range tbl.Buddies {
+			bms, err := c.persistStores(reps, tbl.Def.Name)
+			if err != nil {
+				return err
+			}
+			tm.Buddies = append(tm.Buddies, bms)
+		}
+		m.Tables = append(m.Tables, tm)
+	}
+	for _, v := range c.cat.Views() {
+		m.Views = append(m.Views, viewManifest{Name: v.Name, SQL: v.SelectSQL})
+	}
+
+	// Cut the WAL over: new file with a checkpoint record, carry pending
+	// records, then redirect appenders. Commits cannot race this — the
+	// commit lock is held — and non-commit appends forward via the seal.
+	newSeq := c.walSeq + 1
+	newFile := fmt.Sprintf("wal-%d.log", newSeq)
+	// A checkpoint that crashed after creating its new log but before the
+	// manifest swap leaves a stale file under this name; it was never
+	// referenced, so clear it rather than appending after its records.
+	_ = os.Remove(filepath.Join(c.dataDir, newFile))
+	newLog, err := wal.Open(filepath.Join(c.dataDir, newFile))
+	if err != nil {
+		return err
+	}
+	if err := newLog.Append(wal.Record{Type: wal.RecCheckpoint, Epoch: durableEpoch}); err != nil {
+		return err
+	}
+	// Sealing redirects every later append (and the commit log's writes, via
+	// forwarding) into the new file while c.wlog still points at the old one,
+	// so the pointer swap can wait until the manifest naming the new file is
+	// durable.
+	old := c.curWAL()
+	if old != nil {
+		if err := old.Seal(newLog); err != nil {
+			return err
+		}
+	}
+	if err := newLog.Sync(); err != nil {
+		return err
+	}
+	m.WALFile = newFile
+	m.WALSeq = newSeq
+	m.NextDiskID = c.nextDiskID.Load()
+	if err := c.writeManifest(&m); err != nil {
+		return err
+	}
+	oldFile := fmt.Sprintf("wal-%d.log", c.walSeq)
+	c.walSeq = newSeq
+	c.attachWAL(newLog)
+	if old != nil {
+		_ = old.Close()
+	}
+	c.removeStaleFiles(&m, oldFile)
+	if sp != nil {
+		sp.SetDetail(fmt.Sprintf("epoch %d", durableEpoch))
+		sp.End(nil)
+	}
+	return nil
+}
+
+// persistStores writes each store's dirty/new committed containers and WOS
+// snapshot, returning the manifest entries. Containers are never rewritten
+// in place: a changed container gets a fresh file, and the old one is
+// removed only after the new manifest is durable.
+func (c *Cluster) persistStores(stores []*storage.Store, table string) ([]storeManifest, error) {
+	out := make([]storeManifest, len(stores))
+	for i, st := range stores {
+		for _, cont := range st.Containers() {
+			if cont.StartEpoch() >= storage.ProvisionalBase {
+				continue // uncommitted: the WAL carries it
+			}
+			ref, dirty := cont.DiskRef()
+			if ref == "" || dirty {
+				data, err := storage.MarshalContainer(cont)
+				if err != nil {
+					return nil, fmt.Errorf("vertica: persisting %s container: %w", table, err)
+				}
+				newRef := filepath.Join(fmt.Sprintf("node-%d", i), fmt.Sprintf("c-%d.ros", c.nextDiskID.Add(1)))
+				if err := writeFileSync(filepath.Join(c.dataDir, newRef), data); err != nil {
+					return nil, err
+				}
+				if ref != "" {
+					c.cache.Invalidate(filepath.Join(c.dataDir, ref))
+				}
+				cont.SetDiskRef(newRef)
+				ref = newRef
+				c.mon.Add("checkpoint.containers_written", 1)
+			}
+			out[i].Containers = append(out[i].Containers, ref)
+		}
+		data, n, err := st.MarshalWOS()
+		if err != nil {
+			return nil, fmt.Errorf("vertica: persisting %s WOS: %w", table, err)
+		}
+		if n > 0 {
+			ref := filepath.Join(fmt.Sprintf("node-%d", i), fmt.Sprintf("w-%d.wos", c.nextDiskID.Add(1)))
+			if err := writeFileSync(filepath.Join(c.dataDir, ref), data); err != nil {
+				return nil, err
+			}
+			out[i].WOS = ref
+		}
+	}
+	return out, nil
+}
+
+func (c *Cluster) writeManifest(m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileSync(filepath.Join(c.dataDir, manifestName), data)
+}
+
+// removeStaleFiles deletes every data file the new manifest no longer
+// references (rewritten containers, dropped tables' files, the sealed WAL).
+// Deletion failures are ignored: stale files are garbage, not corruption,
+// and the next checkpoint retries.
+func (c *Cluster) removeStaleFiles(m *manifest, oldWAL string) {
+	live := map[string]bool{m.WALFile: true, manifestName: true}
+	for _, tm := range m.Tables {
+		for _, sm := range tm.Stores {
+			for _, ref := range sm.Containers {
+				live[ref] = true
+			}
+			if sm.WOS != "" {
+				live[sm.WOS] = true
+			}
+		}
+		for _, reps := range tm.Buddies {
+			for _, sm := range reps {
+				for _, ref := range sm.Containers {
+					live[ref] = true
+				}
+				if sm.WOS != "" {
+					live[sm.WOS] = true
+				}
+			}
+		}
+	}
+	var stale []string
+	if oldWAL != "" && oldWAL != m.WALFile {
+		stale = append(stale, oldWAL)
+	}
+	for i := 0; i < c.cfg.Nodes; i++ {
+		dir := fmt.Sprintf("node-%d", i)
+		ents, err := os.ReadDir(filepath.Join(c.dataDir, dir))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			ref := filepath.Join(dir, e.Name())
+			if !live[ref] {
+				stale = append(stale, ref)
+			}
+		}
+	}
+	sort.Strings(stale)
+	for _, ref := range stale {
+		c.cache.Invalidate(filepath.Join(c.dataDir, ref))
+		_ = os.Remove(filepath.Join(c.dataDir, ref))
+	}
+}
+
+// moveoutAll runs the tuple mover on every store at the current Ancient
+// History Mark.
+func (c *Cluster) moveoutAll() error {
+	ahm := c.txm.AHM()
+	for _, t := range c.cat.Tables() {
+		for _, s := range t.Stores {
+			if err := s.Moveout(ahm); err != nil {
+				return err
+			}
+		}
+		for _, reps := range t.Buddies {
+			for _, s := range reps {
+				if err := s.Moveout(ahm); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -54,6 +54,11 @@ func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result,
 		}
 		vis.Epoch = st.AtEpoch.N
 	}
+	// Pin the snapshot for the statement's duration so a concurrent moveout
+	// cannot purge rows this scan is entitled to see (the AHM stays at or
+	// below vis.Epoch until the scan finishes).
+	release := s.cluster.txm.PinEpoch(vis.Epoch)
+	defer release()
 	if err := s.bindSelectFuncs(st); err != nil {
 		return nil, err
 	}

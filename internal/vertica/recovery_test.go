@@ -1,0 +1,563 @@
+package vertica
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/wal"
+)
+
+func durableCluster(t *testing.T, dir string, cache *storage.ContainerCache) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Nodes: 2, DataDir: dir, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// dumpTable returns the table's rows as sorted "col|col|..." strings, or nil
+// if the table does not exist (a crash can land before its CREATE is durable).
+func dumpTable(s *Session, table string) []string {
+	res, err := s.Execute("SELECT * FROM " + table)
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			if v.Null {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = v.String()
+			}
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+
+	c := durableCluster(t, dir, cache)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE ev (id INTEGER, v FLOAT, name VARCHAR) SEGMENTED BY HASH(id)")
+	s.MustExecute("INSERT INTO ev VALUES (1, 1.5, 'a'), (2, 2.5, 'b'), (3, NULL, NULL)")
+	if _, err := s.CopyFrom("COPY ev FROM STDIN FORMAT CSV DIRECT",
+		strings.NewReader("10,0.5,x\n11,0.25,y\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.MustExecute("DELETE FROM ev WHERE id = 2")
+	s.MustExecute("UPDATE ev SET name = 'z' WHERE id = 3")
+	s.MustExecute("CREATE TABLE tmp (id INTEGER)")
+	s.MustExecute("ALTER TABLE tmp RENAME TO renamed")
+	s.MustExecute("CREATE VIEW big AS SELECT id FROM ev WHERE id >= 10")
+	want := dumpTable(s, "ev")
+	wantEpoch := c.LastEpoch()
+	s.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := durableCluster(t, dir, cache)
+	defer c2.Close()
+	s2 := sess(t, c2, 1)
+	if got := dumpTable(s2, "ev"); !sameRows(got, want) {
+		t.Fatalf("reopen lost data:\n got %v\nwant %v", got, want)
+	}
+	if got := c2.LastEpoch(); got != wantEpoch {
+		t.Fatalf("reopen at epoch %d, want %d", got, wantEpoch)
+	}
+	if _, ok := c2.Catalog().Table("renamed"); !ok {
+		t.Fatal("renamed table lost across restart")
+	}
+	if res := s2.MustExecute("SELECT COUNT(*) FROM big"); mustI(t, res) != 2 {
+		t.Fatal("view lost across restart")
+	}
+	// The reopened cluster keeps working and keeps being durable.
+	s2.MustExecute("INSERT INTO ev VALUES (50, 5.0, 'post')")
+	want2 := dumpTable(s2, "ev")
+	s2.Close()
+	c2.Close()
+	c3 := durableCluster(t, dir, cache)
+	defer c3.Close()
+	s3 := sess(t, c3, 0)
+	if got := dumpTable(s3, "ev"); !sameRows(got, want2) {
+		t.Fatalf("second reopen lost data:\n got %v\nwant %v", got, want2)
+	}
+}
+
+func mustI(t *testing.T, res *Result) int64 {
+	t.Helper()
+	v, err := res.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.I
+}
+
+func TestCheckpointTruncatesWALAndReopens(t *testing.T) {
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+	c := durableCluster(t, dir, cache)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE t (id INTEGER, v INTEGER) SEGMENTED BY HASH(id)")
+	var vals []string
+	for i := 0; i < 200; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, i*10))
+	}
+	s.MustExecute("INSERT INTO t VALUES " + strings.Join(vals, ", "))
+	s.MustExecute("DELETE FROM t WHERE id = 7")
+
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The WAL was cut over to a fresh file holding just the checkpoint record,
+	// the old file is gone, and containers landed on disk.
+	if _, err := os.Stat(filepath.Join(dir, "wal-1.log")); !os.IsNotExist(err) {
+		t.Fatalf("old WAL not removed after checkpoint: %v", err)
+	}
+	recs, err := wal.ReadAll(filepath.Join(dir, "wal-2.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != wal.RecCheckpoint {
+		t.Fatalf("post-checkpoint WAL has %d records: %+v", len(recs), recs)
+	}
+	ros, _ := filepath.Glob(filepath.Join(dir, "node-*", "c-*.ros"))
+	if len(ros) == 0 {
+		t.Fatal("checkpoint wrote no container files")
+	}
+	if n := c.Obs().Counter("checkpoint.containers_written"); n == 0 {
+		t.Fatal("checkpoint.containers_written counter never bumped")
+	}
+
+	// Writes after the checkpoint replay from the new WAL on reopen.
+	s.MustExecute("INSERT INTO t VALUES (500, 1)")
+	want := dumpTable(s, "t")
+	wantEpoch := c.LastEpoch()
+	s.Close()
+	c.Close()
+
+	c2 := durableCluster(t, dir, cache)
+	defer c2.Close()
+	s2 := sess(t, c2, 0)
+	if got := dumpTable(s2, "t"); !sameRows(got, want) {
+		t.Fatalf("post-checkpoint reopen:\n got %d rows\nwant %d rows", len(got), len(want))
+	}
+	if c2.LastEpoch() != wantEpoch {
+		t.Fatalf("epoch %d after reopen, want %d", c2.LastEpoch(), wantEpoch)
+	}
+	s2.Close()
+	c2.Close()
+
+	// The first reopen faulted the container files in; a second reopen of the
+	// same directory must serve them from the shared cache.
+	_, missesBefore, _ := cache.Stats()
+	c3 := durableCluster(t, dir, cache)
+	defer c3.Close()
+	hits, misses, _ := cache.Stats()
+	if hits == 0 || misses != missesBefore {
+		t.Fatalf("second reopen not served from cache (hits=%d misses=%d->%d)", hits, missesBefore, misses)
+	}
+	s3 := sess(t, c3, 1)
+	if got := dumpTable(s3, "t"); !sameRows(got, want) {
+		t.Fatalf("cached reopen lost rows: %d, want %d", len(got), len(want))
+	}
+}
+
+// crashStep is one workload statement plus everything needed to re-apply it
+// to a model cluster. A step is "acknowledged" when run returns nil — for
+// composite transactions, when COMMIT returned nil.
+type crashStep struct {
+	name string
+	run  func(s *Session) error
+}
+
+func execStep(name, sql string) crashStep {
+	return crashStep{name, func(s *Session) error {
+		_, err := s.Execute(sql)
+		return err
+	}}
+}
+
+func txnStep(name string, body []string, commit bool) crashStep {
+	return crashStep{name, func(s *Session) error {
+		if _, err := s.Execute("BEGIN"); err != nil {
+			return err
+		}
+		for _, sql := range body {
+			if _, err := s.Execute(sql); err != nil {
+				_, _ = s.Execute("ROLLBACK")
+				return err
+			}
+		}
+		final := "ROLLBACK"
+		if commit {
+			final = "COMMIT"
+		}
+		_, err := s.Execute(final)
+		return err
+	}}
+}
+
+func copyStep(name, data string) crashStep {
+	return crashStep{name, func(s *Session) error {
+		_, err := s.CopyFrom("COPY t FROM STDIN FORMAT CSV DIRECT", strings.NewReader(data))
+		return err
+	}}
+}
+
+func sweepWorkload() []crashStep {
+	return []crashStep{
+		execStep("create", "CREATE TABLE t (id INTEGER, v INTEGER) SEGMENTED BY HASH(id)"),
+		execStep("insert1", "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)"),
+		copyStep("copy", "10,100\n11,110\n12,120\n"),
+		execStep("delete", "DELETE FROM t WHERE id = 2"),
+		execStep("update", "UPDATE t SET v = 99 WHERE id = 3"),
+		txnStep("txn-commit", []string{
+			"INSERT INTO t VALUES (20, 200)",
+			"DELETE FROM t WHERE id = 10",
+		}, true),
+		txnStep("txn-abort", []string{"INSERT INTO t VALUES (30, 300)"}, false),
+		execStep("insert2", "INSERT INTO t VALUES (41, 410), (42, 420)"),
+	}
+}
+
+// runSteps executes the workload, recording which steps were acknowledged.
+// Errors are expected once the WAL "crashes" — later statements keep failing.
+func runSteps(t *testing.T, c *Cluster, steps []crashStep) []bool {
+	t.Helper()
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	acks := make([]bool, len(steps))
+	for i, st := range steps {
+		acks[i] = st.run(s) == nil
+	}
+	return acks
+}
+
+// modelState replays the acknowledged steps on a fresh in-memory cluster and
+// returns the rows the recovered cluster must show, plus the expected epoch.
+func modelState(t *testing.T, steps []crashStep, acks []bool) ([]string, uint64) {
+	t.Helper()
+	m, err := NewCluster(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, st := range steps {
+		if !acks[i] {
+			continue
+		}
+		if err := st.run(s); err != nil {
+			t.Fatalf("model replay of acknowledged step %q failed: %v", steps[i].name, err)
+		}
+	}
+	return dumpTable(s, "t"), m.LastEpoch()
+}
+
+// countWorkloadAppends runs the workload cleanly and counts the WAL records
+// it appends (excluding the fresh-directory checkpoint record).
+func countWorkloadAppends(t *testing.T, steps []crashStep) int {
+	t.Helper()
+	dir := t.TempDir()
+	c := durableCluster(t, dir, nil)
+	acks := runSteps(t, c, steps)
+	for i, ok := range acks {
+		if !ok {
+			t.Fatalf("clean run: step %q failed", steps[i].name)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := wal.ReadAll(filepath.Join(dir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 || recs[0].Type != wal.RecCheckpoint {
+		t.Fatalf("unexpected clean log: %d records", len(recs))
+	}
+	return len(recs) - 1
+}
+
+// verifyRecovery reopens the directory and checks the recovered state matches
+// the acknowledged prefix exactly: no committed row lost, no unacknowledged
+// or aborted row resurfacing. It also proves the cluster is writable again.
+func verifyRecovery(t *testing.T, label, dir string, cache *storage.ContainerCache, steps []crashStep, acks []bool) {
+	t.Helper()
+	want, wantEpoch := modelState(t, steps, acks)
+	c, err := NewCluster(Config{Nodes: 2, DataDir: dir, Cache: cache})
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer c.Close()
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := dumpTable(s, "t")
+	if !sameRows(got, want) {
+		t.Fatalf("%s (acks %v):\nrecovered %v\n expected %v", label, acks, got, want)
+	}
+	if got, wantE := c.LastEpoch(), wantEpoch; got != wantE {
+		t.Fatalf("%s: recovered epoch %d, want %d", label, got, wantE)
+	}
+	// The survivor must accept new durable writes.
+	if want != nil {
+		if _, err := s.Execute("INSERT INTO t VALUES (900, 9)"); err != nil {
+			t.Fatalf("%s: post-recovery insert failed: %v", label, err)
+		}
+	}
+}
+
+// TestKillAndRestartSweep simulates a kill -9 at EVERY WAL record boundary of
+// the workload: the n+1th append writes half a frame and the process "dies"
+// (all later WAL operations fail). Recovery must reproduce exactly the
+// acknowledged prefix at each crash point.
+func TestKillAndRestartSweep(t *testing.T) {
+	steps := sweepWorkload()
+	appends := countWorkloadAppends(t, steps)
+	if appends < 10 {
+		t.Fatalf("workload too small to sweep: %d appends", appends)
+	}
+	for n := 0; n < appends; n++ {
+		dir := t.TempDir()
+		cache := storage.NewContainerCache(0)
+		c := durableCluster(t, dir, cache)
+		c.curWAL().FailAfterRecords(n)
+		acks := runSteps(t, c, steps)
+		_ = c.Close()
+		verifyRecovery(t, fmt.Sprintf("crash@%d", n), dir, cache, steps, acks)
+	}
+}
+
+// crashAtRecord finds the workload's first post-checkpoint record satisfying
+// match and returns its 0-based append index (what FailAfterRecords needs to
+// tear exactly that record).
+func crashAtRecord(t *testing.T, steps []crashStep, match func(wal.Record) bool) int {
+	t.Helper()
+	dir := t.TempDir()
+	c := durableCluster(t, dir, nil)
+	runSteps(t, c, steps)
+	c.Close()
+	recs, err := wal.ReadAll(filepath.Join(dir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs[1:] {
+		if match(r) {
+			return i
+		}
+	}
+	t.Fatal("no matching record in clean run")
+	return -1
+}
+
+// TestCrashMidCopy kills the node exactly as the COPY's direct-load insert
+// record is being written: the load was never acknowledged, so none of its
+// rows may appear after restart, while every earlier commit survives.
+func TestCrashMidCopy(t *testing.T) {
+	steps := sweepWorkload()
+	n := crashAtRecord(t, steps, func(r wal.Record) bool {
+		return r.Type == wal.RecInsert && r.Direct
+	})
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+	c := durableCluster(t, dir, cache)
+	c.curWAL().FailAfterRecords(n)
+	acks := runSteps(t, c, steps)
+	if acks[2] {
+		t.Fatal("COPY was acknowledged despite the crash")
+	}
+	if !acks[0] || !acks[1] {
+		t.Fatal("steps before the COPY should have succeeded")
+	}
+	_ = c.Close()
+	verifyRecovery(t, "mid-copy", dir, cache, steps, acks)
+}
+
+// TestCrashMidCommit kills the node while the commit record itself is being
+// written. The statement was not acknowledged, so its rows must not appear —
+// the classic torn-commit case.
+func TestCrashMidCommit(t *testing.T) {
+	steps := sweepWorkload()
+	n := crashAtRecord(t, steps, func(r wal.Record) bool {
+		return r.Type == wal.RecCommit
+	})
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+	c := durableCluster(t, dir, cache)
+	c.curWAL().FailAfterRecords(n)
+	acks := runSteps(t, c, steps)
+	_ = c.Close()
+	verifyRecovery(t, "mid-commit", dir, cache, steps, acks)
+}
+
+// TestReplayPropertyRandomInterleavings drives random workloads (inserts,
+// deletes, updates, committed and aborted transactions) into a crash at a
+// random record index, then checks the recovered state equals the
+// acknowledged prefix. Seeded: failures reproduce.
+func TestReplayPropertyRandomInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		steps := []crashStep{execStep("create", "CREATE TABLE t (id INTEGER, v INTEGER) SEGMENTED BY HASH(id)")}
+		nextID := 0
+		for i := 0; i < 7; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				var vals []string
+				for j := 0; j <= rng.Intn(3); j++ {
+					vals = append(vals, fmt.Sprintf("(%d, %d)", nextID, rng.Intn(1000)))
+					nextID++
+				}
+				steps = append(steps, execStep(fmt.Sprintf("ins%d", i),
+					"INSERT INTO t VALUES "+strings.Join(vals, ", ")))
+			case 1:
+				steps = append(steps, execStep(fmt.Sprintf("del%d", i),
+					fmt.Sprintf("DELETE FROM t WHERE id < %d", rng.Intn(nextID+1))))
+			case 2:
+				steps = append(steps, execStep(fmt.Sprintf("upd%d", i),
+					fmt.Sprintf("UPDATE t SET v = %d WHERE id >= %d", rng.Intn(100), rng.Intn(nextID+1))))
+			case 3:
+				body := []string{fmt.Sprintf("INSERT INTO t VALUES (%d, 1)", nextID)}
+				nextID++
+				steps = append(steps, txnStep(fmt.Sprintf("txn%d", i), body, rng.Intn(2) == 0))
+			}
+		}
+		appends := countWorkloadAppends(t, steps)
+		n := rng.Intn(appends)
+		dir := t.TempDir()
+		cache := storage.NewContainerCache(0)
+		c := durableCluster(t, dir, cache)
+		c.curWAL().FailAfterRecords(n)
+		acks := runSteps(t, c, steps)
+		_ = c.Close()
+		verifyRecovery(t, fmt.Sprintf("seed%d@%d", seed, n), dir, cache, steps, acks)
+	}
+}
+
+// TestAtEpochDuringMoveoutKeepsPinnedRows is the regression test for the
+// moveout row-loss bug: an AT EPOCH reader pinned before a committed delete
+// must see the same rows before and after the tuple mover runs. (The old
+// DrainCommitted purged every committed-deleted row unconditionally.)
+func TestAtEpochDuringMoveoutKeepsPinnedRows(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE t (id INTEGER) SEGMENTED BY HASH(id)")
+	var vals []string
+	for i := 0; i < 50; i++ {
+		vals = append(vals, fmt.Sprintf("(%d)", i))
+	}
+	s.MustExecute("INSERT INTO t VALUES " + strings.Join(vals, ", "))
+	pinned := c.LastEpoch()
+
+	// A long-lived reader (a V2S transfer job holding a snapshot) pins its
+	// epoch for the session, spanning multiple statements.
+	reader := sess(t, c, 1)
+	if err := reader.PinEpoch(pinned); err != nil {
+		t.Fatal(err)
+	}
+	atPinned := fmt.Sprintf("AT EPOCH %d SELECT COUNT(*) FROM t", pinned)
+	if n := mustI(t, reader.MustExecute(atPinned)); n != 50 {
+		t.Fatalf("pre-moveout pinned count = %d", n)
+	}
+
+	s.MustExecute("DELETE FROM t WHERE id < 25") // commits after the pin
+	if err := c.Moveout(); err != nil {
+		t.Fatal(err)
+	}
+	// The deleted rows were committed-deleted AFTER the pinned epoch; moveout
+	// must retain them for the pinned reader.
+	if n := mustI(t, reader.MustExecute(atPinned)); n != 50 {
+		t.Fatalf("moveout lost rows out from under a pinned reader: count = %d, want 50", n)
+	}
+	if n := mustI(t, reader.MustExecute("SELECT COUNT(*) FROM t")); n != 25 {
+		t.Fatalf("latest count = %d, want 25", n)
+	}
+
+	// Once the reader unpins, the next moveout may reclaim; latest stays right.
+	reader.UnpinEpochs()
+	if err := c.Moveout(); err != nil {
+		t.Fatal(err)
+	}
+	if n := mustI(t, s.MustExecute("SELECT COUNT(*) FROM t")); n != 25 {
+		t.Fatalf("post-unpin latest count = %d, want 25", n)
+	}
+
+	// PinEpoch validates against the current epoch.
+	if err := reader.PinEpoch(c.LastEpoch() + 10); err == nil {
+		t.Fatal("pinning a future epoch should fail")
+	}
+}
+
+// TestDurableAtEpochAcrossCheckpoint: same invariant under durability, where
+// Moveout is a full checkpoint. The pinned reader's rows must survive the
+// checkpoint AND a restart must not resurrect the deleted rows at latest.
+func TestDurableAtEpochAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+	c := durableCluster(t, dir, cache)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE t (id INTEGER) SEGMENTED BY HASH(id)")
+	var vals []string
+	for i := 0; i < 40; i++ {
+		vals = append(vals, fmt.Sprintf("(%d)", i))
+	}
+	s.MustExecute("INSERT INTO t VALUES " + strings.Join(vals, ", "))
+	pinned := c.LastEpoch()
+
+	reader := sess(t, c, 1)
+	if err := reader.PinEpoch(pinned); err != nil {
+		t.Fatal(err)
+	}
+	s.MustExecute("DELETE FROM t WHERE id >= 30")
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	atPinned := fmt.Sprintf("AT EPOCH %d SELECT COUNT(*) FROM t", pinned)
+	if n := mustI(t, reader.MustExecute(atPinned)); n != 40 {
+		t.Fatalf("checkpoint lost pinned rows: %d, want 40", n)
+	}
+	reader.Close()
+	s.Close()
+	c.Close()
+
+	c2 := durableCluster(t, dir, cache)
+	defer c2.Close()
+	s2 := sess(t, c2, 0)
+	if n := mustI(t, s2.MustExecute("SELECT COUNT(*) FROM t")); n != 30 {
+		t.Fatalf("restart resurrected deleted rows: %d, want 30", n)
+	}
+}

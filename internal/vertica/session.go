@@ -60,13 +60,18 @@ type Session struct {
 	// resource event charges the node's disk instead of the network.
 	copyLocal bool
 
+	// pinRelease releases the session's explicit epoch pins (PinEpoch) on
+	// UnpinEpochs or Close.
+	pinRelease []func()
+
 	closed bool
 }
 
 // Node returns the node this session is connected to.
 func (s *Session) Node() *Node { return s.node }
 
-// Close releases the session, aborting any open transaction.
+// Close releases the session, aborting any open transaction and dropping
+// its epoch pins.
 func (s *Session) Close() {
 	if s.closed {
 		return
@@ -75,8 +80,33 @@ func (s *Session) Close() {
 		s.tx.Abort()
 		s.tx = nil
 	}
+	s.UnpinEpochs()
 	s.cluster.releaseSession(s.node.ID)
 	s.closed = true
+}
+
+// PinEpoch pins an epoch for the session's lifetime: until UnpinEpochs (or
+// Close), the tuple mover will not purge rows still visible at that epoch.
+// A connector job that spreads AT EPOCH partition queries across many
+// statements pins its snapshot once up front, guaranteeing every query sees
+// the identical row set however many moveouts run in between (§3.1.2).
+func (s *Session) PinEpoch(epoch uint64) error {
+	if s.closed {
+		return fmt.Errorf("vertica: session is closed")
+	}
+	if epoch > s.cluster.txm.LastEpoch() {
+		return fmt.Errorf("vertica: epoch %d has not closed yet (last epoch %d)", epoch, s.cluster.txm.LastEpoch())
+	}
+	s.pinRelease = append(s.pinRelease, s.cluster.txm.PinEpoch(epoch))
+	return nil
+}
+
+// UnpinEpochs releases every epoch pinned via PinEpoch.
+func (s *Session) UnpinEpochs() {
+	for _, rel := range s.pinRelease {
+		rel()
+	}
+	s.pinRelease = nil
 }
 
 // InTxn reports whether an explicit transaction is open.
@@ -308,18 +338,29 @@ func (s *Session) finishWrite(tx *txn.Txn, auto bool, res *Result) (*Result, err
 }
 
 // maybeMoveout triggers the tuple mover when WOS buffers grow past the
-// configured threshold.
+// configured threshold. Moveout respects the Ancient History Mark, so rows a
+// pinned AT EPOCH reader can still see are never purged out from under it.
+// On a durable cluster the moveout is a full checkpoint (persist containers,
+// truncate the WAL).
 func (s *Session) maybeMoveout() {
 	limit := s.cluster.cfg.WOSMoveoutRows
 	if limit <= 0 {
 		return
 	}
+	over := false
+	ahm := s.cluster.txm.AHM()
 	for _, t := range s.cluster.cat.Tables() {
 		for _, st := range t.Stores {
 			if st.WOSLen() > limit {
-				_ = st.Moveout()
+				over = true
+				if !s.cluster.durable() {
+					_ = st.Moveout(ahm)
+				}
 			}
 		}
+	}
+	if over && s.cluster.durable() {
+		_ = s.cluster.Checkpoint()
 	}
 }
 

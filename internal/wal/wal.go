@@ -1,0 +1,454 @@
+// Package wal implements the engine's write-ahead log: an append-only file
+// of length-prefixed, CRC32-framed records covering COPY/INSERT/DELETE, DDL,
+// and transaction commit/abort. Commit records are fsynced before the commit
+// is acknowledged, so replaying the log after a crash (redo committed
+// records, discard provisional tags) reproduces exactly the last durable
+// epoch. A checkpoint truncates the log by sealing it into a fresh file,
+// carrying over the records of still-uncommitted transactions so an
+// in-flight COPY that commits after the checkpoint stays replayable.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Type identifies a WAL record.
+type Type byte
+
+// WAL record types.
+const (
+	// RecInsert carries rows written by COPY / INSERT under a provisional
+	// tag. Direct distinguishes the ROS bulk path from the WOS trickle path.
+	RecInsert Type = iota + 1
+	// RecDelete carries the rows a DELETE/UPDATE marked under a provisional
+	// tag, plus the snapshot epoch the statement read at (replay re-applies
+	// the delete under the same visibility).
+	RecDelete
+	// RecCommit maps a provisional tag to its commit epoch. Fsynced.
+	RecCommit
+	// RecAbort discards a provisional tag.
+	RecAbort
+	// RecDDL carries a catalog operation (create/drop/rename table, views),
+	// applied immediately on replay — mirroring the engine, where deferred
+	// DDL runs in commit hooks that are not rolled back.
+	RecDDL
+	// RecCheckpoint opens a fresh log file, naming the durable epoch the
+	// preceding checkpoint persisted.
+	RecCheckpoint
+)
+
+func (t Type) String() string {
+	switch t {
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecDDL:
+		return "DDL"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return "?"
+	}
+}
+
+// Record is one logical WAL entry.
+type Record struct {
+	Type   Type
+	Tag    uint64 // provisional transaction tag (insert/delete/commit/abort)
+	Epoch  uint64 // commit epoch, delete snapshot epoch, or durable epoch
+	Op     byte   // DDL opcode (the engine defines the codes)
+	Direct bool   // insert: ROS bulk path vs WOS trickle path
+	Table  string // target table (insert/delete)
+	Rows   []byte // storage.EncodeRows payload (insert/delete)
+	DDL    []byte // DDL payload (engine-defined encoding)
+}
+
+var magic = []byte("VWAL0001")
+
+// ErrCrashed is returned by every operation after a simulated crash
+// (FailAfterRecords) tears the log.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// maxRecord bounds a single record's payload (guards ReadAll against garbage
+// length prefixes).
+const maxRecord = 1 << 30
+
+func (r Record) encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(r.Type))
+	writeUvarint(&buf, r.Tag)
+	writeUvarint(&buf, r.Epoch)
+	buf.WriteByte(r.Op)
+	if r.Direct {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	writeUvarint(&buf, uint64(len(r.Table)))
+	buf.WriteString(r.Table)
+	writeUvarint(&buf, uint64(len(r.Rows)))
+	buf.Write(r.Rows)
+	writeUvarint(&buf, uint64(len(r.DDL)))
+	buf.Write(r.DDL)
+	return buf.Bytes()
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	r := bytes.NewReader(payload)
+	var rec Record
+	tb, err := r.ReadByte()
+	if err != nil {
+		return rec, err
+	}
+	rec.Type = Type(tb)
+	if rec.Tag, err = binary.ReadUvarint(r); err != nil {
+		return rec, err
+	}
+	if rec.Epoch, err = binary.ReadUvarint(r); err != nil {
+		return rec, err
+	}
+	if rec.Op, err = r.ReadByte(); err != nil {
+		return rec, err
+	}
+	db, err := r.ReadByte()
+	if err != nil {
+		return rec, err
+	}
+	rec.Direct = db != 0
+	readBlob := func() ([]byte, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	tbl, err := readBlob()
+	if err != nil {
+		return rec, err
+	}
+	rec.Table = string(tbl)
+	if rec.Rows, err = readBlob(); err != nil {
+		return rec, err
+	}
+	if rec.DDL, err = readBlob(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// frame wraps an encoded record payload as [u32 len][u32 crc][payload].
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+type pendingRec struct {
+	seq   uint64
+	frame []byte
+}
+
+// Log is an open write-ahead log. Appends are serialized internally; commit
+// records are flushed and fsynced before LogCommit returns.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	seq    uint64 // append ordinal, used to order carried-over records
+	sealed *Log   // non-nil after Seal: appends forward to the successor
+
+	// pending holds the frames of records belonging to transactions that
+	// have neither committed nor aborted, so a checkpoint can carry them
+	// into the fresh log it truncates to.
+	pending map[uint64][]pendingRec
+
+	crashed   bool
+	failAfter int64 // <0 = disabled; 0 = crash on next append
+
+	// OnWrite and OnSync feed the observability counters (wal.bytes,
+	// wal.records, wal.fsyncs). Set them before the log is shared.
+	OnWrite func(bytes int64)
+	OnSync  func()
+}
+
+// Open opens (or creates) a log for appending, writing the file header when
+// the file is new.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{
+		f:         f,
+		w:         bufio.NewWriterSize(f, 1<<16),
+		path:      path,
+		pending:   make(map[uint64][]pendingRec),
+		failAfter: -1,
+	}
+	if st.Size() == 0 {
+		if _, err := l.w.Write(magic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.path
+}
+
+// FailAfterRecords installs the chaos hook: after n more successful appends,
+// the next record is torn mid-frame and every subsequent operation returns
+// ErrCrashed — the moral equivalent of SIGKILL between two sector writes.
+func (l *Log) FailAfterRecords(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failAfter = int64(n)
+}
+
+// Append writes one record without forcing it to disk. Records tagged with a
+// provisional transaction are tracked for checkpoint carryover until their
+// commit or abort arrives.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(rec)
+}
+
+func (l *Log) appendLocked(rec Record) error {
+	if l.sealed != nil {
+		// The checkpoint moved the tail of the log to a successor file; a
+		// statement that raced the swap lands there instead.
+		return l.sealed.Append(rec)
+	}
+	if l.crashed {
+		return ErrCrashed
+	}
+	fr := frame(rec.encode())
+	if l.failAfter == 0 {
+		// Simulated power cut: half the frame reaches the platter, then the
+		// world ends.
+		l.w.Write(fr[:len(fr)/2])
+		l.w.Flush()
+		l.crashed = true
+		return ErrCrashed
+	}
+	if l.failAfter > 0 {
+		l.failAfter--
+	}
+	if _, err := l.w.Write(fr); err != nil {
+		return err
+	}
+	l.seq++
+	if rec.Tag != 0 && (rec.Type == RecInsert || rec.Type == RecDelete) {
+		l.pending[rec.Tag] = append(l.pending[rec.Tag], pendingRec{seq: l.seq, frame: fr})
+	}
+	if rec.Type == RecCommit || rec.Type == RecAbort {
+		delete(l.pending, rec.Tag)
+	}
+	if l.OnWrite != nil {
+		l.OnWrite(int64(len(fr)))
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.sealed != nil {
+		return l.sealed.Sync()
+	}
+	if l.crashed {
+		return ErrCrashed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.OnSync != nil {
+		l.OnSync()
+	}
+	return nil
+}
+
+// LogCommit appends a commit record mapping tag to epoch and fsyncs: the
+// transaction is durable iff this returns nil. Satisfies txn.CommitLog.
+func (l *Log) LogCommit(tag, epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(Record{Type: RecCommit, Tag: tag, Epoch: epoch}); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+// LogAbort appends an abort record for tag (no fsync: an abort that never
+// reaches disk is indistinguishable from a crash, and replay discards
+// uncommitted tags either way). Satisfies txn.CommitLog.
+func (l *Log) LogAbort(tag uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(Record{Type: RecAbort, Tag: tag})
+}
+
+// Seal redirects the log's future into next: the frames of still-uncommitted
+// transactions are copied over in their original append order, and any
+// appends that race the checkpoint's log swap are forwarded. The sealed file
+// itself is frozen — the caller deletes it once the checkpoint manifest is
+// durable.
+func (l *Log) Seal(next *Log) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	if l.sealed != nil {
+		return fmt.Errorf("wal: log already sealed")
+	}
+	var carry []pendingRec
+	for _, frames := range l.pending {
+		carry = append(carry, frames...)
+	}
+	sort.Slice(carry, func(i, j int) bool { return carry[i].seq < carry[j].seq })
+	for _, p := range carry {
+		payload := p.frame[8:]
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal: carrying pending record: %w", err)
+		}
+		if err := next.Append(rec); err != nil {
+			return err
+		}
+	}
+	l.w.Flush()
+	l.sealed = next
+	l.pending = nil
+	return nil
+}
+
+// Close flushes and closes the file (without fsync — callers needing
+// durability call Sync first).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.crashed && l.sealed == nil {
+		l.w.Flush()
+	}
+	return l.f.Close()
+}
+
+// ReadAll decodes every intact record in the log at path. A torn tail — a
+// short header, a short payload, or a CRC mismatch on the final frames, the
+// signature of a crash mid-append — ends the scan without error; replay
+// proceeds with the durable prefix. A missing file yields no records.
+func ReadAll(path string) ([]Record, error) {
+	recs, _, err := scanLog(path)
+	return recs, err
+}
+
+// Recover is ReadAll plus repair: if the log has a torn tail, the file is
+// truncated back to its last intact record, so a subsequent Open appends
+// after valid frames instead of burying new records behind garbage.
+func Recover(path string) ([]Record, error) {
+	recs, valid, err := scanLog(path)
+	if err != nil {
+		return nil, err
+	}
+	if valid >= 0 {
+		st, serr := os.Stat(path)
+		if serr != nil {
+			return nil, serr
+		}
+		if st.Size() > valid {
+			if terr := os.Truncate(path, valid); terr != nil {
+				return nil, terr
+			}
+		}
+	}
+	return recs, nil
+}
+
+// scanLog decodes intact records and reports the byte length of the valid
+// prefix (-1 when the file is missing).
+func scanLog(path string) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, -1, nil
+		}
+		return nil, -1, err
+	}
+	if len(data) < len(magic) {
+		return nil, 0, nil
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return nil, -1, fmt.Errorf("wal: bad log header in %s", path)
+	}
+	data = data[len(magic):]
+	valid := int64(len(magic))
+	var out []Record
+	for len(data) >= 8 {
+		n := binary.LittleEndian.Uint32(data[0:4])
+		sum := binary.LittleEndian.Uint32(data[4:8])
+		if n > maxRecord || len(data) < 8+int(n) {
+			break // torn tail
+		}
+		payload := data[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or corrupt tail
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		out = append(out, rec)
+		data = data[8+n:]
+		valid += int64(8 + n)
+	}
+	return out, valid, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}

@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Log {
+	t.Helper()
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path)
+	recs := []Record{
+		{Type: RecInsert, Tag: 100, Table: "t", Direct: true, Rows: []byte("rows-a")},
+		{Type: RecDelete, Tag: 100, Epoch: 7, Table: "t", Rows: []byte("rows-b")},
+		{Type: RecDDL, Op: 3, DDL: []byte(`{"name":"t"}`)},
+		{Type: RecCommit, Tag: 100, Epoch: 8},
+		{Type: RecAbort, Tag: 101},
+		{Type: RecCheckpoint, Epoch: 8},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i, want := range recs {
+		g := got[i]
+		if g.Type != want.Type || g.Tag != want.Tag || g.Epoch != want.Epoch ||
+			g.Table != want.Table || g.Direct != want.Direct || g.Op != want.Op ||
+			string(g.Rows) != string(want.Rows) || string(g.DDL) != string(want.DDL) {
+			t.Errorf("record %d: got %+v, want %+v", i, g, want)
+		}
+	}
+}
+
+func TestReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path)
+	if err := l.Append(Record{Type: RecInsert, Tag: 1, Table: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l = openT(t, path)
+	if err := l.Append(Record{Type: RecCommit, Tag: 1, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Table != "a" || got[1].Type != RecCommit {
+		t.Fatalf("reopen lost records: %+v", got)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path)
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(Record{Type: RecInsert, Tag: i, Table: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	l.Close()
+	// Tear the last frame mid-payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("torn tail: read %d records, want 2", len(got))
+	}
+	// Recover truncates the tear so appends after reopen are readable.
+	if _, err := Recover(path); err != nil {
+		t.Fatal(err)
+	}
+	l = openT(t, path)
+	if err := l.Append(Record{Type: RecCommit, Tag: 2, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	l.Sync()
+	l.Close()
+	got, err = ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Type != RecCommit {
+		t.Fatalf("post-recover append unreadable: %+v", got)
+	}
+}
+
+func TestCorruptTailCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path)
+	l.Append(Record{Type: RecInsert, Tag: 1, Table: "t"})
+	l.Append(Record{Type: RecInsert, Tag: 2, Table: "t"})
+	l.Sync()
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff // flip a payload byte of the last frame
+	os.WriteFile(path, data, 0o644)
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("corrupt tail: read %d records, want 1", len(got))
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	got, err := ReadAll(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %v, %v", got, err)
+	}
+	if _, err := Recover(filepath.Join(t.TempDir(), "absent.log")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailAfterRecordsTearsAndPoisons(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path)
+	l.FailAfterRecords(2)
+	if err := l.Append(Record{Type: RecInsert, Tag: 1, Table: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogCommit(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecInsert, Tag: 2, Table: "t"}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third append: got %v, want ErrCrashed", err)
+	}
+	// Every later operation fails too.
+	if err := l.LogCommit(2, 3); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash commit: got %v, want ErrCrashed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: got %v, want ErrCrashed", err)
+	}
+	// The survivors are the two pre-crash records; the torn frame is dropped.
+	got, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Type != RecCommit {
+		t.Fatalf("post-crash read: %+v", got)
+	}
+}
+
+func TestSealCarriesPendingAndForwards(t *testing.T) {
+	dir := t.TempDir()
+	oldL := openT(t, filepath.Join(dir, "wal-1.log"))
+	// Tag 10 commits (not pending), tag 11 aborts (not pending), tags 12/13
+	// stay open and must carry over in original order.
+	oldL.Append(Record{Type: RecInsert, Tag: 10, Table: "t"})
+	oldL.LogCommit(10, 2)
+	oldL.Append(Record{Type: RecInsert, Tag: 11, Table: "t"})
+	oldL.LogAbort(11)
+	oldL.Append(Record{Type: RecInsert, Tag: 12, Table: "t", Rows: []byte("x")})
+	oldL.Append(Record{Type: RecDelete, Tag: 13, Epoch: 2, Table: "t", Rows: []byte("y")})
+	oldL.Append(Record{Type: RecInsert, Tag: 12, Table: "t", Rows: []byte("z")})
+
+	newPath := filepath.Join(dir, "wal-2.log")
+	newL := openT(t, newPath)
+	newL.Append(Record{Type: RecCheckpoint, Epoch: 2})
+	if err := oldL.Seal(newL); err != nil {
+		t.Fatal(err)
+	}
+	// A straggler append against the sealed log lands in the successor.
+	if err := oldL.LogCommit(12, 3); err != nil {
+		t.Fatal(err)
+	}
+	newL.Sync()
+	newL.Close()
+
+	got, err := ReadAll(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, r := range got {
+		kinds = append(kinds, r.Type.String()+":"+string(r.Rows))
+	}
+	want := []string{"CHECKPOINT:", "INSERT:x", "DELETE:y", "INSERT:z", "COMMIT:"}
+	if len(kinds) != len(want) {
+		t.Fatalf("sealed log has %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("sealed log has %v, want %v", kinds, want)
+		}
+	}
+	if got[4].Tag != 12 || got[4].Epoch != 3 {
+		t.Fatalf("forwarded commit mangled: %+v", got[4])
+	}
+}
+
+func TestPendingClearedOnCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, filepath.Join(dir, "wal-1.log"))
+	l.Append(Record{Type: RecInsert, Tag: 20, Table: "t"})
+	l.Append(Record{Type: RecInsert, Tag: 21, Table: "t"})
+	l.LogCommit(20, 2)
+	l.LogAbort(21)
+	next := openT(t, filepath.Join(dir, "wal-2.log"))
+	if err := l.Seal(next); err != nil {
+		t.Fatal(err)
+	}
+	next.Sync()
+	next.Close()
+	got, err := ReadAll(filepath.Join(dir, "wal-2.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("finished transactions carried over: %+v", got)
+	}
+}
