@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench recover-test
+.PHONY: check build vet lint test race bench recover-test rebalance-test
 
 # The full verification gate: what CI (and every PR) must keep green.
 check: build vet lint race
@@ -29,6 +29,17 @@ recover-test:
 	$(GO) test -race -run 'Persist|Marshal|Encode|ContainerCache|DrainCommitted|MoveoutContainerOrder|LoadWOS' ./internal/storage/
 	$(GO) test -race -run 'AHM|CommitRequiresLog|Abort|SetNextTag' ./internal/txn/
 	$(GO) test -race -run 'Durable|Checkpoint|KillAndRestart|CrashMid|ReplayProperty|AtEpoch' ./internal/vertica/
+
+# Elastic-membership gate: the rebalance units, the cluster-lifecycle suites
+# (ALTER CLUSTER, node recovery, crash sweeps over the rebalance/recovery
+# state machines), the wire sentinel round-trip, and the chaos acceptance
+# scenario (grow + kill + heal under live COPY and V2S) — all under the race
+# detector.
+rebalance-test:
+	$(GO) test -race ./internal/rebalance/
+	$(GO) test -race -run 'AlterCluster|NodeRecovery|RecoveringNode|AtEpochPinnedAcrossRebalance|MembershipCrashSweep|RecoveryCrashSweep' ./internal/vertica/
+	$(GO) test -race -run 'SentinelRoundTrip' ./internal/server/
+	$(GO) test -race -run 'ElasticClusterChaosAcceptance|V2SReplansAcrossMembershipChange' ./internal/core/
 
 # Microbenchmarks plus the scan-throughput gate: BENCH_scan.json records
 # ns/op and rows/s for the vectorized pipeline vs the row-at-a-time

@@ -36,30 +36,56 @@ type TableDef struct {
 	Temp bool
 }
 
-// Table is a live table: its definition plus the per-node segment stores.
+// Table is a live table: its definition plus the per-position segment stores.
+//
+// Layout is expressed against the table's Ring: Ring[p] is the ID of the node
+// hosting ring position p, and the table has exactly len(Ring) segments.
+// Before elastic membership the ring was implicitly [0..numNodes-1]; now each
+// table carries its own ring so an online rebalance can move it to a new
+// membership one table at a time while readers of the old layout stay
+// correct.
 type Table struct {
 	Def    TableDef
 	SegIdx []int // schema indexes of the segmentation columns
 
-	// Stores[i] is node i's primary store: for segmented tables the segment
-	// whose hash range is Segments(n)[i]; for unsegmented tables a full
-	// replica.
+	// Ring[p] is the node ID at ring position p. Segment p's hash range is
+	// Segments(len(Ring))[p].
+	Ring []int
+	// Stores[p] is ring position p's primary store: for segmented tables the
+	// segment whose hash range is Segments(n)[p]; for unsegmented tables a
+	// full replica.
 	Stores []*storage.Store
-	// Buddies[r][i] is node i's r-th buddy replica, holding the segment of
-	// node (i-r-1) mod n, so the cluster tolerates KSafety node losses.
+	// Buddies[r][p] is ring position p's r-th buddy replica, holding the
+	// segment of position (p-r-1) mod n, so the cluster tolerates KSafety
+	// node losses.
 	Buddies [][]*storage.Store
 
 	CreatedEpoch uint64
 }
 
-// NumNodes returns the number of nodes the table spans.
-func (t *Table) NumNodes() int { return len(t.Stores) }
+// NumNodes returns the number of ring positions (segments) the table spans.
+func (t *Table) NumNodes() int { return len(t.Ring) }
 
-// SegmentRanges returns the hash range owned by each node. Unsegmented
-// tables report the full ring for every node (any node can serve any range
-// locally) — this is what lets V2S use synthetic hash ranges for them.
+// NodeOf returns the ID of the node hosting ring position p.
+func (t *Table) NodeOf(p int) int { return t.Ring[p] }
+
+// PosOf returns the ring position hosted by the given node ID, or -1 if the
+// node is not in this table's ring (e.g. freshly added, pre-rebalance).
+func (t *Table) PosOf(nodeID int) int {
+	for p, id := range t.Ring {
+		if id == nodeID {
+			return p
+		}
+	}
+	return -1
+}
+
+// SegmentRanges returns the hash range owned by each ring position.
+// Unsegmented tables report the full ring for every position (any replica can
+// serve any range locally) — this is what lets V2S use synthetic hash ranges
+// for them.
 func (t *Table) SegmentRanges() []vhash.Range {
-	n := len(t.Stores)
+	n := len(t.Ring)
 	if !t.Def.Segmented {
 		out := make([]vhash.Range, n)
 		for i := range out {
@@ -70,12 +96,12 @@ func (t *Table) SegmentRanges() []vhash.Range {
 	return vhash.Segments(n)
 }
 
-// HomeNode returns the node index owning the given row hash.
+// HomeNode returns the ring position owning the given row hash.
 func (t *Table) HomeNode(h uint32) int {
 	if !t.Def.Segmented {
 		return 0
 	}
-	return vhash.SegmentOf(h, len(t.Stores))
+	return vhash.SegmentOf(h, len(t.Ring))
 }
 
 // RowHash computes the segmentation hash of a row of this table.
@@ -93,30 +119,62 @@ type View struct {
 
 // Catalog is the cluster metadata store.
 type Catalog struct {
-	mu       sync.RWMutex
-	numNodes int
-	tables   map[string]*Table
-	views    map[string]*View
+	mu     sync.RWMutex
+	ring   []int // active member node IDs in ring order
+	tables map[string]*Table
+	views  map[string]*View
 }
 
-// New creates a catalog for a cluster of numNodes nodes.
+// New creates a catalog for a cluster of numNodes nodes, with the initial
+// membership ring [0..numNodes-1].
 func New(numNodes int) *Catalog {
+	ring := make([]int, numNodes)
+	for i := range ring {
+		ring[i] = i
+	}
 	return &Catalog{
-		numNodes: numNodes,
-		tables:   make(map[string]*Table),
-		views:    make(map[string]*View),
+		ring:   ring,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
 	}
 }
 
-// NumNodes returns the cluster size.
-func (c *Catalog) NumNodes() int { return c.numNodes }
+// NumNodes returns the current active member count.
+func (c *Catalog) NumNodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ring)
+}
+
+// Ring returns a copy of the current membership ring: the node IDs new tables
+// are laid out across, in ring order.
+func (c *Catalog) Ring() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]int(nil), c.ring...)
+}
+
+// SetMembership replaces the membership ring used for new tables. Existing
+// tables keep their own rings until rebalanced (SwapLayout).
+func (c *Catalog) SetMembership(ring []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring = append([]int(nil), ring...)
+}
 
 func key(name string) string { return strings.ToLower(name) }
 
-// CreateTable creates a table, resolving the segmentation columns and
-// allocating per-node stores. It fails if a table or view with the name
-// exists.
+// CreateTable creates a table on the current membership ring, resolving the
+// segmentation columns and allocating per-position stores. It fails if a
+// table or view with the name exists.
 func (c *Catalog) CreateTable(def TableDef, epoch uint64) (*Table, error) {
+	return c.CreateTableAt(def, epoch, nil)
+}
+
+// CreateTableAt creates a table on an explicit ring (nil = the current
+// membership ring). Durable recovery uses the explicit form to rebuild a
+// table that crashed mid-rebalance on the exact ring its manifest recorded.
+func (c *Catalog) CreateTableAt(def TableDef, epoch uint64, ring []int) (*Table, error) {
 	segIdx := make([]int, 0, len(def.SegCols))
 	for _, col := range def.SegCols {
 		i := def.Schema.ColIndex(col)
@@ -125,18 +183,23 @@ func (c *Catalog) CreateTable(def TableDef, epoch uint64) (*Table, error) {
 		}
 		segIdx = append(segIdx, i)
 	}
-	if def.KSafety < 0 || def.KSafety >= c.numNodes {
-		return nil, fmt.Errorf("catalog: k-safety %d invalid for %d nodes", def.KSafety, c.numNodes)
+	if ring == nil {
+		ring = c.Ring()
+	} else {
+		ring = append([]int(nil), ring...)
 	}
-	t := &Table{Def: def, SegIdx: segIdx, CreatedEpoch: epoch}
-	t.Stores = make([]*storage.Store, c.numNodes)
+	if def.KSafety < 0 || def.KSafety >= len(ring) {
+		return nil, fmt.Errorf("catalog: k-safety %d invalid for %d nodes", def.KSafety, len(ring))
+	}
+	t := &Table{Def: def, SegIdx: segIdx, Ring: ring, CreatedEpoch: epoch}
+	t.Stores = make([]*storage.Store, len(ring))
 	for i := range t.Stores {
 		t.Stores[i] = storage.NewStore(def.Schema, segIdx)
 	}
 	if def.Segmented && def.KSafety > 0 {
 		t.Buddies = make([][]*storage.Store, def.KSafety)
 		for r := range t.Buddies {
-			t.Buddies[r] = make([]*storage.Store, c.numNodes)
+			t.Buddies[r] = make([]*storage.Store, len(ring))
 			for i := range t.Buddies[r] {
 				t.Buddies[r][i] = storage.NewStore(def.Schema, segIdx)
 			}
@@ -154,6 +217,29 @@ func (c *Catalog) CreateTable(def TableDef, epoch uint64) (*Table, error) {
 	}
 	c.tables[k] = t
 	return t, nil
+}
+
+// SwapLayout atomically replaces a table's ring and stores with a rebalanced
+// layout, copy-on-write: concurrent readers holding the old *Table keep
+// scanning the old (complete, immutable-from-here) stores, while every later
+// lookup sees the new layout. The caller serializes against writers by
+// holding the table's EXCLUSIVE lock.
+func (c *Catalog) SwapLayout(name string, ring []int, stores []*storage.Store, buddies [][]*storage.Store) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	if len(stores) != len(ring) {
+		return nil, fmt.Errorf("catalog: layout has %d stores for %d ring positions", len(stores), len(ring))
+	}
+	nt := *t
+	nt.Ring = append([]int(nil), ring...)
+	nt.Stores = stores
+	nt.Buddies = buddies
+	c.tables[key(name)] = &nt
+	return &nt, nil
 }
 
 // Table looks up a table by name.

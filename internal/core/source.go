@@ -142,10 +142,14 @@ func discoverLayout(ctx context.Context, conn client.Conn, table string) (*clust
 		if err != nil {
 			return nil, err
 		}
-		if len(sres.Rows) != len(lay.addrs) {
-			return nil, fmt.Errorf("core: catalog reports %d segments for %d nodes", len(sres.Rows), len(lay.addrs))
+		if len(sres.Rows) == 0 {
+			return nil, fmt.Errorf("core: catalog reports no segments for table %q", table)
 		}
-		// The catalog returns segments ordered by node id; align addresses.
+		// The segment rows are authoritative, not the node list: mid-rebalance
+		// (a node joining or draining) a table's own ring can momentarily hold
+		// fewer or more nodes than cluster membership, and the table's ring is
+		// what scans must be planned against. The catalog returns segments
+		// ordered by ring position; take addresses from them wholesale.
 		lay.addrs = lay.addrs[:0]
 		for _, r := range sres.Rows {
 			lay.addrs = append(lay.addrs, r[0].S)

@@ -238,6 +238,28 @@ func (r *v2sRelation) specSQL(spec querySpec, cols []string, pushdown string, ep
 	return b.String()
 }
 
+// refreshLayout re-discovers the table's layout at planning time. The layout
+// captured when the relation was created may predate a cluster membership
+// change (a node added or drained since), and the scan must be planned
+// against the table's current ring: only its addresses are guaranteed to
+// carry the table's segments. Pinning the epoch after the refresh keeps the
+// job consistent — whatever epoch is pinned, the current layout answers it
+// exactly (moved versions carry their full MVCC history).
+func (r *v2sRelation) refreshLayout(ctx context.Context) error {
+	conn, err := r.pool.Connect(ctx, r.opts.Host)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	lay, err := discoverLayout(ctx, conn, r.opts.Table)
+	if err != nil {
+		return err
+	}
+	r.lay = lay
+	r.pool.SetHosts(lay.addrs)
+	return nil
+}
+
 // pinEpoch asks the database for the last closed epoch; every partition
 // query reads AT this epoch, giving the job one consistent snapshot no
 // matter when (or how often) its tasks run (§3.1.2).
@@ -272,7 +294,12 @@ func (r *v2sRelation) BuildScan(requiredCols []string, filters []spark.Filter) (
 	// duration covers planning; v_monitor.job_traces reports the job's
 	// end-to-end duration as the extent of the whole trace.
 	job := obs.Start(r.opts.Observer, "v2s.job", "driver")
-	epoch, err := r.pinEpoch(obs.WithSpan(driverCtx(), job))
+	jctx := obs.WithSpan(driverCtx(), job)
+	if err := r.refreshLayout(jctx); err != nil {
+		job.End(err)
+		return nil, err
+	}
+	epoch, err := r.pinEpoch(jctx)
 	if err != nil {
 		job.End(err)
 		return nil, err

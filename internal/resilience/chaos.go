@@ -48,6 +48,7 @@ const (
 	chaosLatency
 	chaosKillNode
 	chaosDownWindow
+	chaosRecoverAt
 )
 
 type chaosRule struct {
@@ -114,9 +115,19 @@ func (c *ChaosConnector) KillNodeOnStatement(addr, match string, node NodeDowner
 
 // NodeDownWindow crashes node when the global operation counter reaches
 // startOp and revives it at endOp — a bounded outage any retry layer should
-// ride out.
+// ride out. Reviving goes through the node's full heal path (on a real
+// cluster node, synchronous recovery from its buddies), so the post-window
+// node serves reads only once caught up.
 func (c *ChaosConnector) NodeDownWindow(node NodeDowner, startOp, endOp uint64) *ChaosConnector {
 	return c.add(&chaosRule{kind: chaosDownWindow, node: node, startOp: startOp, endOp: endOp, remaining: 1})
+}
+
+// RecoverNodeAtOp heals node when the global operation counter reaches op —
+// the deterministic companion to KillNodeOnStatement: a test that kills a
+// node mid-protocol schedules its exact revival point in operation counts,
+// with no sleeps and no racing timers.
+func (c *ChaosConnector) RecoverNodeAtOp(node NodeDowner, op uint64) *ChaosConnector {
+	return c.add(&chaosRule{kind: chaosRecoverAt, node: node, startOp: op, remaining: 1})
 }
 
 func (c *ChaosConnector) add(r *chaosRule) *ChaosConnector {
@@ -142,7 +153,11 @@ func (c *ChaosConnector) Ops() uint64 {
 	return c.ops
 }
 
-// chaosAction is the faults one operation must suffer.
+// chaosAction is the faults one operation must suffer. down/heal carry node
+// state flips decided under the rule mutex but applied outside it: healing a
+// real cluster node runs synchronous recovery, which acquires table locks —
+// inside the mutex that would deadlock against any concurrent operation
+// blocked on its own tick.
 type chaosAction struct {
 	refuse     bool
 	dropBefore bool
@@ -150,10 +165,24 @@ type chaosAction struct {
 	severAt    int64 // -1 = no severing
 	delay      time.Duration
 	kill       NodeDowner
+	down       []NodeDowner
+	heal       []NodeDowner
 }
 
-// tick advances the operation counter, applies down-windows, and collects the
-// matching rule actions for one operation.
+// apply performs the node state flips the tick decided, in down-then-heal
+// order. Must be called without holding c.mu.
+func (act *chaosAction) apply() {
+	for _, n := range act.down {
+		n.SetDown(true)
+	}
+	for _, n := range act.heal {
+		n.SetDown(false)
+	}
+}
+
+// tick advances the operation counter, schedules down-windows and heals, and
+// collects the matching rule actions for one operation. The caller applies
+// the returned action's node flips after the mutex is released.
 func (c *ChaosConnector) tick(kind chaosKind, addr, sql string) chaosAction {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -162,14 +191,22 @@ func (c *ChaosConnector) tick(kind chaosKind, addr, sql string) chaosAction {
 	for _, r := range c.rules {
 		if r.kind == chaosDownWindow {
 			if !r.downed && c.ops >= r.startOp {
-				r.node.SetDown(true)
 				r.downed = true
+				act.down = append(act.down, r.node)
 				c.log = append(c.log, fmt.Sprintf("node-down@op%d", c.ops))
 			}
 			if r.downed && !r.revived && c.ops >= r.endOp {
-				r.node.SetDown(false)
 				r.revived = true
+				act.heal = append(act.heal, r.node)
 				c.log = append(c.log, fmt.Sprintf("node-up@op%d", c.ops))
+			}
+			continue
+		}
+		if r.kind == chaosRecoverAt {
+			if !r.revived && c.ops >= r.startOp {
+				r.revived = true
+				act.heal = append(act.heal, r.node)
+				c.log = append(c.log, fmt.Sprintf("node-heal@op%d", c.ops))
 			}
 			continue
 		}
@@ -221,6 +258,7 @@ func (c *ChaosConnector) tick(kind chaosKind, addr, sql string) chaosAction {
 // Connect implements client.Connector.
 func (c *ChaosConnector) Connect(ctx context.Context, addr string) (client.Conn, error) {
 	act := c.tick(chaosRefuseConnect, addr, "")
+	act.apply()
 	if act.delay > 0 {
 		c.sleep(act.delay)
 	}
@@ -261,6 +299,7 @@ func (cc *chaosConn) Execute(ctx context.Context, sql string) (*vertica.Result, 
 		return nil, cc.dead()
 	}
 	act := cc.parent.tick(chaosDropBefore, cc.addr, sql)
+	act.apply()
 	if act.delay > 0 {
 		cc.parent.sleep(act.delay)
 	}
@@ -285,6 +324,7 @@ func (cc *chaosConn) CopyFrom(ctx context.Context, sql string, r io.Reader) (*ve
 		return nil, cc.dead()
 	}
 	act := cc.parent.tick(chaosSeverCopy, cc.addr, sql)
+	act.apply()
 	if act.delay > 0 {
 		cc.parent.sleep(act.delay)
 	}

@@ -97,6 +97,10 @@ func IsTransient(err error) bool {
 	}
 	switch {
 	case errors.Is(err, vertica.ErrNodeDown),
+		// A removed node never comes back, but the condition is transient for
+		// failover: its segments were rebalanced onto the survivors, so the
+		// same statement succeeds against any other address.
+		errors.Is(err, vertica.ErrNodeRemoved),
 		errors.Is(err, vertica.ErrSessionLimit),
 		errors.Is(err, ErrConnRefused),
 		errors.Is(err, ErrConnDropped),

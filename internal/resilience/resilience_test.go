@@ -435,6 +435,49 @@ func TestChaosKillNodeOnStatement(t *testing.T) {
 	}
 }
 
+// TestChaosRecoverNodeAtOp pins the heal to an exact operation count: the
+// node stays down through every earlier op and is revived — through its full
+// recovery path — by the tick of precisely the scheduled op. No sleeps.
+func TestChaosRecoverNodeAtOp(t *testing.T) {
+	cl := testCluster(t, 2)
+	chaos := NewChaos(client.InProc(cl))
+	victim := cl.Node(1)
+	victim.SetDown(true)
+	chaos.RecoverNodeAtOp(victim, 4)
+	addr := cl.Node(0).Addr
+	conn, err := chaos.Connect(bg, addr) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for op := 2; op <= 3; op++ {
+		if _, err := conn.Execute(bg, "SELECT 1"); err != nil {
+			t.Fatal(err)
+		}
+		if !victim.Down() {
+			t.Fatalf("victim healed at op %d, scheduled for op 4", op)
+		}
+	}
+	if _, err := conn.Execute(bg, "SELECT 1"); err != nil { // op 4: heal
+		t.Fatal(err)
+	}
+	if victim.Down() {
+		t.Fatal("victim still down after its scheduled heal op")
+	}
+	if victim.State() != vertica.NodeUp {
+		t.Fatalf("victim state = %v, want UP (recovery ran synchronously)", victim.State())
+	}
+	found := false
+	for _, e := range chaos.Log() {
+		if e == "node-heal@op4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chaos log = %v, want node-heal@op4", chaos.Log())
+	}
+}
+
 func TestChaosNodeDownWindow(t *testing.T) {
 	cl := testCluster(t, 2)
 	chaos := NewChaos(client.InProc(cl))

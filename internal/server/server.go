@@ -57,6 +57,45 @@ type response struct {
 	// error itself is flattened to text, but the retry decision it implies
 	// must survive the trip.
 	Transient bool `json:"transient,omitempty"`
+	// Code carries the engine's sentinel identity across the wire, so remote
+	// callers can distinguish the conditions they react to differently — a
+	// down node (retry/failover, the node returns), a removed node (fail over
+	// permanently, it never returns), a session-limit rejection (back off or
+	// connect elsewhere) — with errors.Is, exactly as in-process callers do.
+	Code string `json:"code,omitempty"`
+}
+
+// Wire codes for engine sentinels (response.Code).
+const (
+	codeNodeDown     = "node_down"
+	codeNodeRemoved  = "node_removed"
+	codeSessionLimit = "session_limit"
+)
+
+// sentinelCode maps an error chain to its wire code ("" when none applies).
+func sentinelCode(e error) string {
+	switch {
+	case errors.Is(e, vertica.ErrNodeRemoved):
+		return codeNodeRemoved
+	case errors.Is(e, vertica.ErrNodeDown):
+		return codeNodeDown
+	case errors.Is(e, vertica.ErrSessionLimit):
+		return codeSessionLimit
+	}
+	return ""
+}
+
+// sentinelFor is the client-side inverse of sentinelCode.
+func sentinelFor(code string) error {
+	switch code {
+	case codeNodeDown:
+		return vertica.ErrNodeDown
+	case codeNodeRemoved:
+		return vertica.ErrNodeRemoved
+	case codeSessionLimit:
+		return vertica.ErrSessionLimit
+	}
+	return nil
 }
 
 // writeFrame emits one frame with a single Write: header and payload are
@@ -248,7 +287,11 @@ func sendResult(w io.Writer, res *vertica.Result) error {
 }
 
 func sendError(w io.Writer, e error) error {
-	payload, _ := json.Marshal(response{Error: e.Error(), Transient: resilience.IsTransient(e)})
+	payload, _ := json.Marshal(response{
+		Error:     e.Error(),
+		Transient: resilience.IsTransient(e),
+		Code:      sentinelCode(e),
+	})
 	return writeFrame(w, frameError, payload)
 }
 

@@ -156,7 +156,14 @@ func (c *TCPConn) readResponse(ctx context.Context) (*vertica.Result, error) {
 	case frameResult:
 		return resp.Result, nil
 	case frameError:
-		rerr := fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+		var rerr error
+		if sent := sentinelFor(resp.Code); sent != nil {
+			// Restore the engine sentinel into the chain so errors.Is works
+			// across the wire exactly as it does in-process.
+			rerr = fmt.Errorf("%w: %w: %s", ErrRemote, sent, resp.Error)
+		} else {
+			rerr = fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+		}
 		if resp.Transient {
 			// The server classified its local error before it was flattened
 			// to text; restore the mark so remote retry decisions match

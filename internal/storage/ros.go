@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vsfabric/internal/types"
 	"vsfabric/internal/vhash"
@@ -172,6 +173,13 @@ type Store struct {
 	segIdx []int
 	ros    []*ROSContainer
 	wos    *WOS
+	// stale is set when a cluster write skips this store because its node is
+	// not accepting writes (DOWN/REMOVED). A stale store's contents lag the
+	// committed state and must be rebuilt from a live replica before its node
+	// serves reads again; a store that was never skipped is current by
+	// construction, even across a down window (the write path rejects writes
+	// to a segment with no writable replica, so nothing can be missed).
+	stale atomic.Bool
 }
 
 // NewStore creates an empty per-node store for a table with the given schema
@@ -179,6 +187,16 @@ type Store struct {
 func NewStore(schema types.Schema, segIdx []int) *Store {
 	return &Store{schema: schema, segIdx: segIdx, wos: NewWOS()}
 }
+
+// MarkStale records that this store missed a cluster write (its node was not
+// accepting writes when the write committed).
+func (s *Store) MarkStale() { s.stale.Store(true) }
+
+// ClearStale marks the store current again (after recovery rebuilt it).
+func (s *Store) ClearStale() { s.stale.Store(false) }
+
+// Stale reports whether the store has missed at least one cluster write.
+func (s *Store) Stale() bool { return s.stale.Load() }
 
 // Schema returns the table schema.
 func (s *Store) Schema() types.Schema { return s.schema }

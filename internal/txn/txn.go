@@ -364,12 +364,15 @@ func (t *Txn) finish() {
 }
 
 // tableLock is a two-mode lock: any number of INSERT holders or exactly one
-// EXCLUSIVE holder.
+// EXCLUSIVE holder. EXCLUSIVE requests are fair: once one is waiting, new
+// INSERT acquisitions queue behind it, so a continuous stream of COPYs cannot
+// starve DDL or a rebalance out to its lock timeout.
 type tableLock struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	inserts int
-	excl    bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	inserts     int
+	excl        bool
+	exclWaiters int
 }
 
 func newTableLock() *tableLock {
@@ -398,12 +401,17 @@ func (l *tableLock) acquire(mode LockMode, deadline time.Time) error {
 	defer l.mu.Unlock()
 	switch mode {
 	case LockInsert:
-		if err := l.waitUntil(func() bool { return !l.excl }, deadline); err != nil {
+		if err := l.waitUntil(func() bool { return !l.excl && l.exclWaiters == 0 }, deadline); err != nil {
 			return err
 		}
 		l.inserts++
 	case LockExclusive:
-		if err := l.waitUntil(func() bool { return !l.excl && l.inserts == 0 }, deadline); err != nil {
+		l.exclWaiters++
+		err := l.waitUntil(func() bool { return !l.excl && l.inserts == 0 }, deadline)
+		l.exclWaiters--
+		if err != nil {
+			// Wake INSERT waiters we were holding back.
+			l.cond.Broadcast()
 			return err
 		}
 		l.excl = true

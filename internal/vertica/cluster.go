@@ -26,21 +26,95 @@ import (
 // evaluated arguments and the USING PARAMETERS map.
 type UDxFunc func(args []types.Value, params map[string]string) (types.Value, error)
 
+// NodeState is a node's position in the cluster lifecycle.
+type NodeState int32
+
+const (
+	// NodeUp serves reads and receives writes.
+	NodeUp NodeState = iota
+	// NodeDown is failed: reads fail over to buddies, writes skip its stores
+	// (they land on buddies and are reconciled at recovery).
+	NodeDown
+	// NodeRecovering is replaying missed epochs from its buddies: it receives
+	// new writes but does not serve reads until caught up.
+	NodeRecovering
+	// NodeRemoved has been dropped from the cluster by ALTER CLUSTER REMOVE
+	// NODE; it never returns.
+	NodeRemoved
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "UP"
+	case NodeDown:
+		return "DOWN"
+	case NodeRecovering:
+		return "RECOVERING"
+	case NodeRemoved:
+		return "REMOVED"
+	default:
+		return "?"
+	}
+}
+
 // Node is one database node.
 type Node struct {
 	ID   int
 	Name string // sim resource name ("v0", "v1", ...)
 	Addr string // host address clients connect to
 
-	down atomic.Bool
+	state atomic.Int32
+	// recoveryEpoch is the epoch the node last caught up to when rejoining
+	// after a down window (0 = never recovered).
+	recoveryEpoch atomic.Uint64
+	// cluster backs SetDown(false) heals with real recovery. Nil only in
+	// tests constructing bare nodes.
+	cluster *Cluster
 }
 
-// SetDown marks the node failed (true) or recovered (false); reads fail over
-// to buddy replicas on surviving nodes while a node is down.
-func (n *Node) SetDown(d bool) { n.down.Store(d) }
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
 
-// Down reports whether the node is failed.
-func (n *Node) Down() bool { return n.down.Load() }
+func (n *Node) setState(s NodeState) { n.state.Store(int32(s)) }
+
+// RecoveryEpoch returns the epoch the node last recovered to (0 if it never
+// left the cluster).
+func (n *Node) RecoveryEpoch() uint64 { return n.recoveryEpoch.Load() }
+
+// SetDown marks the node failed (true) or heals it (false). Healing a downed
+// node does not silently rejoin it with stale stores: the node enters
+// RECOVERING and synchronously replays the epochs it missed from its buddies
+// (Cluster.RecoverNode), only serving reads again once caught up. A removed
+// node stays removed.
+func (n *Node) SetDown(d bool) {
+	if d {
+		if n.State() == NodeRemoved {
+			return
+		}
+		n.setState(NodeDown)
+		return
+	}
+	if n.State() != NodeDown {
+		return
+	}
+	if n.cluster != nil {
+		_ = n.cluster.RecoverNode(n.ID)
+		return
+	}
+	n.setState(NodeUp)
+}
+
+// Down reports whether the node is unable to serve reads (any state but UP).
+func (n *Node) Down() bool { return n.State() != NodeUp }
+
+// acceptsWrites reports whether the node's stores must receive new writes.
+// RECOVERING nodes do: tables already reconciled stay current, and tables not
+// yet reconciled are rebuilt wholesale anyway.
+func (n *Node) acceptsWrites() bool {
+	s := n.State()
+	return s == NodeUp || s == NodeRecovering
+}
 
 // Config controls cluster creation.
 type Config struct {
@@ -75,11 +149,21 @@ type Config struct {
 
 // Cluster is a running database cluster.
 type Cluster struct {
-	cfg   Config
-	nodes []*Node
-	cat   *catalog.Catalog
-	txm   *txn.Manager
-	dfs   *dfs.FS
+	cfg Config
+	// nodesPtr holds the node slice copy-on-write: ALTER CLUSTER ADD NODE
+	// swaps in an extended copy, so readers index it without locks. Node IDs
+	// are stable — removed nodes keep their slot, marked NodeRemoved.
+	nodesPtr atomic.Pointer[[]*Node]
+	cat      *catalog.Catalog
+	txm      *txn.Manager
+	dfs      *dfs.FS
+
+	// membershipMu serializes cluster lifecycle operations (add/remove node,
+	// whole-node recovery) against each other.
+	membershipMu sync.Mutex
+	// reb records rebalance/recovery progress for
+	// v_monitor.rebalance_operations.
+	reb rebalanceTracker
 
 	udxMu sync.RWMutex
 	udx   map[string]UDxFunc
@@ -121,13 +205,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		sessions: make(map[int]int),
 		mon:      obs.NewCollector(),
 	}
+	nodes := make([]*Node, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		c.nodes = append(c.nodes, &Node{
-			ID:   i,
-			Name: sim.VName(i),
-			Addr: fmt.Sprintf("vertica-node-%d.local", i),
-		})
+		nodes = append(nodes, c.newNode(i))
 	}
+	c.nodesPtr.Store(&nodes)
 	c.registerBuiltins()
 	if cfg.DataDir != "" {
 		c.dataDir = cfg.DataDir
@@ -165,14 +247,48 @@ func MustNewCluster(nodes int) *Cluster {
 	return c
 }
 
-// NumNodes returns the cluster size.
-func (c *Cluster) NumNodes() int { return len(c.nodes) }
+func (c *Cluster) newNode(id int) *Node {
+	return &Node{
+		ID:      id,
+		Name:    sim.VName(id),
+		Addr:    fmt.Sprintf("vertica-node-%d.local", id),
+		cluster: c,
+	}
+}
 
-// Nodes returns the cluster's nodes.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// NumNodes returns the number of node slots ever allocated (including
+// removed nodes; IDs are stable).
+func (c *Cluster) NumNodes() int { return len(c.nodeList()) }
+
+// Nodes returns a snapshot of the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodeList() }
 
 // Node returns node i.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+func (c *Cluster) Node(i int) *Node { return c.nodeList()[i] }
+
+func (c *Cluster) nodeList() []*Node { return *c.nodesPtr.Load() }
+
+// node returns node id, or nil when out of range.
+func (c *Cluster) node(id int) *Node {
+	nodes := c.nodeList()
+	if id < 0 || id >= len(nodes) {
+		return nil
+	}
+	return nodes[id]
+}
+
+// nodeUp reports whether node id is serving reads.
+func (c *Cluster) nodeUp(id int) bool {
+	n := c.node(id)
+	return n != nil && n.State() == NodeUp
+}
+
+// nodeAcceptsWrites reports whether node id's stores must receive writes
+// (UP or RECOVERING).
+func (c *Cluster) nodeAcceptsWrites(id int) bool {
+	n := c.node(id)
+	return n != nil && n.acceptsWrites()
+}
 
 // Catalog exposes the cluster catalog (read-mostly; DDL goes through SQL).
 func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
@@ -334,13 +450,21 @@ func (c *Cluster) Moveout() error {
 }
 
 // Connect opens a session against the given node. It enforces the per-node
-// session limit.
+// session limit. Connecting to a DOWN node fails with ErrNodeDown; to a
+// REMOVED node with ErrNodeRemoved (a distinct, permanent condition — the
+// node will never return). A RECOVERING node accepts sessions so monitoring
+// reads keep working, but non-monitoring statements are rejected at dispatch
+// until recovery completes.
 func (c *Cluster) Connect(nodeID int) (*Session, error) {
-	if nodeID < 0 || nodeID >= len(c.nodes) {
-		return nil, fmt.Errorf("vertica: no node %d in %d-node cluster", nodeID, len(c.nodes))
+	n := c.node(nodeID)
+	if n == nil {
+		return nil, fmt.Errorf("vertica: no node %d in %d-node cluster", nodeID, c.NumNodes())
 	}
-	if c.nodes[nodeID].Down() {
+	switch n.State() {
+	case NodeDown:
 		return nil, fmt.Errorf("%w: node %d is down", ErrNodeDown, nodeID)
+	case NodeRemoved:
+		return nil, fmt.Errorf("%w: node %d", ErrNodeRemoved, nodeID)
 	}
 	c.sessMu.Lock()
 	defer c.sessMu.Unlock()
@@ -348,12 +472,12 @@ func (c *Cluster) Connect(nodeID int) (*Session, error) {
 		return nil, fmt.Errorf("%w: node %d at limit %d", ErrSessionLimit, nodeID, c.cfg.MaxClientSessions)
 	}
 	c.sessions[nodeID]++
-	return &Session{cluster: c, node: c.nodes[nodeID]}, nil
+	return &Session{cluster: c, node: n}, nil
 }
 
 // ConnectAddr opens a session against the node with the given address.
 func (c *Cluster) ConnectAddr(addr string) (*Session, error) {
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		if n.Addr == addr {
 			return c.Connect(n.ID)
 		}

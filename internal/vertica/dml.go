@@ -53,14 +53,80 @@ func routeRows(tbl *catalog.Table, rows []types.Row) [][]types.Row {
 	return buckets
 }
 
+// lockTable acquires the table lock in the given mode and then re-resolves
+// the table from the catalog. The re-resolution matters: a concurrent
+// rebalance (or DDL) holds the EXCLUSIVE lock while swapping the table's
+// layout, so a writer that resolved its *Table before blocking on the lock
+// would otherwise write into the orphaned pre-rebalance stores.
+func (s *Session) lockTable(tx *txn.Txn, name string, mode txn.LockMode) (*catalog.Table, error) {
+	tbl, ok := s.cluster.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", name)
+	}
+	if err := tx.Acquire(tbl.Def.Name, mode); err != nil {
+		return nil, err
+	}
+	tbl, ok = s.cluster.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q does not exist", name)
+	}
+	return tbl, nil
+}
+
+// writableCheck verifies every replica set of the table still has at least
+// one store on a node accepting writes. Without it a statement could be
+// acknowledged while an entire segment's writes landed nowhere — an
+// unrecoverable loss once the downed replicas rebuild from each other.
+func (s *Session) writableCheck(tbl *catalog.Table) error {
+	n := len(tbl.Ring)
+	for seg := 0; seg < n; seg++ {
+		if s.cluster.nodeAcceptsWrites(tbl.Ring[seg]) {
+			continue
+		}
+		ok := false
+		if tbl.Def.Segmented {
+			for r := range tbl.Buddies {
+				if s.cluster.nodeAcceptsWrites(tbl.Ring[(seg+r+1)%n]) {
+					ok = true
+					break
+				}
+			}
+		} else {
+			for _, id := range tbl.Ring {
+				if s.cluster.nodeAcceptsWrites(id) {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: segment %d of table %q has no writable replica (k-safety exhausted)",
+				ErrNodeDown, seg, tbl.Def.Name)
+		}
+	}
+	return nil
+}
+
 // writeRows inserts rows into a table under tx: segmented tables route each
 // row to its segment's node (plus buddy replicas); unsegmented tables
 // replicate to every node. direct selects the ROS bulk path over the WOS.
+// Stores hosted on DOWN (or removed) nodes are skipped — their writes land
+// on the surviving replicas and are reconciled when the node recovers — but
+// the statement fails up front if any replica set is entirely unwritable.
 // It returns the bytes shuffled from the connected node to each other node,
 // for resource accounting.
 func (s *Session) writeRows(tx *txn.Txn, tbl *catalog.Table, rows []types.Row, direct bool) (map[[2]string]float64, error) {
+	if err := s.writableCheck(tbl); err != nil {
+		return nil, err
+	}
 	route := make(map[[2]string]float64)
 	err := forEachTarget(tbl, rows, func(st *storage.Store, nodeID int, batch []types.Row) error {
+		if !s.cluster.nodeAcceptsWrites(nodeID) {
+			// The skipped store now lags the committed state; recovery must
+			// rebuild it from a replica before its node serves reads again.
+			st.MarkStale()
+			return nil
+		}
 		if direct {
 			if err := st.AppendROS(batch, tx.Tag()); err != nil {
 				return err
@@ -144,7 +210,8 @@ func (s *Session) executeInsert(st *vsql.Insert) (*Result, error) {
 	}
 
 	tx, auto := s.txnForWrite()
-	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+	tbl, err := s.lockTable(tx, tbl.Def.Name, txn.LockInsert)
+	if err != nil {
 		if auto {
 			tx.Abort()
 		}
@@ -201,7 +268,8 @@ func (s *Session) executeInsertSelect(st *vsql.Insert, tbl *catalog.Table) (*Res
 		rows[i] = row
 	}
 	tx, auto := s.txnForWrite()
-	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+	tbl, err = s.lockTable(tx, tbl.Def.Name, txn.LockInsert)
+	if err != nil {
 		if auto {
 			tx.Abort()
 		}
@@ -244,7 +312,14 @@ func (s *Session) executeUpdate(st *vsql.Update) (*Result, error) {
 	}
 
 	tx, auto := s.txnForWrite()
-	if err := tx.Acquire(tbl.Def.Name, txn.LockExclusive); err != nil {
+	tbl, err := s.lockTable(tx, tbl.Def.Name, txn.LockExclusive)
+	if err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	if err := s.writableCheck(tbl); err != nil {
 		if auto {
 			tx.Abort()
 		}
@@ -301,7 +376,8 @@ func (s *Session) executeUpdate(st *vsql.Update) (*Result, error) {
 }
 
 // collectMatching gathers the visible rows matching the predicate across all
-// primary stores (and the local replica for unsegmented tables).
+// primary stores (or one live replica for unsegmented tables), reading from
+// buddies where a primary's node is down.
 func (s *Session) collectMatching(tbl *catalog.Table, where expr.Expr, vis visArg) ([]types.Row, error) {
 	schema := tbl.Def.Schema
 	var out []types.Row
@@ -318,10 +394,18 @@ func (s *Session) collectMatching(tbl *catalog.Table, where expr.Expr, vis visAr
 		return true
 	}
 	if !tbl.Def.Segmented {
-		tbl.Stores[s.node.ID].Scan(vis, fullRing(), match)
+		st, _, err := s.replicaFor(tbl, s.localPos(tbl))
+		if err != nil {
+			return nil, err
+		}
+		st.Scan(vis, fullRing(), match)
 		return out, scanErr
 	}
-	for _, st := range tbl.Stores {
+	for pos := range tbl.Stores {
+		st, _, err := s.replicaFor(tbl, pos)
+		if err != nil {
+			return nil, err
+		}
 		st.Scan(vis, fullRing(), match)
 		if scanErr != nil {
 			return nil, scanErr
@@ -330,26 +414,58 @@ func (s *Session) collectMatching(tbl *catalog.Table, where expr.Expr, vis visAr
 	return out, scanErr
 }
 
-// deleteRowsEverywhere marks matching rows deleted in every store holding
-// them (primaries, buddies, and all replicas of unsegmented tables).
+// deleteRowsEverywhere marks matching rows deleted in every writable store
+// holding them (primaries, buddies, and all replicas of unsegmented tables).
+// Stores on non-writable nodes are skipped and reconciled at recovery. Each
+// segment's count comes from its first writable replica.
 func (s *Session) deleteRowsEverywhere(tx *txn.Txn, tbl *catalog.Table, where expr.Expr, vis visArg) int {
 	schema := tbl.Def.Schema
 	match := func(r types.Row) bool {
 		ok, _ := expr.EvalPredicate(where, r, &schema)
 		return ok
 	}
+	accepts := func(pos int) bool { return s.cluster.nodeAcceptsWrites(tbl.Ring[pos]) }
 	n := 0
-	for i, st := range tbl.Stores {
-		c := st.DeleteWhere(vis, tx.Tag(), match)
-		tx.NoteDelete(st)
-		if tbl.Def.Segmented || i == 0 {
-			n += c
-		}
-	}
-	for _, reps := range tbl.Buddies {
-		for _, st := range reps {
-			st.DeleteWhere(vis, tx.Tag(), match)
+	if !tbl.Def.Segmented {
+		counted := false
+		for pos, st := range tbl.Stores {
+			if !accepts(pos) {
+				st.MarkStale()
+				continue
+			}
+			c := st.DeleteWhere(vis, tx.Tag(), match)
 			tx.NoteDelete(st)
+			if !counted {
+				n += c
+				counted = true
+			}
+		}
+		return n
+	}
+	nseg := len(tbl.Ring)
+	for seg := 0; seg < nseg; seg++ {
+		counted := false
+		if accepts(seg) {
+			c := tbl.Stores[seg].DeleteWhere(vis, tx.Tag(), match)
+			tx.NoteDelete(tbl.Stores[seg])
+			n += c
+			counted = true
+		} else {
+			tbl.Stores[seg].MarkStale()
+		}
+		for r := range tbl.Buddies {
+			host := (seg + r + 1) % nseg
+			if !accepts(host) {
+				tbl.Buddies[r][host].MarkStale()
+				continue
+			}
+			st := tbl.Buddies[r][host]
+			c := st.DeleteWhere(vis, tx.Tag(), match)
+			tx.NoteDelete(st)
+			if !counted {
+				n += c
+				counted = true
+			}
 		}
 	}
 	return n
@@ -367,7 +483,14 @@ func (s *Session) executeDelete(st *vsql.Delete) (*Result, error) {
 		}
 	}
 	tx, auto := s.txnForWrite()
-	if err := tx.Acquire(tbl.Def.Name, txn.LockExclusive); err != nil {
+	tbl, err := s.lockTable(tx, tbl.Def.Name, txn.LockExclusive)
+	if err != nil {
+		if auto {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	if err := s.writableCheck(tbl); err != nil {
 		if auto {
 			tx.Abort()
 		}
@@ -491,7 +614,8 @@ func (s *Session) copyStream(cp *vsql.Copy, counted *countingReader) (*Result, e
 	}
 
 	tx, auto := s.txnForWrite()
-	if err := tx.Acquire(tbl.Def.Name, txn.LockInsert); err != nil {
+	tbl, err := s.lockTable(tx, tbl.Def.Name, txn.LockInsert)
+	if err != nil {
 		if auto {
 			tx.Abort()
 		}

@@ -12,6 +12,7 @@ import (
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/obs"
+	"vsfabric/internal/rebalance"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/txn"
 	"vsfabric/internal/types"
@@ -49,6 +50,9 @@ const (
 	opRenameTable
 	opCreateView
 	opDropView
+	opAddNode
+	opRemoveNode
+	opRebalance
 )
 
 // ddlPayload is the JSON body of a RecDDL record.
@@ -57,6 +61,13 @@ type ddlPayload struct {
 	Name    string            `json:"name,omitempty"`
 	NewName string            `json:"new_name,omitempty"`
 	SQL     string            `json:"sql,omitempty"`
+	// Node is the subject of add/remove-node records; Ring is the membership
+	// ring after the change (add/remove) or the table's target ring
+	// (rebalance). A rebalance record carries no row data: MoveTable is a
+	// deterministic function of the table's committed contents and the target
+	// ring, so replaying the record reproduces the placement exactly.
+	Node int   `json:"node,omitempty"`
+	Ring []int `json:"ring,omitempty"`
 }
 
 // storeManifest locates one store's durable files (paths relative to the
@@ -69,6 +80,7 @@ type storeManifest struct {
 type tableManifest struct {
 	Def          catalog.TableDef  `json:"def"`
 	CreatedEpoch uint64            `json:"created_epoch"`
+	Ring         []int             `json:"ring,omitempty"`
 	Stores       []storeManifest   `json:"stores"`
 	Buddies      [][]storeManifest `json:"buddies,omitempty"`
 }
@@ -81,13 +93,18 @@ type viewManifest struct {
 // manifest is the recovery root: the catalog, every store's data files, and
 // the WAL to replay on top of them.
 type manifest struct {
-	Version      int             `json:"version"`
-	DurableEpoch uint64          `json:"durable_epoch"`
-	WALFile      string          `json:"wal_file"`
-	WALSeq       uint64          `json:"wal_seq"`
-	NextDiskID   uint64          `json:"next_disk_id"`
-	Tables       []tableManifest `json:"tables,omitempty"`
-	Views        []viewManifest  `json:"views,omitempty"`
+	Version      int    `json:"version"`
+	DurableEpoch uint64 `json:"durable_epoch"`
+	WALFile      string `json:"wal_file"`
+	WALSeq       uint64 `json:"wal_seq"`
+	NextDiskID   uint64 `json:"next_disk_id"`
+	// Nodes is the number of node slots ever allocated (0 in pre-membership
+	// manifests, meaning the configured count); Removed lists the IDs of
+	// nodes dropped by ALTER CLUSTER REMOVE NODE.
+	Nodes   int             `json:"nodes,omitempty"`
+	Removed []int           `json:"removed,omitempty"`
+	Tables  []tableManifest `json:"tables,omitempty"`
+	Views   []viewManifest  `json:"views,omitempty"`
 }
 
 func (c *Cluster) durable() bool { return c.dataDir != "" }
@@ -176,7 +193,7 @@ func (c *Cluster) logDDL(op byte, p ddlPayload) error {
 func forEachTarget(tbl *catalog.Table, rows []types.Row, visit func(st *storage.Store, nodeID int, batch []types.Row) error) error {
 	if !tbl.Def.Segmented {
 		for i, st := range tbl.Stores {
-			if err := visit(st, i, rows); err != nil {
+			if err := visit(st, tbl.Ring[i], rows); err != nil {
 				return err
 			}
 		}
@@ -187,12 +204,12 @@ func forEachTarget(tbl *catalog.Table, rows []types.Row, visit func(st *storage.
 		if len(batch) == 0 {
 			continue
 		}
-		if err := visit(tbl.Stores[home], home, batch); err != nil {
+		if err := visit(tbl.Stores[home], tbl.Ring[home], batch); err != nil {
 			return err
 		}
 		for r := range tbl.Buddies {
 			host := (home + r + 1) % tbl.NumNodes()
-			if err := visit(tbl.Buddies[r][host], host, batch); err != nil {
+			if err := visit(tbl.Buddies[r][host], tbl.Ring[host], batch); err != nil {
 				return err
 			}
 		}
@@ -308,13 +325,52 @@ func (c *Cluster) openDurable() error {
 		return fmt.Errorf("vertica: corrupt manifest: %w", err)
 	}
 
-	// Rebuild the catalog, loading each store's containers and WOS snapshot.
-	for _, tm := range m.Tables {
-		if len(tm.Stores) != c.cfg.Nodes {
-			return fmt.Errorf("vertica: manifest table %q spans %d nodes, cluster has %d",
-				tm.Def.Name, len(tm.Stores), c.cfg.Nodes)
+	// Restore membership: grow the node slice to every slot the manifest
+	// knows about, re-mark removed nodes, and set the catalog's active ring
+	// before any table is rebuilt.
+	if m.Nodes > c.NumNodes() {
+		nodes := append([]*Node(nil), c.nodeList()...)
+		for id := len(nodes); id < m.Nodes; id++ {
+			nodes = append(nodes, c.newNode(id))
+			if err := os.MkdirAll(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", id)), 0o755); err != nil {
+				return err
+			}
 		}
-		tbl, err := c.cat.CreateTable(tm.Def, tm.CreatedEpoch)
+		c.nodesPtr.Store(&nodes)
+	}
+	removed := make(map[int]bool, len(m.Removed))
+	for _, id := range m.Removed {
+		if n := c.node(id); n != nil {
+			n.setState(NodeRemoved)
+			removed[id] = true
+		}
+	}
+	var ring []int
+	for _, n := range c.nodeList() {
+		if !removed[n.ID] {
+			ring = append(ring, n.ID)
+		}
+	}
+	c.cat.SetMembership(ring)
+
+	// Rebuild the catalog, loading each store's containers and WOS snapshot.
+	// Each table is rebuilt on the exact ring its manifest recorded — a crash
+	// mid-membership-change leaves tables on different rings, converged after
+	// replay.
+	for _, tm := range m.Tables {
+		tmRing := tm.Ring
+		if tmRing == nil {
+			// Pre-membership manifest: implicit ring [0..n-1].
+			tmRing = make([]int, len(tm.Stores))
+			for i := range tmRing {
+				tmRing[i] = i
+			}
+		}
+		if len(tm.Stores) != len(tmRing) {
+			return fmt.Errorf("vertica: manifest table %q has %d stores for %d ring positions",
+				tm.Def.Name, len(tm.Stores), len(tmRing))
+		}
+		tbl, err := c.cat.CreateTableAt(tm.Def, tm.CreatedEpoch, tmRing)
 		if err != nil {
 			return err
 		}
@@ -354,6 +410,26 @@ func (c *Cluster) openDurable() error {
 	}
 	c.mon.Add("recovery.replayed_records", int64(replayed))
 	c.mon.Add("recovery.dropped_txns", int64(dropped))
+
+	// Converge layouts: a crash mid-membership-change logged the new ring
+	// (opAddNode/opRemoveNode) but may not have rebalanced every table onto
+	// it. Finishing the moves here is deterministic — same committed
+	// contents, same target ring — and needs no WAL record: a second crash
+	// before the next checkpoint just converges again.
+	target := c.cat.Ring()
+	for _, tbl := range c.cat.Tables() {
+		if rebalance.RingsEqual(tbl.Ring, target) {
+			continue
+		}
+		lay, _, merr := rebalance.MoveTable(tbl, target, nil)
+		if merr != nil {
+			return fmt.Errorf("vertica: converging table %q after crash: %w", tbl.Def.Name, merr)
+		}
+		if _, serr := c.cat.SwapLayout(tbl.Def.Name, lay.Ring, lay.Stores, lay.Buddies); serr != nil {
+			return serr
+		}
+		c.mon.Add("recovery.rebalanced_tables", 1)
+	}
 
 	l, err := wal.Open(walPath)
 	if err != nil {
@@ -598,6 +674,39 @@ func (c *Cluster) replayDDL(rec wal.Record) error {
 		return c.cat.CreateView(p.Name, p.SQL)
 	case opDropView:
 		return c.cat.DropView(p.Name, true)
+	case opAddNode:
+		if c.node(p.Node) == nil {
+			nodes := append([]*Node(nil), c.nodeList()...)
+			for id := len(nodes); id <= p.Node; id++ {
+				nodes = append(nodes, c.newNode(id))
+				if err := os.MkdirAll(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", id)), 0o755); err != nil {
+					return err
+				}
+			}
+			c.nodesPtr.Store(&nodes)
+		}
+		c.cat.SetMembership(p.Ring)
+		return nil
+	case opRemoveNode:
+		if n := c.node(p.Node); n != nil {
+			n.setState(NodeRemoved)
+		}
+		c.cat.SetMembership(p.Ring)
+		return nil
+	case opRebalance:
+		tbl, ok := c.cat.Table(p.Name)
+		if !ok {
+			return fmt.Errorf("vertica: replay: rebalance of unknown table %q", p.Name)
+		}
+		if rebalance.RingsEqual(tbl.Ring, p.Ring) {
+			return nil
+		}
+		lay, _, err := rebalance.MoveTable(tbl, p.Ring, nil)
+		if err != nil {
+			return fmt.Errorf("vertica: replay: rebalancing %q: %w", p.Name, err)
+		}
+		_, err = c.cat.SwapLayout(p.Name, lay.Ring, lay.Stores, lay.Buddies)
+		return err
 	default:
 		return fmt.Errorf("vertica: replay: unknown DDL opcode %d", rec.Op)
 	}
@@ -622,16 +731,21 @@ func (c *Cluster) Checkpoint() error {
 	}
 	durableEpoch := c.txm.LastEpoch()
 
-	m := manifest{Version: 1, DurableEpoch: durableEpoch}
+	m := manifest{Version: 1, DurableEpoch: durableEpoch, Nodes: c.NumNodes()}
+	for _, n := range c.nodeList() {
+		if n.State() == NodeRemoved {
+			m.Removed = append(m.Removed, n.ID)
+		}
+	}
 	for _, tbl := range c.cat.Tables() {
-		tm := tableManifest{Def: tbl.Def, CreatedEpoch: tbl.CreatedEpoch}
-		sms, err := c.persistStores(tbl.Stores, tbl.Def.Name)
+		tm := tableManifest{Def: tbl.Def, CreatedEpoch: tbl.CreatedEpoch, Ring: tbl.Ring}
+		sms, err := c.persistStores(tbl.Stores, tbl.Ring, tbl.Def.Name)
 		if err != nil {
 			return err
 		}
 		tm.Stores = sms
 		for _, reps := range tbl.Buddies {
-			bms, err := c.persistStores(reps, tbl.Def.Name)
+			bms, err := c.persistStores(reps, tbl.Ring, tbl.Def.Name)
 			if err != nil {
 				return err
 			}
@@ -695,8 +809,14 @@ func (c *Cluster) Checkpoint() error {
 // persistStores writes each store's dirty/new committed containers and WOS
 // snapshot, returning the manifest entries. Containers are never rewritten
 // in place: a changed container gets a fresh file, and the old one is
-// removed only after the new manifest is durable.
-func (c *Cluster) persistStores(stores []*storage.Store, table string) ([]storeManifest, error) {
+// removed only after the new manifest is durable. Files land under the
+// node-<id> directory of the node owning each ring position — node IDs, not
+// positions, so a table whose ring lags the membership ring still files its
+// data under the right host.
+func (c *Cluster) persistStores(stores []*storage.Store, ring []int, table string) ([]storeManifest, error) {
+	if len(ring) != len(stores) {
+		return nil, fmt.Errorf("vertica: persisting %s: %d stores for %d ring positions", table, len(stores), len(ring))
+	}
 	out := make([]storeManifest, len(stores))
 	for i, st := range stores {
 		for _, cont := range st.Containers() {
@@ -709,7 +829,7 @@ func (c *Cluster) persistStores(stores []*storage.Store, table string) ([]storeM
 				if err != nil {
 					return nil, fmt.Errorf("vertica: persisting %s container: %w", table, err)
 				}
-				newRef := filepath.Join(fmt.Sprintf("node-%d", i), fmt.Sprintf("c-%d.ros", c.nextDiskID.Add(1)))
+				newRef := filepath.Join(fmt.Sprintf("node-%d", ring[i]), fmt.Sprintf("c-%d.ros", c.nextDiskID.Add(1)))
 				if err := writeFileSync(filepath.Join(c.dataDir, newRef), data); err != nil {
 					return nil, err
 				}
@@ -727,7 +847,7 @@ func (c *Cluster) persistStores(stores []*storage.Store, table string) ([]storeM
 			return nil, fmt.Errorf("vertica: persisting %s WOS: %w", table, err)
 		}
 		if n > 0 {
-			ref := filepath.Join(fmt.Sprintf("node-%d", i), fmt.Sprintf("w-%d.wos", c.nextDiskID.Add(1)))
+			ref := filepath.Join(fmt.Sprintf("node-%d", ring[i]), fmt.Sprintf("w-%d.wos", c.nextDiskID.Add(1)))
 			if err := writeFileSync(filepath.Join(c.dataDir, ref), data); err != nil {
 				return nil, err
 			}
@@ -775,7 +895,7 @@ func (c *Cluster) removeStaleFiles(m *manifest, oldWAL string) {
 	if oldWAL != "" && oldWAL != m.WALFile {
 		stale = append(stale, oldWAL)
 	}
-	for i := 0; i < c.cfg.Nodes; i++ {
+	for i := 0; i < c.NumNodes(); i++ {
 		dir := fmt.Sprintf("node-%d", i)
 		ents, err := os.ReadDir(filepath.Join(c.dataDir, dir))
 		if err != nil {

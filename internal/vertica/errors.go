@@ -15,4 +15,12 @@ var (
 	// ErrSessionLimit reports a connection attempt rejected because the node
 	// is at MAX-CLIENT-SESSIONS. Retry with backoff, or connect elsewhere.
 	ErrSessionLimit = errors.New("vertica: MAX-CLIENT-SESSIONS exceeded")
+
+	// ErrNodeRemoved reports a connection attempt to a node that was removed
+	// from the cluster by ALTER CLUSTER REMOVE NODE. Unlike ErrNodeDown the
+	// node will never come back, but the condition is still classified
+	// transient for failover purposes: every segment the node held has been
+	// rebalanced onto the surviving members, so retrying against another
+	// address succeeds.
+	ErrNodeRemoved = errors.New("vertica: node removed from cluster")
 )

@@ -440,7 +440,7 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 	if !tbl.Def.Segmented {
 		// Unsegmented tables are replicated everywhere: serve entirely from
 		// the connected node's local replica (zero shuffle).
-		store, homeNode, err := s.replicaFor(tbl, s.node.ID)
+		store, homeNode, err := s.replicaFor(tbl, s.localPos(tbl))
 		if err != nil {
 			return nil, 0, types.Schema{}, err
 		}
@@ -635,7 +635,7 @@ func (s *Session) scanTableRowAtATime(tbl *catalog.Table, where expr.Expr, vis s
 	if !tbl.Def.Segmented {
 		// Unsegmented tables are replicated everywhere: serve entirely from
 		// the connected node's local replica (zero shuffle).
-		store, homeNode, err := s.replicaFor(tbl, s.node.ID)
+		store, homeNode, err := s.replicaFor(tbl, s.localPos(tbl))
 		if err != nil {
 			return nil, types.Schema{}, err
 		}
@@ -662,29 +662,43 @@ func (s *Session) scanTableRowAtATime(tbl *catalog.Table, where expr.Expr, vis s
 	return out, schema, nil
 }
 
-// replicaFor returns the store serving node i's segment, failing over to a
-// buddy replica on a surviving node when node i is down.
-func (s *Session) replicaFor(tbl *catalog.Table, i int) (*storage.Store, int, error) {
-	if !s.cluster.nodes[i].Down() {
-		return tbl.Stores[i], i, nil
+// replicaFor returns the store serving ring position pos of the table, plus
+// the ID of the node actually serving, failing over to a buddy replica on a
+// surviving node when the position's own node is not UP. Only UP nodes serve
+// reads: a DOWN or RECOVERING node's stores may be missing writes it slept
+// through.
+func (s *Session) replicaFor(tbl *catalog.Table, pos int) (*storage.Store, int, error) {
+	if s.cluster.nodeUp(tbl.Ring[pos]) {
+		return tbl.Stores[pos], tbl.Ring[pos], nil
 	}
-	n := len(tbl.Stores)
+	n := len(tbl.Ring)
 	for r := range tbl.Buddies {
-		// Buddy replica r of segment i lives on node (i+r+1) mod n.
-		host := (i + r + 1) % n
-		if !s.cluster.nodes[host].Down() {
-			return tbl.Buddies[r][host], host, nil
+		// Buddy replica r of position pos lives at ring position (pos+r+1)
+		// mod n.
+		host := (pos + r + 1) % n
+		if s.cluster.nodeUp(tbl.Ring[host]) {
+			return tbl.Buddies[r][host], tbl.Ring[host], nil
 		}
 	}
 	if !tbl.Def.Segmented {
 		// Unsegmented tables are fully replicated: any live node serves.
-		for j := range tbl.Stores {
-			if !s.cluster.nodes[j].Down() {
-				return tbl.Stores[j], j, nil
+		for p := range tbl.Stores {
+			if s.cluster.nodeUp(tbl.Ring[p]) {
+				return tbl.Stores[p], tbl.Ring[p], nil
 			}
 		}
 	}
-	return nil, 0, fmt.Errorf("vertica: segment %d of table %q unavailable (node down, k-safety exhausted)", i, tbl.Def.Name)
+	return nil, 0, fmt.Errorf("vertica: segment %d of table %q unavailable (node down, k-safety exhausted)", pos, tbl.Def.Name)
+}
+
+// localPos returns the connected node's position in the table's ring, or 0
+// when the node is not in it (a freshly added node, pre-rebalance, serves
+// from position 0's replica set).
+func (s *Session) localPos(tbl *catalog.Table) int {
+	if p := tbl.PosOf(s.node.ID); p >= 0 {
+		return p
+	}
+	return 0
 }
 
 // extractHashRange pulls `HASH(segcols) >= lo` / `HASH(segcols) < hi`

@@ -1,0 +1,347 @@
+package vertica
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/rebalance"
+	"vsfabric/internal/storage"
+)
+
+func seedRows(t *testing.T, s *Session, table string, lo, hi int) {
+	t.Helper()
+	var vals []string
+	for i := lo; i < hi; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, i*10))
+		if len(vals) == 200 || i == hi-1 {
+			s.MustExecute(fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(vals, ", ")))
+			vals = nil
+		}
+	}
+}
+
+// ringsConverged checks every table's ring equals the catalog membership ring.
+func ringsConverged(t *testing.T, c *Cluster) {
+	t.Helper()
+	target := c.Catalog().Ring()
+	for _, tbl := range c.Catalog().Tables() {
+		if !rebalance.RingsEqual(tbl.Ring, target) {
+			t.Fatalf("table %q ring %v lags membership %v", tbl.Def.Name, tbl.Ring, target)
+		}
+	}
+}
+
+// noStaleStores checks no store anywhere is still marked stale.
+func noStaleStores(t *testing.T, c *Cluster) {
+	t.Helper()
+	for _, tbl := range c.Catalog().Tables() {
+		for p, st := range tbl.Stores {
+			if st.Stale() {
+				t.Fatalf("table %q primary %d still stale", tbl.Def.Name, p)
+			}
+		}
+		for r := range tbl.Buddies {
+			for p, st := range tbl.Buddies[r] {
+				if st.Stale() {
+					t.Fatalf("table %q buddy[%d][%d] still stale", tbl.Def.Name, r, p)
+				}
+			}
+		}
+	}
+}
+
+// TestAlterClusterAddNode grows a live 2-node cluster to 3 and checks data
+// survival, ring convergence, routing of new writes, and the monitoring
+// surface.
+func TestAlterClusterAddNode(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER, v INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+	s.MustExecute("CREATE TABLE rep (id INTEGER, v INTEGER) UNSEGMENTED ALL NODES")
+	seedRows(t, s, "kt", 0, 300)
+	seedRows(t, s, "rep", 0, 40)
+	want := dumpTable(s, "kt")
+	wantRep := dumpTable(s, "rep")
+
+	res := s.MustExecute("ALTER CLUSTER ADD NODE")
+	if id := mustI(t, res); id != 2 {
+		t.Fatalf("new node id = %d, want 2", id)
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	ringsConverged(t, c)
+	noStaleStores(t, c)
+	if got := dumpTable(s, "kt"); !sameRows(got, want) {
+		t.Fatalf("add-node rebalance lost rows:\n got %d rows\nwant %d rows", len(got), len(want))
+	}
+	if got := dumpTable(s, "rep"); !sameRows(got, wantRep) {
+		t.Fatalf("unsegmented table lost rows across add-node")
+	}
+
+	// The new node serves sessions and sees all data.
+	s2 := sess(t, c, 2)
+	if n := mustI(t, s2.MustExecute("SELECT COUNT(*) FROM kt")); n != 300 {
+		t.Fatalf("new node count = %d", n)
+	}
+	// New writes route across the 3-node ring; the catalog reports 3 segments.
+	seedRows(t, s, "kt", 300, 400)
+	if n := mustI(t, s.MustExecute("SELECT COUNT(*) FROM kt")); n != 400 {
+		t.Fatalf("post-grow count = %d", n)
+	}
+	segs := s.MustExecute("SELECT node_address FROM v_catalog.segments WHERE table_name = 'kt'")
+	if len(segs.Rows) != 3 {
+		t.Fatalf("v_catalog.segments reports %d segments, want 3", len(segs.Rows))
+	}
+	nodes := s.MustExecute("SELECT node_state FROM v_monitor.node_states")
+	if len(nodes.Rows) != 3 {
+		t.Fatalf("node_states rows = %d", len(nodes.Rows))
+	}
+	for _, r := range nodes.Rows {
+		if r[0].S != "UP" {
+			t.Fatalf("node state %q, want UP", r[0].S)
+		}
+	}
+	ops := s.MustExecute("SELECT operation_type, table_name, status FROM v_monitor.rebalance_operations")
+	complete := 0
+	for _, r := range ops.Rows {
+		if r[0].S == "add_node" && r[2].S == "complete" {
+			complete++
+		}
+	}
+	if complete < 2 {
+		t.Fatalf("rebalance_operations reports %d complete add_node moves, want >= 2:\n%v", complete, ops.Rows)
+	}
+}
+
+// TestAlterClusterRemoveNode drains a node out of a 3-node cluster: data
+// survives, the removed node gets its own stable connect error, and the
+// survivors keep accepting writes.
+func TestAlterClusterRemoveNode(t *testing.T) {
+	c := testCluster(t, 3)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER, v INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+	seedRows(t, s, "kt", 0, 300)
+	want := dumpTable(s, "kt")
+	removedAddr := c.Node(1).Addr
+
+	s.MustExecute("ALTER CLUSTER REMOVE NODE 1")
+	if got := dumpTable(s, "kt"); !sameRows(got, want) {
+		t.Fatalf("remove-node drain lost rows: %d, want %d", len(got), len(want))
+	}
+	ringsConverged(t, c)
+	if got := c.Catalog().Ring(); !rebalance.RingsEqual(got, []int{0, 2}) {
+		t.Fatalf("membership ring = %v, want [0 2]", got)
+	}
+
+	// The removed node's error is distinct from a down node's.
+	if _, err := c.Connect(1); !errors.Is(err, ErrNodeRemoved) {
+		t.Fatalf("Connect(removed) = %v, want ErrNodeRemoved", err)
+	}
+	if _, err := c.Connect(1); errors.Is(err, ErrNodeDown) {
+		t.Fatal("removed node must not read as merely down")
+	}
+	if _, err := c.ConnectAddr(removedAddr); !errors.Is(err, ErrNodeRemoved) {
+		t.Fatalf("ConnectAddr(removed) = %v, want ErrNodeRemoved", err)
+	}
+	// Connector planning must no longer see the node.
+	nodes := s.MustExecute("SELECT node_address FROM v_catalog.nodes")
+	if len(nodes.Rows) != 2 {
+		t.Fatalf("v_catalog.nodes reports %d nodes after removal", len(nodes.Rows))
+	}
+	for _, r := range nodes.Rows {
+		if r[0].S == removedAddr {
+			t.Fatal("removed node still listed in v_catalog.nodes")
+		}
+	}
+
+	// Survivors keep working, and the cluster can grow again: node IDs are
+	// never reused.
+	seedRows(t, s, "kt", 300, 350)
+	if n := mustI(t, s.MustExecute("SELECT COUNT(*) FROM kt")); n != 350 {
+		t.Fatalf("post-removal count = %d", n)
+	}
+	if id := mustI(t, s.MustExecute("ALTER CLUSTER ADD NODE")); id != 3 {
+		t.Fatalf("re-grown node id = %d, want 3 (no reuse of removed id)", id)
+	}
+	ringsConverged(t, c)
+}
+
+func TestAlterClusterValidation(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+
+	// Removing a node that would break a table's k-safety must fail cleanly
+	// and change nothing.
+	if _, err := s.Execute("ALTER CLUSTER REMOVE NODE 1"); err == nil || !strings.Contains(err.Error(), "k-safety") {
+		t.Fatalf("k-safety-violating removal: %v", err)
+	}
+	if c.Catalog().NumNodes() != 2 {
+		t.Fatal("failed removal changed membership")
+	}
+	if _, err := s.Execute("ALTER CLUSTER REMOVE NODE 7"); err == nil {
+		t.Fatal("removing an unknown node must fail")
+	}
+	// Membership DDL manages its own transactions.
+	s.MustExecute("BEGIN")
+	if _, err := s.Execute("ALTER CLUSTER ADD NODE"); err == nil {
+		t.Fatal("ALTER CLUSTER inside a transaction must fail")
+	}
+	s.MustExecute("ROLLBACK")
+
+	// The last node can never be removed.
+	c1 := testCluster(t, 1)
+	s1 := sess(t, c1, 0)
+	if _, err := s1.Execute("ALTER CLUSTER REMOVE NODE 0"); err == nil {
+		t.Fatal("removing the last node must fail")
+	}
+}
+
+// TestAtEpochPinnedAcrossRebalance is the regression test for epoch-consistent
+// movement: a reader pinned before an ALTER CLUSTER must read identical rows
+// after every table has been rebalanced onto the new ring.
+func TestAtEpochPinnedAcrossRebalance(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER, v INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+	seedRows(t, s, "kt", 0, 200)
+	s.MustExecute("DELETE FROM kt WHERE id < 20")
+	pinned := c.LastEpoch()
+	atPinned := fmt.Sprintf("AT EPOCH %d SELECT COUNT(*) FROM kt", pinned)
+
+	reader := sess(t, c, 1)
+	if err := reader.PinEpoch(pinned); err != nil {
+		t.Fatal(err)
+	}
+	before := mustI(t, reader.MustExecute(atPinned))
+	if before != 180 {
+		t.Fatalf("pre-rebalance pinned count = %d", before)
+	}
+
+	s.MustExecute("ALTER CLUSTER ADD NODE")
+	seedRows(t, s, "kt", 200, 260) // post-rebalance writes on the new ring
+	s.MustExecute("DELETE FROM kt WHERE id >= 250")
+
+	if got := mustI(t, reader.MustExecute(atPinned)); got != before {
+		t.Fatalf("pinned AT EPOCH read changed across rebalance: %d -> %d", before, got)
+	}
+	if got := mustI(t, reader.MustExecute("SELECT COUNT(*) FROM kt")); got != 230 {
+		t.Fatalf("latest count = %d, want 230", got)
+	}
+}
+
+// TestNodeRecoveryRebuildsStaleStores crashes a node under live writes, heals
+// it, and checks recovery rebuilt exactly the replicas that missed writes.
+func TestNodeRecoveryRebuildsStaleStores(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER, v INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+	s.MustExecute("CREATE TABLE rep (id INTEGER, v INTEGER) UNSEGMENTED ALL NODES")
+	seedRows(t, s, "kt", 0, 100)
+	seedRows(t, s, "rep", 0, 30)
+
+	down := c.Node(1)
+	down.SetDown(true)
+	// Writes during the outage land on the surviving replicas and mark the
+	// skipped stores stale.
+	seedRows(t, s, "kt", 100, 200)
+	s.MustExecute("DELETE FROM kt WHERE id < 10")
+	seedRows(t, s, "rep", 30, 60)
+	stale := 0
+	for _, tbl := range c.Catalog().Tables() {
+		for _, st := range tbl.Stores {
+			if st.Stale() {
+				stale++
+			}
+		}
+		for r := range tbl.Buddies {
+			for _, st := range tbl.Buddies[r] {
+				if st.Stale() {
+					stale++
+				}
+			}
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no store went stale during the outage — the scenario did not run")
+	}
+
+	// Healing runs synchronous recovery: the node returns UP with every stale
+	// replica rebuilt from its buddies.
+	down.SetDown(false)
+	if got := down.State(); got != NodeUp {
+		t.Fatalf("healed node state = %v, want UP", got)
+	}
+	noStaleStores(t, c)
+	if e := down.RecoveryEpoch(); e == 0 {
+		t.Fatal("recovery epoch never recorded")
+	}
+
+	// The recovered node serves consistent reads.
+	s1 := sess(t, c, 1)
+	if n := mustI(t, s1.MustExecute("SELECT COUNT(*) FROM kt")); n != 190 {
+		t.Fatalf("recovered node count = %d, want 190", n)
+	}
+	if n := mustI(t, s1.MustExecute("SELECT COUNT(*) FROM rep")); n != 60 {
+		t.Fatalf("recovered replicated count = %d, want 60", n)
+	}
+	// Replica pairs agree store-for-store again.
+	tbl, _ := c.Catalog().Table("kt")
+	n := len(tbl.Ring)
+	for seg := range tbl.Ring {
+		vis := storage.Visibility{Epoch: c.LastEpoch()}
+		host := (seg + 1) % n
+		if p, b := tbl.Stores[seg].RowCount(vis), tbl.Buddies[0][host].RowCount(vis); p != b {
+			t.Fatalf("segment %d: primary %d rows, buddy %d rows", seg, p, b)
+		}
+	}
+	// The monitoring surface recorded the recovery.
+	recoveries := 0
+	for _, op := range c.RebalanceOps() {
+		if op.Kind == "recovery" && op.Status == "complete" {
+			recoveries++
+		}
+	}
+	if recoveries == 0 {
+		t.Fatalf("rebalance_operations has no recovery entries: %+v", c.RebalanceOps())
+	}
+}
+
+// TestRecoveringNodeServesOnlyMonitoring: a RECOVERING node accepts sessions
+// for v_monitor/v_catalog reads, but rejects user statements until caught up.
+func TestRecoveringNodeServesOnlyMonitoring(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	s.MustExecute("CREATE TABLE kt (id INTEGER) SEGMENTED BY HASH(id) KSAFE 1")
+
+	n := c.Node(1)
+	n.setState(NodeRecovering)
+	defer n.setState(NodeUp)
+	rs, err := c.Connect(1)
+	if err != nil {
+		t.Fatalf("RECOVERING node must accept sessions: %v", err)
+	}
+	defer rs.Close()
+	res, err := rs.Execute("SELECT node_state FROM v_monitor.node_states")
+	if err != nil {
+		t.Fatalf("monitoring read on RECOVERING node: %v", err)
+	}
+	foundRecovering := false
+	for _, r := range res.Rows {
+		if r[0].S == "RECOVERING" {
+			foundRecovering = true
+		}
+	}
+	if !foundRecovering {
+		t.Fatal("node_states does not report the RECOVERING state")
+	}
+	if _, err := rs.Execute("SELECT COUNT(*) FROM kt"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("user read on RECOVERING node = %v, want ErrNodeDown", err)
+	}
+	if _, err := rs.Execute("SELECT table_name FROM v_catalog.tables"); err != nil {
+		t.Fatalf("catalog read on RECOVERING node: %v", err)
+	}
+}

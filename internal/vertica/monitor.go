@@ -145,7 +145,7 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 				types.StringValue(fmt.Sprintf("%s_%s_node%04d", t, role, node)),
 				types.StringValue(t),
 				types.IntValue(int64(node)),
-				types.StringValue(s.cluster.nodes[node].Name),
+				types.StringValue(s.cluster.node(node).Name),
 				types.StringValue(role),
 				types.IntValue(int64(st.ContainerCount())),
 				types.IntValue(int64(st.WOSLen())),
@@ -155,13 +155,67 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		}
 		for _, t := range s.cluster.cat.Tables() {
 			for i, st := range t.Stores {
-				addStore(t.Def.Name, i, "super", st)
+				addStore(t.Def.Name, t.Ring[i], "super", st)
 			}
 			for r, reps := range t.Buddies {
 				for i, st := range reps {
-					addStore(t.Def.Name, i, fmt.Sprintf("buddy%d", r+1), st)
+					addStore(t.Def.Name, t.Ring[i], fmt.Sprintf("buddy%d", r+1), st)
 				}
 			}
+		}
+		return rows, schema, nil
+
+	case "v_monitor.node_states":
+		schema := types.NewSchema(
+			types.Column{Name: "node_id", T: types.Int64},
+			types.Column{Name: "node_name", T: types.Varchar},
+			types.Column{Name: "node_address", T: types.Varchar},
+			types.Column{Name: "node_state", T: types.Varchar},
+			types.Column{Name: "recovery_epoch", T: types.Int64},
+			types.Column{Name: "open_sessions", T: types.Int64},
+		)
+		var rows []types.Row
+		for _, n := range s.cluster.nodeList() {
+			rows = append(rows, types.Row{
+				types.IntValue(int64(n.ID)),
+				types.StringValue(n.Name),
+				types.StringValue(n.Addr),
+				types.StringValue(n.State().String()),
+				types.IntValue(int64(n.RecoveryEpoch())),
+				types.IntValue(int64(s.cluster.OpenSessions(n.ID))),
+			})
+		}
+		return rows, schema, nil
+
+	case "v_monitor.rebalance_operations":
+		schema := types.NewSchema(
+			types.Column{Name: "operation_id", T: types.Int64},
+			types.Column{Name: "operation_type", T: types.Varchar},
+			types.Column{Name: "table_name", T: types.Varchar},
+			types.Column{Name: "node_id", T: types.Int64},
+			types.Column{Name: "status", T: types.Varchar},
+			types.Column{Name: "rows_placed", T: types.Int64},
+			types.Column{Name: "rows_moved", T: types.Int64},
+			types.Column{Name: "containers", T: types.Int64},
+			types.Column{Name: "start_epoch", T: types.Int64},
+			types.Column{Name: "end_epoch", T: types.Int64},
+			types.Column{Name: "error_message", T: types.Varchar},
+		)
+		var rows []types.Row
+		for _, op := range s.cluster.reb.snapshot() {
+			rows = append(rows, types.Row{
+				types.IntValue(int64(op.ID)),
+				types.StringValue(op.Kind),
+				types.StringValue(op.Table),
+				types.IntValue(int64(op.Node)),
+				types.StringValue(op.Status),
+				types.IntValue(int64(op.Rows)),
+				types.IntValue(int64(op.RowsMoved)),
+				types.IntValue(int64(op.Containers)),
+				types.IntValue(int64(op.StartEpoch)),
+				types.IntValue(int64(op.EndEpoch)),
+				types.StringValue(op.Err),
+			})
 		}
 		return rows, schema, nil
 

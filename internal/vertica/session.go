@@ -201,8 +201,19 @@ func systemRead(stmt vsql.Statement) bool {
 
 // dispatch routes a parsed statement to its executor.
 func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, error) {
-	if s.node.Down() {
+	switch s.node.State() {
+	case NodeDown:
 		return nil, fmt.Errorf("%w: node %d went down", ErrNodeDown, s.node.ID)
+	case NodeRemoved:
+		return nil, fmt.Errorf("%w: node %d", ErrNodeRemoved, s.node.ID)
+	case NodeRecovering:
+		// A recovering node serves only monitoring reads (an operator watching
+		// v_monitor.node_states through the node itself); everything else
+		// waits for the catch-up to finish and reports as a transient
+		// node-down condition so resilient clients fail over.
+		if !systemRead(stmt) {
+			return nil, fmt.Errorf("%w: node %d is recovering", ErrNodeDown, s.node.ID)
+		}
 	}
 	switch st := stmt.(type) {
 	case *vsql.Select:
@@ -235,6 +246,9 @@ func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, e
 	case *vsql.AlterRename:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
 		return s.executeRename(st)
+	case *vsql.AlterCluster:
+		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
+		return s.executeAlterCluster(st)
 	case *vsql.Begin:
 		if s.tx != nil {
 			return nil, fmt.Errorf("vertica: transaction already open")

@@ -19,16 +19,18 @@ func (s *Session) systemTable(name string, vis storage.Visibility) ([]types.Row,
 			types.Column{Name: "node_state", T: types.Varchar},
 		)
 		var rows []types.Row
-		for _, n := range s.cluster.nodes {
-			state := "UP"
-			if n.Down() {
-				state = "DOWN"
+		for _, n := range s.cluster.nodeList() {
+			st := n.State()
+			if st == NodeRemoved {
+				// Removed nodes are no longer part of the catalog; connectors
+				// enumerating nodes must not plan queries against them.
+				continue
 			}
 			rows = append(rows, types.Row{
 				types.IntValue(int64(n.ID)),
 				types.StringValue(n.Name),
 				types.StringValue(n.Addr),
-				types.StringValue(state),
+				types.StringValue(st.String()),
 			})
 		}
 		return rows, schema, nil
@@ -46,12 +48,16 @@ func (s *Session) systemTable(name string, vis storage.Visibility) ([]types.Row,
 			if !t.Def.Segmented {
 				continue
 			}
+			// Segments follow the table's own ring, which may lag the
+			// membership ring mid-drain; the rows here are authoritative for
+			// planning against this table.
 			segs := t.SegmentRanges()
 			for i, r := range segs {
+				nodeID := t.Ring[i]
 				rows = append(rows, types.Row{
 					types.StringValue(t.Def.Name),
-					types.IntValue(int64(i)),
-					types.StringValue(s.cluster.nodes[i].Addr),
+					types.IntValue(int64(nodeID)),
+					types.StringValue(s.cluster.node(nodeID).Addr),
 					types.IntValue(int64(r.Lo)),
 					types.IntValue(int64(r.Hi)),
 				})
@@ -142,7 +148,7 @@ func (s *Session) systemTable(name string, vis storage.Visibility) ([]types.Row,
 			for i, st := range t.Stores {
 				rows = append(rows, types.Row{
 					types.StringValue(t.Def.Name),
-					types.IntValue(int64(i)),
+					types.IntValue(int64(t.Ring[i])),
 					types.IntValue(int64(st.ContainerCount())),
 					types.IntValue(int64(st.WOSLen())),
 					types.IntValue(int64(st.RowCount(vis))),

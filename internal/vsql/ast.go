@@ -123,6 +123,26 @@ type DropView struct {
 
 func (*DropView) isStmt() {}
 
+// AlterClusterAction selects what an ALTER CLUSTER statement does.
+type AlterClusterAction int
+
+const (
+	// AlterClusterAdd grows the cluster by one node and rebalances every
+	// table onto the extended ring (ALTER CLUSTER ADD NODE).
+	AlterClusterAdd AlterClusterAction = iota + 1
+	// AlterClusterRemove drains a node's segments onto the surviving members
+	// and drops it (ALTER CLUSTER REMOVE NODE <id>).
+	AlterClusterRemove
+)
+
+// AlterCluster changes cluster membership (ALTER CLUSTER ADD/REMOVE NODE).
+type AlterCluster struct {
+	Action AlterClusterAction
+	Node   int // the node to remove (ignored for ADD)
+}
+
+func (*AlterCluster) isStmt() {}
+
 // AlterRename renames a table (ALTER TABLE x RENAME TO y).
 type AlterRename struct {
 	Name    string

@@ -775,6 +775,9 @@ func (p *parser) parseDrop() (Statement, error) {
 
 func (p *parser) parseAlter() (Statement, error) {
 	p.next() // ALTER
+	if p.acceptKw("CLUSTER") {
+		return p.parseAlterCluster()
+	}
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
 	}
@@ -793,6 +796,36 @@ func (p *parser) parseAlter() (Statement, error) {
 		return nil, err
 	}
 	return &AlterRename{Name: name, NewName: newName}, nil
+}
+
+// parseAlterCluster parses the membership statements:
+//
+//	ALTER CLUSTER ADD NODE
+//	ALTER CLUSTER REMOVE NODE <id>
+func (p *parser) parseAlterCluster() (Statement, error) {
+	switch {
+	case p.acceptKw("ADD"):
+		if err := p.expectKw("NODE"); err != nil {
+			return nil, err
+		}
+		return &AlterCluster{Action: AlterClusterAdd}, nil
+	case p.acceptKw("REMOVE"):
+		if err := p.expectKw("NODE"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("vsql: expected node id near %q", t.text)
+		}
+		p.pos++
+		id, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("vsql: bad node id %q", t.text)
+		}
+		return &AlterCluster{Action: AlterClusterRemove, Node: id}, nil
+	default:
+		return nil, fmt.Errorf("vsql: expected ADD or REMOVE after ALTER CLUSTER, near %q", p.peek().text)
+	}
 }
 
 func (p *parser) parseInsert() (Statement, error) {
