@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench recover-test rebalance-test
+.PHONY: check build vet lint test race bench bench-smoke recover-test rebalance-test
 
 # The full verification gate: what CI (and every PR) must keep green.
 check: build vet lint race
@@ -41,10 +41,19 @@ rebalance-test:
 	$(GO) test -race -run 'SentinelRoundTrip' ./internal/server/
 	$(GO) test -race -run 'ElasticClusterChaosAcceptance|V2SReplansAcrossMembershipChange' ./internal/core/
 
-# Microbenchmarks plus the scan-throughput gate: BENCH_scan.json records
-# ns/op and rows/s for the vectorized pipeline vs the row-at-a-time
-# reference (machine-readable, tracked by CI).
+# Microbenchmarks plus the throughput gates: BENCH_scan.json,
+# BENCH_agg.json, and BENCH_join.json record ns/op and rows/s for the
+# vectorized pipeline vs the row-at-a-time reference (machine-readable,
+# tracked by CI).
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
 	$(GO) test -run xxx -bench 'BenchmarkScan|BenchmarkCount' -benchtime 5x ./internal/vertica/
 	$(GO) run ./cmd/scanbench -out BENCH_scan.json
+	$(GO) run ./cmd/aggbench -out-agg BENCH_agg.json -out-join BENCH_join.json
+
+# Small-scale aggregation/join bench that diffs the vectorized results
+# against the row-at-a-time reference cell by cell and exits non-zero on any
+# shape drift (row counts, values, NULLs) or empty result. Timings at this
+# scale are noise; the diff is the CI gate.
+bench-smoke:
+	$(GO) run ./cmd/aggbench -smoke -out-agg BENCH_agg.json -out-join BENCH_join.json

@@ -1,0 +1,253 @@
+// Command aggbench measures the vectorized hash-aggregation and hash-join
+// pipeline against the retained row-at-a-time reference
+// (Config.RowAtATimeScans) and writes the numbers as machine-readable JSON
+// (BENCH_agg.json, BENCH_join.json) so CI can track the perf trajectory.
+//
+// Usage:
+//
+//	aggbench                        # 1M fact rows, 4 nodes
+//	aggbench -rows 200000 -iters 5
+//	aggbench -smoke                 # small scale; fail on result-shape drift
+//
+// In -smoke mode every benchmark query is first executed on both engine
+// configurations and the result sets diffed cell by cell; any mismatch (or an
+// unexpectedly empty result) exits non-zero before any timing runs. That is
+// the CI regression gate: shapes are deterministic, timings are not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vsfabric/internal/types"
+	"vsfabric/internal/vertica"
+)
+
+// Measurement is one timed query configuration.
+type Measurement struct {
+	Name     string  `json:"name"`
+	Query    string  `json:"query"`
+	Iters    int     `json:"iters"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	RowsPerS float64 `json:"rows_per_s"`
+}
+
+// Results is the BENCH_agg.json / BENCH_join.json document: pairs of
+// (vectorized, row-at-a-time) measurements plus the headline speedup.
+type Results struct {
+	Rows     int           `json:"rows"`
+	Nodes    int           `json:"nodes"`
+	Queries  []Measurement `json:"queries"`
+	SpeedupX float64       `json:"speedup_x"` // vectorized vs reference, first query pair
+}
+
+// benchCase is one query timed under both engine configurations.
+type benchCase struct {
+	name  string
+	query string
+}
+
+var aggCases = []benchCase{
+	{"group_by", "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) FROM fact GROUP BY grp"},
+	{"global_agg", "SELECT COUNT(*), SUM(val), AVG(val) FROM fact"},
+	{"filtered_group_by", "SELECT grp, SUM(val) FROM fact WHERE grp < 10 GROUP BY grp"},
+}
+
+var joinCases = []benchCase{
+	{"join2", "SELECT COUNT(*) FROM fact JOIN dim ON fact.cid = dim.cid"},
+	{"join3", "SELECT COUNT(*) FROM fact JOIN dim ON fact.cid = dim.cid JOIN tags ON fact.cid = tags.cid"},
+}
+
+func buildSession(rows, nodes int, rowAtATime bool) (*vertica.Session, error) {
+	c, err := vertica.NewCluster(vertica.Config{Nodes: nodes, RowAtATimeScans: rowAtATime})
+	if err != nil {
+		return nil, err
+	}
+	c.Obs().SetEnabled(false)
+	s, err := c.Connect(0)
+	if err != nil {
+		return nil, err
+	}
+	ddl := []string{
+		"CREATE TABLE fact (id INTEGER, grp INTEGER, cid INTEGER, val FLOAT) SEGMENTED BY HASH(id)",
+		"CREATE TABLE dim (cid INTEGER, name VARCHAR) SEGMENTED BY HASH(cid)",
+		"CREATE TABLE tags (cid INTEGER, tag VARCHAR) SEGMENTED BY HASH(cid)",
+	}
+	for _, q := range ddl {
+		if _, err := s.Execute(q); err != nil {
+			return nil, err
+		}
+	}
+	var csv strings.Builder
+	csv.Grow(rows * 20)
+	for i := 0; i < rows; i++ {
+		// 100 groups; cids land in [0, 1000) but dim only covers [0, 10), so
+		// the join is ~1% selective — the shape a zone-mapped star join sees.
+		fmt.Fprintf(&csv, "%d,%d,%d,%d.5\n", i, i%100, i%1000, i%997)
+	}
+	if _, err := s.CopyFrom("COPY fact FROM STDIN FORMAT CSV DIRECT", strings.NewReader(csv.String())); err != nil {
+		return nil, err
+	}
+	var dim, tags strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&dim, "%d,name%d\n", i, i)
+		fmt.Fprintf(&tags, "%d,tagA\n%d,tagB\n", i, i)
+	}
+	if _, err := s.CopyFrom("COPY dim FROM STDIN FORMAT CSV DIRECT", strings.NewReader(dim.String())); err != nil {
+		return nil, err
+	}
+	if _, err := s.CopyFrom("COPY tags FROM STDIN FORMAT CSV DIRECT", strings.NewReader(tags.String())); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func timeQuery(s *vertica.Session, name, q string, rows, iters int) (Measurement, error) {
+	if _, err := s.Execute(q); err != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", name, err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := s.Execute(q); err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	return Measurement{
+		Name:     name,
+		Query:    q,
+		Iters:    iters,
+		NsPerOp:  elapsed.Nanoseconds() / int64(iters),
+		RowsPerS: float64(rows) * float64(iters) / elapsed.Seconds(),
+	}, nil
+}
+
+// diffResults compares two result sets cell by cell (NULL-aware) and reports
+// the first mismatch. Row order is part of the engine's contract, so no
+// sorting happens here.
+func diffResults(name string, vec, ref *vertica.Result) error {
+	if len(vec.Rows) != len(ref.Rows) {
+		return fmt.Errorf("%s: vectorized returned %d rows, reference %d", name, len(vec.Rows), len(ref.Rows))
+	}
+	if len(vec.Schema.Cols) != len(ref.Schema.Cols) {
+		return fmt.Errorf("%s: schema width %d vs %d", name, len(vec.Schema.Cols), len(ref.Schema.Cols))
+	}
+	for i := range vec.Rows {
+		for j := range vec.Rows[i] {
+			g, w := vec.Rows[i][j], ref.Rows[i][j]
+			if g.Null != w.Null || (!g.Null && types.Compare(g, w) != 0) {
+				return fmt.Errorf("%s: row %d col %d: %v vs %v", name, i, j, vec.Rows[i], ref.Rows[i])
+			}
+		}
+	}
+	return nil
+}
+
+// verifyShapes runs every case on both configurations and diffs the results.
+// Returns the per-case vectorized row counts so the caller can reject empty
+// results.
+func verifyShapes(vec, ref *vertica.Session, cases []benchCase) error {
+	for _, bc := range cases {
+		vr, err := vec.Execute(bc.query)
+		if err != nil {
+			return fmt.Errorf("%s (vectorized): %w", bc.name, err)
+		}
+		rr, err := ref.Execute(bc.query)
+		if err != nil {
+			return fmt.Errorf("%s (reference): %w", bc.name, err)
+		}
+		if err := diffResults(bc.name, vr, rr); err != nil {
+			return err
+		}
+		if len(vr.Rows) == 0 {
+			return fmt.Errorf("%s: zero-row result on the bench workload", bc.name)
+		}
+	}
+	return nil
+}
+
+// runSuite times every case under both configurations and writes one JSON
+// document. The headline speedup is the first case's pair.
+func runSuite(vec, ref *vertica.Session, cases []benchCase, rows, nodes, iters int, out string) error {
+	res := Results{Rows: rows, Nodes: nodes}
+	for _, bc := range cases {
+		mv, err := timeQuery(vec, bc.name+"_vectorized", bc.query, rows, iters)
+		if err != nil {
+			return err
+		}
+		mr, err := timeQuery(ref, bc.name+"_row_at_a_time", bc.query, rows, iters)
+		if err != nil {
+			return err
+		}
+		res.Queries = append(res.Queries, mv, mr)
+		fmt.Printf("%-28s %12d ns/op %14.0f rows/s\n", mv.Name, mv.NsPerOp, mv.RowsPerS)
+		fmt.Printf("%-28s %12d ns/op %14.0f rows/s   (%.1fx)\n",
+			mr.Name, mr.NsPerOp, mr.RowsPerS, float64(mr.NsPerOp)/float64(mv.NsPerOp))
+	}
+	if res.Queries[1].NsPerOp > 0 {
+		res.SpeedupX = float64(res.Queries[1].NsPerOp) / float64(res.Queries[0].NsPerOp)
+	}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (headline speedup %.1fx)\n", out, res.SpeedupX)
+	return nil
+}
+
+func run() error {
+	rows := flag.Int("rows", 1_000_000, "fact table size")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	iters := flag.Int("iters", 10, "timed iterations per configuration")
+	outAgg := flag.String("out-agg", "BENCH_agg.json", "aggregation results path")
+	outJoin := flag.String("out-join", "BENCH_join.json", "join results path")
+	smoke := flag.Bool("smoke", false, "small-scale run that fails on result-shape regressions")
+	flag.Parse()
+
+	if *smoke {
+		*rows = min(*rows, 50_000)
+		*iters = min(*iters, 3)
+	}
+
+	vec, err := buildSession(*rows, *nodes, false)
+	if err != nil {
+		return err
+	}
+	defer vec.Close()
+	ref, err := buildSession(*rows, *nodes, true)
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+
+	// Shape verification runs in every mode; -smoke just shrinks the scale.
+	// A drift between the vectorized and reference engines invalidates the
+	// timings, so it aborts before any are taken.
+	if err := verifyShapes(vec, ref, aggCases); err != nil {
+		return err
+	}
+	if err := verifyShapes(vec, ref, joinCases); err != nil {
+		return err
+	}
+	fmt.Printf("result shapes verified: %d aggregation + %d join queries match the reference\n",
+		len(aggCases), len(joinCases))
+
+	if err := runSuite(vec, ref, aggCases, *rows, *nodes, *iters, *outAgg); err != nil {
+		return err
+	}
+	return runSuite(vec, ref, joinCases, *rows, *nodes, *iters, *outJoin)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggbench:", err)
+		os.Exit(1)
+	}
+}

@@ -120,7 +120,20 @@ func batchFromContainer(c *ROSContainer, schema types.Schema, vis Visibility, hr
 // scan. Batches share the containers' immutable column vectors; callers must
 // not mutate them.
 func (s *Store) ScanBatches(vis Visibility, hr vhash.Range, fn func(*Batch) bool) error {
+	return s.ScanBatchesPruned(vis, hr, nil, fn)
+}
+
+// ScanBatchesPruned is ScanBatches with a container-level prune hook: before a
+// ROS container's selection vector is built, prune is consulted with its zone
+// maps and physical row count, and a true return skips the container entirely
+// (the caller has proven, from the min/max bounds, that no row can satisfy its
+// predicate). The WOS snapshot keeps no zone maps and is never pruned. A nil
+// prune scans everything.
+func (s *Store) ScanBatchesPruned(vis Visibility, hr vhash.Range, prune func(stats []ColStats, rowCount int) bool, fn func(*Batch) bool) error {
 	for _, c := range s.snapshot() {
+		if prune != nil && len(c.stats) == len(c.Cols) && prune(c.stats, c.RowCount) {
+			continue
+		}
 		b := batchFromContainer(c, s.schema, vis, hr)
 		if b == nil {
 			continue

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"vsfabric/internal/types"
 	"vsfabric/internal/vhash"
@@ -17,9 +18,71 @@ import (
 // Every format ends in a CRC32 so recovery can reject torn or corrupt files.
 
 var (
-	rosMagic = []byte("VRC1")
-	wosMagic = []byte("VWS1")
+	rosMagicV1 = []byte("VRC1") // legacy: no zone-map section (stats recomputed on load)
+	rosMagic   = []byte("VRC2") // current: per-column zone maps after the delete section
+	wosMagic   = []byte("VWS1")
 )
+
+// writeStatValue serializes a non-null zone-map bound: type byte + payload.
+func writeStatValue(buf *bytes.Buffer, v types.Value) {
+	buf.WriteByte(byte(v.T))
+	var tmp [8]byte
+	switch v.T {
+	case types.Int64:
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+		buf.Write(tmp[:])
+	case types.Float64:
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		buf.Write(tmp[:])
+	case types.Varchar:
+		writeUvarint(buf, uint64(len(v.S)))
+		buf.WriteString(v.S)
+	case types.Bool:
+		b := byte(0)
+		if v.B {
+			b = 1
+		}
+		buf.WriteByte(b)
+	}
+}
+
+func readStatValue(r *bytes.Reader) (types.Value, error) {
+	tb, err := r.ReadByte()
+	if err != nil {
+		return types.Value{}, err
+	}
+	var tmp [8]byte
+	switch t := types.Type(tb); t {
+	case types.Int64:
+		if _, err := readFull(r, tmp[:]); err != nil {
+			return types.Value{}, err
+		}
+		return types.IntValue(int64(binary.LittleEndian.Uint64(tmp[:]))), nil
+	case types.Float64:
+		if _, err := readFull(r, tmp[:]); err != nil {
+			return types.Value{}, err
+		}
+		return types.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))), nil
+	case types.Varchar:
+		ln, err := binary.ReadUvarint(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		s := make([]byte, ln)
+		if _, err := readFull(r, s); err != nil {
+			return types.Value{}, err
+		}
+		return types.StringValue(string(s)), nil
+	case types.Bool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.BoolValue(b != 0), nil
+	default:
+		return types.Value{}, fmt.Errorf("storage: bad zone-map value type %d", tb)
+	}
+}
 
 func writeSchema(buf *bytes.Buffer, schema types.Schema) {
 	writeUvarint(buf, uint64(schema.NumCols()))
@@ -208,6 +271,22 @@ func MarshalContainer(c *ROSContainer) ([]byte, error) {
 			writeUvarint(&buf, d)
 		}
 	}
+	// Zone-map section (VRC2): per-column null count and min/max bounds, so
+	// recovery restores pruning metadata without rescanning the columns.
+	stats := c.stats
+	if len(stats) != len(c.Cols) {
+		stats = ComputeStats(c.Cols)
+	}
+	for _, st := range stats {
+		writeUvarint(&buf, uint64(st.NullCount))
+		if st.HasMinMax {
+			buf.WriteByte(1)
+			writeStatValue(&buf, st.Min)
+			writeStatValue(&buf, st.Max)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
 	return sealCRC(&buf), nil
 }
 
@@ -224,7 +303,8 @@ func UnmarshalContainer(data []byte) (*ROSContainer, error) {
 	if _, err := readFull(r, head); err != nil {
 		return nil, err
 	}
-	if !bytes.Equal(head, rosMagic) {
+	hasStats := bytes.Equal(head, rosMagic)
+	if !hasStats && !bytes.Equal(head, rosMagicV1) {
 		return nil, fmt.Errorf("storage: bad ROS container magic %q", head)
 	}
 	start, err := binary.ReadUvarint(r)
@@ -265,11 +345,39 @@ func UnmarshalContainer(data []byte) (*ROSContainer, error) {
 			}
 		}
 	}
+	var stats []ColStats
+	if hasStats {
+		stats = make([]ColStats, len(cols))
+		for i := range stats {
+			nulls, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			stats[i].NullCount = int(nulls)
+			has, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if has != 0 {
+				stats[i].HasMinMax = true
+				if stats[i].Min, err = readStatValue(r); err != nil {
+					return nil, err
+				}
+				if stats[i].Max, err = readStatValue(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		// Legacy VRC1 file: rebuild the zone maps from the columns.
+		stats = ComputeStats(cols)
+	}
 	return &ROSContainer{
 		Schema:   schema,
 		Cols:     cols,
 		RowCount: n,
 		Hashes:   hashes,
+		stats:    stats,
 		start:    start,
 		del:      del,
 	}, nil

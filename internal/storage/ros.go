@@ -55,6 +55,11 @@ type ROSContainer struct {
 	RowCount int
 	Hashes   []uint32 // per-row segmentation hash, precomputed at write time
 
+	// stats holds the per-column zone maps (null count, min/max), computed
+	// once at construction or load. Columns are immutable, so the slice is
+	// shared by clones and never mutated after the container is published.
+	stats []ColStats
+
 	mu    sync.RWMutex
 	start uint64   // insert epoch or provisional tag
 	del   []uint64 // delete epoch/tag per row; 0 = live
@@ -87,9 +92,16 @@ func NewROSContainer(rows []types.Row, schema types.Schema, segIdx []int, start 
 		Cols:     cols,
 		RowCount: len(rows),
 		Hashes:   hashes,
+		stats:    ComputeStats(cols),
 		start:    start,
 	}, nil
 }
+
+// Stats returns the container's per-column zone maps, aligned with Cols. The
+// stats cover every physical row (deleted rows included), so a predicate that
+// excludes [Min, Max] excludes every visible row too — pruning on them is
+// always a sound superset test.
+func (c *ROSContainer) Stats() []ColStats { return c.stats }
 
 // StartEpoch returns the container's insert epoch (or provisional tag).
 func (c *ROSContainer) StartEpoch() uint64 {
@@ -127,6 +139,7 @@ func (c *ROSContainer) Clone() *ROSContainer {
 		Cols:     c.Cols,
 		RowCount: c.RowCount,
 		Hashes:   c.Hashes,
+		stats:    c.stats,
 		start:    c.start,
 		diskRef:  c.diskRef,
 	}

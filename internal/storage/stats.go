@@ -1,0 +1,173 @@
+package storage
+
+import "vsfabric/internal/types"
+
+// ColStats is the zone map for one column of one ROS container: the null
+// count plus the min/max over non-null values. Containers are immutable, so
+// the stats are computed once — at container construction (moveout / COPY
+// DIRECT) or on load from the persisted container file — and shared by every
+// clone. The planner uses them for cardinality estimates; the scan path uses
+// them to prune whole containers whose [Min, Max] range a predicate excludes
+// ("C-Store 7 Years Later" attributes much of Vertica's scan performance to
+// exactly this metadata).
+type ColStats struct {
+	NullCount int
+	// HasMinMax is false when every value is NULL (Min/Max undefined).
+	HasMinMax bool
+	Min, Max  types.Value
+}
+
+// ComputeColStats scans a column once and returns its zone map. Typed fast
+// paths avoid boxing for the concrete column representations; anything else
+// falls back to Get.
+func ComputeColStats(col Column) ColStats {
+	switch c := col.(type) {
+	case *Int64Column:
+		return int64Stats(c.Vals, c.Nulls)
+	case *Int64RLEColumn:
+		// RLE never stores NULLs; min/max over run values covers all rows.
+		var st ColStats
+		for i, v := range c.RunVals {
+			if i == 0 {
+				st.HasMinMax = true
+				st.Min = types.IntValue(v)
+				st.Max = types.IntValue(v)
+				continue
+			}
+			if v < st.Min.I {
+				st.Min = types.IntValue(v)
+			}
+			if v > st.Max.I {
+				st.Max = types.IntValue(v)
+			}
+		}
+		return st
+	case *Float64Column:
+		var st ColStats
+		var lo, hi float64
+		for i, v := range c.Vals {
+			if c.Nulls != nil && c.Nulls[i] {
+				st.NullCount++
+				continue
+			}
+			if !st.HasMinMax {
+				st.HasMinMax = true
+				lo, hi = v, v
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if st.HasMinMax {
+			st.Min = types.FloatValue(lo)
+			st.Max = types.FloatValue(hi)
+		}
+		return st
+	case *StringColumn:
+		var st ColStats
+		var lo, hi string
+		for i, v := range c.Vals {
+			if c.Nulls != nil && c.Nulls[i] {
+				st.NullCount++
+				continue
+			}
+			if !st.HasMinMax {
+				st.HasMinMax = true
+				lo, hi = v, v
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if st.HasMinMax {
+			st.Min = types.StringValue(lo)
+			st.Max = types.StringValue(hi)
+		}
+		return st
+	case *BoolColumn:
+		var st ColStats
+		seenF, seenT := false, false
+		for i, v := range c.Vals {
+			if c.Nulls != nil && c.Nulls[i] {
+				st.NullCount++
+				continue
+			}
+			if v {
+				seenT = true
+			} else {
+				seenF = true
+			}
+		}
+		if seenF || seenT {
+			st.HasMinMax = true
+			st.Min = types.BoolValue(!seenF) // false < true
+			st.Max = types.BoolValue(seenT)
+		}
+		return st
+	default:
+		var st ColStats
+		for i := 0; i < col.Len(); i++ {
+			v := col.Get(i)
+			if v.Null {
+				st.NullCount++
+				continue
+			}
+			if !st.HasMinMax {
+				st.HasMinMax = true
+				st.Min, st.Max = v, v
+				continue
+			}
+			if types.Compare(v, st.Min) < 0 {
+				st.Min = v
+			}
+			if types.Compare(v, st.Max) > 0 {
+				st.Max = v
+			}
+		}
+		return st
+	}
+}
+
+func int64Stats(vals []int64, nulls []bool) ColStats {
+	var st ColStats
+	var lo, hi int64
+	for i, v := range vals {
+		if nulls != nil && nulls[i] {
+			st.NullCount++
+			continue
+		}
+		if !st.HasMinMax {
+			st.HasMinMax = true
+			lo, hi = v, v
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if st.HasMinMax {
+		st.Min = types.IntValue(lo)
+		st.Max = types.IntValue(hi)
+	}
+	return st
+}
+
+// ComputeStats returns the zone maps for a full column set.
+func ComputeStats(cols []Column) []ColStats {
+	out := make([]ColStats, len(cols))
+	for i, c := range cols {
+		out[i] = ComputeColStats(c)
+	}
+	return out
+}

@@ -133,6 +133,10 @@ type Config struct {
 	// reference scan instead of the vectorized batch pipeline. Ablation and
 	// benchmarking knob (cmd/scanbench); leave false in production.
 	RowAtATimeScans bool
+	// NoZoneMapPruning disables container pruning from per-column zone maps.
+	// Ablation knob: results must be identical with pruning on or off, only
+	// the number of containers decoded changes.
+	NoZoneMapPruning bool
 	// DataDir, when set, makes the cluster durable: storage persists under
 	// this directory, every write is logged to a write-ahead log fsynced on
 	// commit, and NewCluster recovers the last durable epoch from it on
@@ -164,6 +168,9 @@ type Cluster struct {
 	// reb records rebalance/recovery progress for
 	// v_monitor.rebalance_operations.
 	reb rebalanceTracker
+	// plans records each SELECT's planning outcome (join order, estimates,
+	// container pruning) for v_monitor.query_plans.
+	plans planTracker
 
 	udxMu sync.RWMutex
 	udx   map[string]UDxFunc

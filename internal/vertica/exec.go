@@ -33,6 +33,15 @@ type scanStats struct {
 	scanRows map[string]float64
 	shuffle  map[[2]string]float64
 	prof     *queryProfile // nil unless the query runs under PROFILE
+
+	// Planner/pruning accounting for v_monitor.query_plans (see recordPlan).
+	table       string // anchor relation; "" when no base table was scanned
+	joinOrder   string // chosen join order; "" for single-table queries
+	estRows     int64  // planner cardinality estimate (0 = derive from scanRows)
+	pushdown    string // "count", "group-by", or "" for a plain scan
+	vectorized  bool   // the batch pipeline ran (vs row-at-a-time reference)
+	contScanned int64  // ROS containers decoded
+	contPruned  int64  // ROS containers skipped via zone maps
 }
 
 func newScanStats() *scanStats {
@@ -69,6 +78,15 @@ func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result,
 		return nil, err
 	} else if ok {
 		s.recordQuery(res.Rows, stats)
+		s.recordPlan(stats, len(res.Rows), vis.Epoch)
+		res.Epoch = vis.Epoch
+		return res, nil
+	}
+	if res, ok, err := s.tryVectorizedAgg(st, vis, stats, qp); err != nil {
+		return nil, err
+	} else if ok {
+		s.recordQuery(res.Rows, stats)
+		s.recordPlan(stats, len(res.Rows), vis.Epoch)
 		res.Epoch = vis.Epoch
 		return res, nil
 	}
@@ -77,7 +95,7 @@ func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result,
 		return nil, err
 	}
 	projStart := profClock(qp)
-	out, outSchema, err := project(st, rows, schema)
+	out, outSchema, err := project(st, rows, schema, qp)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +112,7 @@ func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result,
 		}
 	}
 	s.recordQuery(out, stats)
+	s.recordPlan(stats, len(out), vis.Epoch)
 	return &Result{Schema: outSchema, Rows: out, Epoch: vis.Epoch}, nil
 }
 
@@ -130,27 +149,15 @@ func projectDetail(st *vsql.Select) string {
 // pushdown (§3.1.1). Queries with joins, grouping, views, or system tables
 // fall through to the general path.
 func (s *Session) tryCountPushdown(st *vsql.Select, vis storage.Visibility, stats *scanStats) (*Result, bool, error) {
-	if s.cluster.cfg.RowAtATimeScans {
-		return nil, false, nil // ablation knob: exercise the reference path
-	}
-	if st.From == nil || st.Join != nil || len(st.GroupBy) > 0 || len(st.Items) != 1 {
+	if !countPushdownEligible(s, st) {
 		return nil, false, nil
 	}
 	it := st.Items[0]
-	if it.Agg != vsql.AggCount || it.Arg != nil {
-		return nil, false, nil
-	}
-	name := strings.ToLower(st.From.Name)
-	if strings.HasPrefix(name, "v_catalog.") || strings.HasPrefix(name, "v_monitor.") {
-		return nil, false, nil
-	}
-	if _, isView := s.cluster.cat.View(st.From.Name); isView {
-		return nil, false, nil
-	}
 	tbl, ok := s.cluster.cat.Table(st.From.Name)
 	if !ok {
 		return nil, false, nil // let the general path report the error
 	}
+	stats.pushdown = "count"
 	_, count, _, err := s.scanTable(tbl, st.Where, vis, stats, scanOpts{limit: -1, countOnly: true})
 	if err != nil {
 		return nil, false, err
@@ -167,6 +174,36 @@ func (s *Session) tryCountPushdown(st *vsql.Select, vis storage.Visibility, stat
 		Schema: types.Schema{Cols: []types.Column{{Name: colName, T: types.Int64}}},
 		Rows:   rows,
 	}, true, nil
+}
+
+// countPushdownEligible reports whether a SELECT is exactly COUNT(*) over a
+// base table — the shape tryCountPushdown (and EXPLAIN) answers from
+// selection-vector popcounts.
+func countPushdownEligible(s *Session, st *vsql.Select) bool {
+	if s.cluster.cfg.RowAtATimeScans {
+		return false // ablation knob: exercise the reference path
+	}
+	if st.From == nil || len(st.Joins) > 0 || len(st.GroupBy) > 0 || len(st.Items) != 1 {
+		return false
+	}
+	it := st.Items[0]
+	if it.Agg != vsql.AggCount || it.Arg != nil {
+		return false
+	}
+	return baseTableOnly(s, st.From)
+}
+
+// baseTableOnly reports whether tr names a catalog base table (not a system
+// table or a view).
+func baseTableOnly(s *Session, tr *vsql.TableRef) bool {
+	name := strings.ToLower(tr.Name)
+	if strings.HasPrefix(name, "v_catalog.") || strings.HasPrefix(name, "v_monitor.") {
+		return false
+	}
+	if _, isView := s.cluster.cat.View(tr.Name); isView {
+		return false
+	}
+	return true
 }
 
 func (s *Session) bindSelectFuncs(st *vsql.Select) error {
@@ -190,58 +227,145 @@ func (s *Session) bindSelectFuncs(st *vsql.Select) error {
 
 // sourceRows produces the filtered input row set of a SELECT (before
 // projection/aggregation): base table scan with hash-range pushdown, view
-// expansion, system tables, and the optional equi-join.
+// expansion, system tables, and the optional equi-join pipeline.
 func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *scanStats) ([]types.Row, types.Schema, error) {
 	if st.From == nil {
 		// FROM-less SELECT evaluates items once against an empty row.
 		return []types.Row{{}}, types.Schema{}, nil
 	}
-	leftWhere := st.Where
+	if len(st.Joins) > 0 {
+		return s.joinedRows(st, vis, stats)
+	}
 	opts := scanOpts{limit: -1}
-	if st.Join != nil {
-		// The predicate may reference both sides; apply it after the join.
-		leftWhere = nil
-	} else {
-		// Late materialization: only the columns the SELECT list, aggregate
-		// arguments, and GROUP BY actually touch are materialized from the
-		// column store. The WHERE clause needs no materialization at all —
-		// it is evaluated on the column vectors.
-		opts.needCols = neededColumns(st)
-		// LIMIT pushes into the scan only when each scanned row maps 1:1 to
-		// an output row: no aggregation, no grouping, no reordering.
-		if !hasAggregates(st) && len(st.GroupBy) == 0 && len(st.OrderBy) == 0 && st.Limit >= 0 {
-			opts.limit = st.Limit
+	// Late materialization: only the columns the SELECT list, aggregate
+	// arguments, and GROUP BY actually touch are materialized from the
+	// column store. The WHERE clause needs no materialization at all —
+	// it is evaluated on the column vectors.
+	opts.needCols = neededColumns(st)
+	// LIMIT pushes into the scan only when each scanned row maps 1:1 to
+	// an output row: no aggregation, no grouping, no reordering.
+	if !hasAggregates(st) && len(st.GroupBy) == 0 && len(st.OrderBy) == 0 && st.Limit >= 0 {
+		opts.limit = st.Limit
+	}
+	// relationRows applies the WHERE clause during the scan.
+	return s.relationRows(st.From, st.Where, vis, stats, opts)
+}
+
+// joinedRows runs the planner-ordered join pipeline: each step hash-joins the
+// accumulated left side with the next relation (vectorized when the inputs
+// convert to column vectors), then the residual WHERE filters the result.
+// The WHERE clause may reference both sides, so join inputs scan unfiltered.
+func (s *Session) joinedRows(st *vsql.Select, vis storage.Visibility, stats *scanStats) ([]types.Row, types.Schema, error) {
+	plan := s.planJoins(st)
+	stats.joinOrder = plan.orderString()
+	stats.estRows = plan.estOut
+	steps := plan.steps
+
+	// lref qualifies the left side's column names at the first join only;
+	// later steps see an already-qualified accumulated schema.
+	lref := st.From
+	var rows []types.Row
+	var schema types.Schema
+	// preRight carries a right side already scanned by the batch-native
+	// attempt into the general loop, so a fallback never scans it twice.
+	var preRight []types.Row
+	var preRightSchema types.Schema
+	havePre := false
+
+	// Batch-native first step: when the anchor is a base table, its columnar
+	// batches feed the typed join table directly and only matched pairs box
+	// into rows — the probe side never materializes. Ineligible shapes fall
+	// through to the materialize-then-join path below.
+	if len(steps) > 0 && !s.cluster.cfg.RowAtATimeScans && baseTableOnly(s, st.From) {
+		if tbl, ok := s.cluster.cat.Table(st.From.Name); ok {
+			step := steps[0]
+			right, rightSchema, err := s.relationRows(&step.clause.Right, nil, vis, stats, scanOpts{limit: -1})
+			if err != nil {
+				return nil, types.Schema{}, err
+			}
+			joinStart := profClock(stats.prof)
+			joined, joinedSchema, nLeft, ok, err := s.batchJoinStep(tbl, st.From, &step.clause.Right, step.clause, step.buildLeft, right, rightSchema, vis, stats)
+			if err != nil {
+				return nil, types.Schema{}, err
+			}
+			if ok {
+				stats.vectorized = true
+				if stats.prof != nil {
+					build := "right"
+					if step.buildLeft {
+						build = "left"
+					}
+					stats.prof.add(opStat{
+						name: "join", rowsIn: nLeft + int64(len(right)), rowsOut: int64(len(joined)),
+						vecRows: nLeft + int64(len(right)), dur: time.Since(joinStart),
+						detail: fmt.Sprintf("vectorized hash join %s = %s, build %s side, batch-native probe", step.clause.LeftCol, step.clause.RightCol, build),
+					})
+				}
+				rows, schema = joined, joinedSchema
+				lref = nil
+				steps = steps[1:]
+			} else {
+				preRight, preRightSchema = right, rightSchema
+				havePre = true
+			}
 		}
 	}
-	left, leftSchema, err := s.relationRows(st.From, leftWhere, vis, stats, opts)
-	if err != nil {
-		return nil, types.Schema{}, err
+	if lref != nil {
+		var err error
+		rows, schema, err = s.relationRows(st.From, nil, vis, stats, scanOpts{limit: -1})
+		if err != nil {
+			return nil, types.Schema{}, err
+		}
 	}
-	if st.Join == nil {
-		// relationRows already applied the WHERE clause.
-		return left, leftSchema, nil
+	if stats.table == "" {
+		stats.table = st.From.Name
 	}
-	right, rightSchema, err := s.relationRows(&st.Join.Right, nil, vis, stats, scanOpts{limit: -1})
-	if err != nil {
-		return nil, types.Schema{}, err
-	}
-	joinStart := profClock(stats.prof)
-	joined, joinedSchema, err := hashJoin(left, leftSchema, st.From, right, rightSchema, &st.Join.Right, st.Join)
-	if err != nil {
-		return nil, types.Schema{}, err
-	}
-	if stats.prof != nil {
-		stats.prof.add(opStat{
-			name: "join", rowsIn: int64(len(left) + len(right)), rowsOut: int64(len(joined)),
-			dur:    time.Since(joinStart),
-			detail: fmt.Sprintf("hash join %s.%s = %s.%s", st.From.Name, st.Join.LeftCol, st.Join.Right.Name, st.Join.RightCol),
-		})
+	for _, step := range steps {
+		right, rightSchema := preRight, preRightSchema
+		if havePre {
+			havePre = false
+		} else {
+			var err error
+			right, rightSchema, err = s.relationRows(&step.clause.Right, nil, vis, stats, scanOpts{limit: -1})
+			if err != nil {
+				return nil, types.Schema{}, err
+			}
+		}
+		joinStart := profClock(stats.prof)
+		joined, joinedSchema, vec, err := s.hashJoinStep(rows, schema, lref, right, rightSchema, &step.clause.Right, step.clause, step.buildLeft)
+		if err != nil {
+			return nil, types.Schema{}, err
+		}
+		if vec {
+			stats.vectorized = true
+		}
+		if stats.prof != nil {
+			kind := "hash join"
+			if vec {
+				kind = "vectorized hash join"
+			}
+			build := "right"
+			if step.buildLeft {
+				build = "left"
+			}
+			vecRows := int64(0)
+			if vec {
+				vecRows = int64(len(rows) + len(right))
+			}
+			stats.prof.add(opStat{
+				name: "join", rowsIn: int64(len(rows) + len(right)), rowsOut: int64(len(joined)),
+				vecRows: vecRows, dur: time.Since(joinStart),
+				detail: fmt.Sprintf("%s %s = %s, build %s side", kind, step.clause.LeftCol, step.clause.RightCol, build),
+			})
+		}
+		rows, schema = joined, joinedSchema
+		lref = nil
 	}
 	// Residual WHERE over the joined rows.
 	filterStart := profClock(stats.prof)
-	out := joined[:0]
-	for _, r := range joined {
-		ok, err := expr.EvalPredicate(st.Where, r, &joinedSchema)
+	out := rows[:0]
+	for _, r := range rows {
+		ok, err := expr.EvalPredicate(st.Where, r, &schema)
 		if err != nil {
 			return nil, types.Schema{}, err
 		}
@@ -251,11 +375,11 @@ func (s *Session) sourceRows(st *vsql.Select, vis storage.Visibility, stats *sca
 	}
 	if stats.prof != nil && st.Where != nil {
 		stats.prof.add(opStat{
-			name: "filter", rowsIn: int64(len(joined)), rowsOut: int64(len(out)),
-			resRows: int64(len(joined)), dur: time.Since(filterStart), detail: "post-join residual",
+			name: "filter", rowsIn: int64(len(rows)), rowsOut: int64(len(out)),
+			resRows: int64(len(rows)), dur: time.Since(filterStart), detail: "post-join residual",
 		})
 	}
-	return out, joinedSchema, nil
+	return out, schema, nil
 }
 
 // hasAggregates reports whether any select item aggregates.
@@ -395,12 +519,60 @@ type segJob struct {
 
 // segResult is the outcome of scanning one segment.
 type segResult struct {
-	rows     []types.Row
-	count    int64
-	scanRows float64
-	shuffleB float64 // bytes gathered to the coordinator (0 when local)
-	fstats   vexec.FilterStats // kernel/residual work split (profile scans only)
-	err      error
+	rows       []types.Row
+	count      int64
+	scanRows   float64
+	shuffleB   float64           // bytes gathered to the coordinator (0 when local)
+	fstats     vexec.FilterStats // kernel/residual work split (profile scans only)
+	contSeen   int64             // ROS containers considered
+	contPruned int64             // ROS containers skipped via zone maps
+	err        error
+}
+
+// buildSegJobs lists the (store, home node) pairs a table scan visits:
+// the local replica for unsegmented tables, otherwise every segment whose
+// hash range intersects hr, failing over to buddies for down nodes.
+func (s *Session) buildSegJobs(tbl *catalog.Table, hr vhash.Range) ([]segJob, error) {
+	var jobs []segJob
+	if !tbl.Def.Segmented {
+		// Unsegmented tables are replicated everywhere: serve entirely from
+		// the connected node's local replica (zero shuffle).
+		store, homeNode, err := s.replicaFor(tbl, s.localPos(tbl))
+		if err != nil {
+			return nil, err
+		}
+		return append(jobs, segJob{store, homeNode}), nil
+	}
+	segs := tbl.SegmentRanges()
+	for i := range tbl.Stores {
+		// Skip segments the requested hash range cannot touch.
+		if segs[i].Lo >= hr.Hi || segs[i].Hi <= hr.Lo {
+			continue
+		}
+		store, homeNode, err := s.replicaFor(tbl, i)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, segJob{store, homeNode})
+	}
+	return jobs, nil
+}
+
+// pruneFunc returns the container-level zone-map filter for a compiled
+// predicate. Every ROS container carrying stats is counted; those whose zone
+// maps prove the predicate matches no row are skipped without building a
+// selection vector. Pruning on stats that cover deleted rows too is a sound
+// superset test: excluding [min, max] excludes every visible row.
+func (s *Session) pruneFunc(pred *vexec.Pred, res *segResult) func([]storage.ColStats, int) bool {
+	check := pred.HasZoneChecks() && !s.cluster.cfg.NoZoneMapPruning
+	return func(stats []storage.ColStats, rowCount int) bool {
+		res.contSeen++
+		if check && pred.CanPrune(stats, rowCount) {
+			res.contPruned++
+			return true
+		}
+		return false
+	}
 }
 
 // scanTable scans a base table under the read context on the vectorized
@@ -411,6 +583,9 @@ type segResult struct {
 // popcounts and materializes nothing. Results are deterministic: segments
 // are merged in segment order, matching the sequential reference scan.
 func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Visibility, stats *scanStats, opts scanOpts) ([]types.Row, int64, types.Schema, error) {
+	if stats.table == "" {
+		stats.table = tbl.Def.Name
+	}
 	if s.cluster.cfg.RowAtATimeScans {
 		// Ablation/debug knob: run the retained reference implementation.
 		scanStart := profClock(stats.prof)
@@ -427,6 +602,7 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 		}
 		return rows, int64(len(rows)), schema, err
 	}
+	stats.vectorized = true
 	scanStart := profClock(stats.prof)
 	if stats.prof != nil {
 		opts.profile = true
@@ -436,56 +612,15 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 	pred := vexec.Compile(residual, schema, tbl.SegIdx)
 	needIdx, outSchema := resolveNeedCols(schema, opts.needCols)
 
-	var jobs []segJob
-	if !tbl.Def.Segmented {
-		// Unsegmented tables are replicated everywhere: serve entirely from
-		// the connected node's local replica (zero shuffle).
-		store, homeNode, err := s.replicaFor(tbl, s.localPos(tbl))
-		if err != nil {
-			return nil, 0, types.Schema{}, err
-		}
-		jobs = append(jobs, segJob{store, homeNode})
-	} else {
-		segs := tbl.SegmentRanges()
-		for i := range tbl.Stores {
-			// Skip segments the requested hash range cannot touch.
-			if segs[i].Lo >= hr.Hi || segs[i].Hi <= hr.Lo {
-				continue
-			}
-			store, homeNode, err := s.replicaFor(tbl, i)
-			if err != nil {
-				return nil, 0, types.Schema{}, err
-			}
-			jobs = append(jobs, segJob{store, homeNode})
-		}
+	jobs, err := s.buildSegJobs(tbl, hr)
+	if err != nil {
+		return nil, 0, types.Schema{}, err
 	}
 
 	results := make([]segResult, len(jobs))
-	run := func(i int) {
+	runSegJobs(len(jobs), func(i int) {
 		results[i] = s.scanSegment(jobs[i], vis, hr, pred, needIdx, opts)
-	}
-	if workers := min(scanConcurrency, len(jobs)); workers <= 1 {
-		for i := range jobs {
-			run(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
-						return
-					}
-					run(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	})
 
 	// Deterministic merge in segment order; per-segment stats fold into the
 	// query's accounting on the coordinating goroutine only.
@@ -505,6 +640,8 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 		scanned += int64(res.scanRows)
 		fstats.KernelRows += res.fstats.KernelRows
 		fstats.ResidualRows += res.fstats.ResidualRows
+		stats.contScanned += res.contSeen - res.contPruned
+		stats.contPruned += res.contPruned
 		out = append(out, res.rows...)
 	}
 	if opts.limit >= 0 && int64(len(out)) > opts.limit {
@@ -516,6 +653,9 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 			rowsOut = count
 		}
 		detail := fmt.Sprintf("%d segments, %d kernels", len(jobs), pred.NumKernels())
+		if stats.contPruned > 0 {
+			detail += fmt.Sprintf(", zone maps pruned %d/%d containers", stats.contPruned, stats.contPruned+stats.contScanned)
+		}
 		if opts.countOnly {
 			detail += ", count pushdown"
 		}
@@ -531,6 +671,32 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 	return out, count, outSchema, nil
 }
 
+// runSegJobs runs fn(0..n-1) over the bounded segment-scan worker pool.
+func runSegJobs(n int, fn func(int)) {
+	if workers := min(scanConcurrency, n); workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
 // scanSegment runs one segment's batched scan: visibility + hash mask come
 // pre-applied in each batch's selection vector, kernels narrow it, and the
 // survivors are materialized (late) or just counted.
@@ -541,7 +707,7 @@ func (s *Session) scanSegment(job segJob, vis storage.Visibility, hr vhash.Range
 	if opts.profile {
 		fs = &res.fstats
 	}
-	err := job.store.ScanBatches(vis, hr, func(b *storage.Batch) bool {
+	err := job.store.ScanBatchesPruned(vis, hr, s.pruneFunc(pred, &res), func(b *storage.Batch) bool {
 		if err := pred.FilterBatchStats(b, fs); err != nil {
 			res.err = err
 			return false
@@ -798,27 +964,200 @@ func hashMatchesSegmentation(h *expr.HashFn, tbl *catalog.Table) bool {
 	return true
 }
 
-// hashJoin performs the inner equi-join of two materialized relations,
-// qualifying output column names with the table alias (or name).
-func hashJoin(left []types.Row, ls types.Schema, lref *vsql.TableRef,
-	right []types.Row, rs types.Schema, rref *vsql.TableRef, jc *vsql.JoinClause) ([]types.Row, types.Schema, error) {
-	li := ls.ColIndex(stripQualifier(jc.LeftCol))
-	ri := rs.ColIndex(stripQualifier(jc.RightCol))
+// hashJoinStep performs one inner equi-join of the planner's pipeline:
+// resolve the ON columns against the two input schemas, qualify the output
+// column names (the left side only at the first step — lref is nil once the
+// left input is itself a join result), then join vectorized when both inputs
+// convert to column vectors, falling back to the boxed row join otherwise.
+// Both paths emit identical rows in identical left-major order, whichever
+// side the hash table is built on.
+func (s *Session) hashJoinStep(left []types.Row, ls types.Schema, lref *vsql.TableRef,
+	right []types.Row, rs types.Schema, rref *vsql.TableRef, jc *vsql.JoinClause, buildLeft bool) ([]types.Row, types.Schema, bool, error) {
+	li := resolveJoinCol(ls, jc.LeftCol)
+	ri := resolveJoinCol(rs, jc.RightCol)
 	// The ON columns may be written either way around; try swapping.
 	if li < 0 || ri < 0 {
-		li = ls.ColIndex(stripQualifier(jc.RightCol))
-		ri = rs.ColIndex(stripQualifier(jc.LeftCol))
+		li = resolveJoinCol(ls, jc.RightCol)
+		ri = resolveJoinCol(rs, jc.LeftCol)
 	}
 	if li < 0 || ri < 0 {
-		return nil, types.Schema{}, fmt.Errorf("vertica: join columns %q/%q not found", jc.LeftCol, jc.RightCol)
+		return nil, types.Schema{}, false, fmt.Errorf("vertica: join columns %q/%q not found", jc.LeftCol, jc.RightCol)
 	}
 	out := types.Schema{}
 	for _, c := range ls.Cols {
-		out.Cols = append(out.Cols, types.Column{Name: qualify(lref, c.Name), T: c.T})
+		name := c.Name
+		if lref != nil {
+			name = qualify(lref, c.Name)
+		}
+		out.Cols = append(out.Cols, types.Column{Name: name, T: c.T})
 	}
 	for _, c := range rs.Cols {
 		out.Cols = append(out.Cols, types.Column{Name: qualify(rref, c.Name), T: c.T})
 	}
+	if !s.cluster.cfg.RowAtATimeScans {
+		if rows, ok := vectorJoin(left, ls, li, right, rs, ri, buildLeft); ok {
+			return rows, out, true, nil
+		}
+	}
+	rows := rowHashJoin(left, li, right, ri)
+	return rows, out, false, nil
+}
+
+// batchJoinStep is the batch-native first join: the anchor table scans as
+// columnar batches (segment-parallel, WHERE-free — the residual applies after
+// all joins) and vexec.JoinBatches probes them against the right side's typed
+// key table. Only matched pairs box into rows, so a selective join skips the
+// dominant cost of the materialize-then-join path: building boxed rows for
+// every probe-side input. nLeft reports the visible left rows for profiling.
+// ok=false (no error) means the shape isn't eligible — unresolvable ON
+// columns or a right side that won't columnize — and the caller falls back.
+func (s *Session) batchJoinStep(tbl *catalog.Table, base, rref *vsql.TableRef, jc *vsql.JoinClause, buildLeft bool,
+	right []types.Row, rs types.Schema, vis storage.Visibility, stats *scanStats) ([]types.Row, types.Schema, int64, bool, error) {
+	schema := tbl.Def.Schema
+	li := resolveJoinCol(schema, jc.LeftCol)
+	ri := resolveJoinCol(rs, jc.RightCol)
+	// The ON columns may be written either way around; try swapping.
+	if li < 0 || ri < 0 {
+		li = resolveJoinCol(schema, jc.RightCol)
+		ri = resolveJoinCol(rs, jc.LeftCol)
+	}
+	if li < 0 || ri < 0 {
+		return nil, types.Schema{}, 0, false, nil
+	}
+	rcols, err := storage.ColumnsFromRows(right, rs)
+	if err != nil {
+		// Type drift in the right side's rows (view output, stored-type
+		// drift): fall back to the boxed join.
+		return nil, types.Schema{}, 0, false, nil
+	}
+
+	scanStart := profClock(stats.prof)
+	pred := vexec.Compile(nil, schema, tbl.SegIdx)
+	hr, _ := extractHashRange(nil, tbl)
+	jobs, err := s.buildSegJobs(tbl, hr)
+	if err != nil {
+		return nil, types.Schema{}, 0, false, err
+	}
+	type segBatches struct {
+		segResult
+		batches []*storage.Batch
+	}
+	results := make([]segBatches, len(jobs))
+	runSegJobs(len(jobs), func(i int) {
+		res := &results[i]
+		res.scanRows = float64(jobs[i].store.TotalRows())
+		err := jobs[i].store.ScanBatchesPruned(vis, hr, s.pruneFunc(pred, &res.segResult), func(b *storage.Batch) bool {
+			if len(b.Sel) > 0 {
+				res.batches = append(res.batches, b)
+			}
+			return true
+		})
+		if err != nil {
+			res.err = err
+		}
+	})
+	var left []*storage.Batch
+	var nLeft, scanned int64
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return nil, types.Schema{}, 0, false, res.err
+		}
+		stats.scanRows[sim.VName(jobs[i].homeNode)] += res.scanRows
+		scanned += int64(res.scanRows)
+		stats.contScanned += res.contSeen
+		for _, b := range res.batches {
+			nLeft += int64(len(b.Sel))
+		}
+		left = append(left, res.batches...)
+	}
+	if stats.table == "" {
+		stats.table = tbl.Def.Name
+	}
+	if stats.prof != nil {
+		stats.prof.add(opStat{
+			name: "scan " + tbl.Def.Name, rowsIn: scanned, rowsOut: nLeft, vecRows: nLeft,
+			dur: time.Since(scanStart), detail: fmt.Sprintf("%d segments, batch-native join input", len(jobs)),
+		})
+	}
+
+	out := types.Schema{}
+	for _, c := range schema.Cols {
+		out.Cols = append(out.Cols, types.Column{Name: qualify(base, c.Name), T: c.T})
+	}
+	for _, c := range rs.Cols {
+		out.Cols = append(out.Cols, types.Column{Name: qualify(rref, c.Name), T: c.T})
+	}
+	rb := []*storage.Batch{{Schema: rs, Cols: rcols, Sel: allSel(len(right))}}
+	var rows []types.Row
+	vexec.JoinBatches(left, li, rb, ri, buildLeft, func(lb, lr, _, rr int32) {
+		row := make(types.Row, 0, len(out.Cols))
+		for _, c := range left[lb].Cols {
+			row = append(row, c.Get(int(lr)))
+		}
+		for _, c := range rcols {
+			row = append(row, c.Get(int(rr)))
+		}
+		rows = append(rows, row)
+	})
+	return rows, out, nLeft, true, nil
+}
+
+// resolveJoinCol finds a join column in a schema: the full (possibly
+// qualified) name first — ColIndex's suffix fallback handles a qualified name
+// against an unqualified base-table schema, and exact match handles it
+// against an already-qualified join schema — then the bare column name.
+func resolveJoinCol(schema types.Schema, name string) int {
+	if i := schema.ColIndex(name); i >= 0 {
+		return i
+	}
+	return schema.ColIndex(stripQualifier(name))
+}
+
+// vectorJoin joins via the typed batch kernels (vexec.JoinBatches): the
+// inputs are converted to column vectors, the build side's key table is
+// populated without boxing, and only matching pairs materialize rows. ok is
+// false when an input cannot be column-encoded (untyped values from view
+// projections); the caller falls back to the row join.
+func vectorJoin(left []types.Row, ls types.Schema, li int, right []types.Row, rs types.Schema, ri int, buildLeft bool) ([]types.Row, bool) {
+	lcols, err := storage.ColumnsFromRows(left, ls)
+	if err != nil {
+		return nil, false
+	}
+	rcols, err := storage.ColumnsFromRows(right, rs)
+	if err != nil {
+		return nil, false
+	}
+	lb := &storage.Batch{Schema: ls, Cols: lcols, Sel: allSel(len(left))}
+	rb := &storage.Batch{Schema: rs, Cols: rcols, Sel: allSel(len(right))}
+	width := len(ls.Cols) + len(rs.Cols)
+	var rows []types.Row
+	vexec.JoinBatches([]*storage.Batch{lb}, li, []*storage.Batch{rb}, ri, buildLeft, func(_, lr, _, rr int32) {
+		row := make(types.Row, 0, width)
+		for _, c := range lcols {
+			row = append(row, c.Get(int(lr)))
+		}
+		for _, c := range rcols {
+			row = append(row, c.Get(int(rr)))
+		}
+		rows = append(rows, row)
+	})
+	return rows, true
+}
+
+// allSel builds the identity selection vector of length n.
+func allSel(n int) []int32 {
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// rowHashJoin is the retained boxed-row reference join: build the hash table
+// on the right input, probe the left in order. The ablation/equivalence
+// oracle for vectorJoin.
+func rowHashJoin(left []types.Row, li int, right []types.Row, ri int) []types.Row {
 	ht := make(map[joinKey][]types.Row, len(right))
 	for _, r := range right {
 		k, ok := joinKeyOf(r[ri])
@@ -840,7 +1179,7 @@ func hashJoin(left []types.Row, ls types.Schema, lref *vsql.TableRef,
 			rows = append(rows, row)
 		}
 	}
-	return rows, out, nil
+	return rows
 }
 
 // joinKey is a typed, comparable hash-join key. Values of the same family

@@ -187,6 +187,38 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		}
 		return rows, schema, nil
 
+	case "v_monitor.query_plans":
+		schema := types.NewSchema(
+			types.Column{Name: "plan_id", T: types.Int64},
+			types.Column{Name: "query", T: types.Varchar},
+			types.Column{Name: "anchor_table", T: types.Varchar},
+			types.Column{Name: "join_order", T: types.Varchar},
+			types.Column{Name: "estimated_rows", T: types.Int64},
+			types.Column{Name: "actual_rows", T: types.Int64},
+			types.Column{Name: "containers_scanned", T: types.Int64},
+			types.Column{Name: "containers_pruned", T: types.Int64},
+			types.Column{Name: "pushdown", T: types.Varchar},
+			types.Column{Name: "vectorized", T: types.Bool},
+			types.Column{Name: "epoch", T: types.Int64},
+		)
+		var rows []types.Row
+		for _, p := range s.cluster.plans.snapshot() {
+			rows = append(rows, types.Row{
+				types.IntValue(int64(p.ID)),
+				types.StringValue(p.Query),
+				types.StringValue(p.Table),
+				types.StringValue(p.JoinOrder),
+				types.IntValue(p.EstRows),
+				types.IntValue(p.ActualRows),
+				types.IntValue(p.ContainersScanned),
+				types.IntValue(p.ContainersPruned),
+				types.StringValue(p.Pushdown),
+				types.BoolValue(p.Vectorized),
+				types.IntValue(int64(p.Epoch)),
+			})
+		}
+		return rows, schema, nil
+
 	case "v_monitor.rebalance_operations":
 		schema := types.NewSchema(
 			types.Column{Name: "operation_id", T: types.Int64},

@@ -1,0 +1,393 @@
+package vertica
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vsfabric/internal/types"
+)
+
+// prunableTable creates table pz whose ROS containers have disjoint id
+// ranges, so an id predicate can prune whole containers via zone maps.
+func prunableTable(t *testing.T, s *Session, c *Cluster) {
+	t.Helper()
+	s.MustExecute("CREATE TABLE pz (id INTEGER, val FLOAT) SEGMENTED BY HASH(id)")
+	for lo := 0; lo < 300; lo += 100 {
+		var vals []string
+		for i := lo; i < lo+100; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d.5)", i, i))
+		}
+		s.MustExecute("INSERT INTO pz VALUES " + strings.Join(vals, ", "))
+		if err := c.Moveout(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func sameResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d\n got %v\nwant %v", label, len(got.Rows), len(want.Rows), got.Rows, want.Rows)
+	}
+	for i := range got.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			t.Fatalf("%s row %d: width %d vs %d", label, i, len(got.Rows[i]), len(want.Rows[i]))
+		}
+		for j := range got.Rows[i] {
+			g, w := got.Rows[i][j], want.Rows[i][j]
+			if g.Null != w.Null || (!g.Null && types.Compare(g, w) != 0) {
+				t.Fatalf("%s row %d col %d: %v vs %v", label, i, j, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestExplainScanPruning(t *testing.T) {
+	c := testCluster(t, 3)
+	s := sess(t, c, 0)
+	prunableTable(t, s, c)
+
+	res := s.MustExecute("EXPLAIN SELECT val FROM pz WHERE id >= 200")
+	wantCols := []string{"step", "operator", "target", "est_rows", "containers", "pruned", "detail"}
+	for i, w := range wantCols {
+		if res.Schema.Cols[i].Name != w {
+			t.Fatalf("explain col %d = %q, want %q", i, res.Schema.Cols[i].Name, w)
+		}
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("explain rows: %v", res.Rows)
+	}
+	scan := res.Rows[0]
+	if scan[1].S != "scan" || scan[2].S != "pz" {
+		t.Fatalf("scan row: %v", scan)
+	}
+	if scan[4].I == 0 {
+		t.Fatal("explain reports zero containers on a moved-out table")
+	}
+	// Containers holding ids 0..99 and 100..199 are provably excluded.
+	if scan[5].I == 0 {
+		t.Fatalf("explain pruned no containers: %v", scan)
+	}
+	if scan[5].I >= scan[4].I {
+		t.Fatalf("pruned %d of %d containers; the 200..299 containers must survive", scan[5].I, scan[4].I)
+	}
+	if !strings.Contains(scan[6].S, "zone maps prune") {
+		t.Fatalf("scan detail %q missing zone-map note", scan[6].S)
+	}
+
+	// EXPLAIN does not execute: no query_plans record for the SELECT itself.
+	res = s.MustExecute("EXPLAIN SELECT COUNT(*) FROM pz")
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][6].S, "count pushdown") {
+		t.Fatalf("COUNT(*) explain: %v", res.Rows)
+	}
+
+	res = s.MustExecute("EXPLAIN SELECT id FROM pz WHERE id > 5 GROUP BY id ORDER BY id LIMIT 3")
+	var ops []string
+	for _, r := range res.Rows {
+		ops = append(ops, r[1].S)
+	}
+	if got := strings.Join(ops, ","); got != "scan,group-by,sort,limit" {
+		t.Fatalf("operators = %s", got)
+	}
+}
+
+func TestExplainJoinOrder(t *testing.T) {
+	c := testCluster(t, 2)
+	s := sess(t, c, 0)
+	sizes := map[string]int{"big": 400, "mid": 60, "small": 8}
+	for name, n := range sizes {
+		s.MustExecute(fmt.Sprintf("CREATE TABLE %s (id INTEGER, tag VARCHAR) SEGMENTED BY HASH(id)", name))
+		var vals []string
+		for i := 0; i < n; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, '%s%d')", i, name, i))
+		}
+		s.MustExecute(fmt.Sprintf("INSERT INTO %s VALUES %s", name, strings.Join(vals, ", ")))
+	}
+	if err := c.Moveout(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Written mid-first; the planner must reorder to join small before mid.
+	q := "SELECT big.tag FROM big JOIN mid ON big.id = mid.id JOIN small ON big.id = small.id"
+	res := s.MustExecute("EXPLAIN " + q)
+	var joins []string
+	for _, r := range res.Rows {
+		if r[1].S == "join" {
+			joins = append(joins, r[2].S)
+		}
+	}
+	if len(joins) != 2 || joins[0] != "small" || joins[1] != "mid" {
+		t.Fatalf("join order = %v, want [small mid]", joins)
+	}
+	for _, r := range res.Rows {
+		if r[1].S == "join" && !strings.Contains(r[6].S, "build right side") {
+			t.Fatalf("join against a smaller right side should build right: %v", r)
+		}
+	}
+
+	// The executed plan must agree with EXPLAIN's order.
+	s.MustExecute(q)
+	plans := s.MustExecute("SELECT * FROM v_monitor.query_plans")
+	last := plans.Rows[len(plans.Rows)-1]
+	order := last[3].S
+	if order != "big JOIN small JOIN mid" {
+		t.Fatalf("executed join order = %q", order)
+	}
+}
+
+func TestQueryPlansMonitor(t *testing.T) {
+	c := testCluster(t, 3)
+	s := sess(t, c, 0)
+	prunableTable(t, s, c)
+
+	q := "SELECT val FROM pz WHERE id >= 200"
+	got := s.MustExecute(q)
+	plans := s.MustExecute("SELECT * FROM v_monitor.query_plans")
+	wantCols := []string{"plan_id", "query", "anchor_table", "join_order", "estimated_rows",
+		"actual_rows", "containers_scanned", "containers_pruned", "pushdown", "vectorized", "epoch"}
+	for i, w := range wantCols {
+		if plans.Schema.Cols[i].Name != w {
+			t.Fatalf("query_plans col %d = %q, want %q", i, plans.Schema.Cols[i].Name, w)
+		}
+	}
+	var rec types.Row
+	for _, r := range plans.Rows {
+		if r[1].S == q {
+			rec = r
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no query_plans record for %q: %v", q, plans.Rows)
+	}
+	if rec[2].S != "pz" {
+		t.Fatalf("anchor_table = %q", rec[2].S)
+	}
+	if rec[5].I != int64(len(got.Rows)) {
+		t.Fatalf("actual_rows = %d, want %d", rec[5].I, len(got.Rows))
+	}
+	if rec[7].I == 0 {
+		t.Fatal("containers_pruned = 0; zone maps should have pruned the low containers")
+	}
+	if rec[6].I == 0 {
+		t.Fatal("containers_scanned = 0")
+	}
+	if !rec[9].B {
+		t.Fatal("vectorized = false on the vectorized path")
+	}
+
+	// COUNT(*) pushdown and GROUP BY pushdown are labeled.
+	s.MustExecute("SELECT COUNT(*) FROM pz")
+	s.MustExecute("SELECT id, COUNT(*) FROM pz GROUP BY id LIMIT 1")
+	plans = s.MustExecute("SELECT * FROM v_monitor.query_plans")
+	var sawCount, sawGroupBy bool
+	for _, r := range plans.Rows {
+		switch r[8].S {
+		case "count":
+			sawCount = true
+		case "group-by":
+			sawGroupBy = true
+		}
+	}
+	if !sawCount || !sawGroupBy {
+		t.Fatalf("pushdown labels missing: count=%v group-by=%v", sawCount, sawGroupBy)
+	}
+}
+
+// TestZoneMapPruningAblation is the acceptance check: results are identical
+// with pruning on and off; only container decode counts change.
+func TestZoneMapPruningAblation(t *testing.T) {
+	run := func(noPrune bool) (*Cluster, *Session) {
+		c, err := NewCluster(Config{Nodes: 3, NoZoneMapPruning: noPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := c.Connect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prunableTable(t, s, c)
+		return c, s
+	}
+	_, on := run(false)
+	_, off := run(true)
+	defer on.Close()
+	defer off.Close()
+
+	queries := []string{
+		"SELECT val FROM pz WHERE id >= 200 ORDER BY val",
+		"SELECT COUNT(*) FROM pz WHERE id < 100",
+		"SELECT id, SUM(val) FROM pz WHERE id >= 250 GROUP BY id ORDER BY id",
+		"SELECT val FROM pz WHERE id = 150",
+		"SELECT val FROM pz WHERE id > 1000",
+	}
+	for _, q := range queries {
+		sameResults(t, q, on.MustExecute(q), off.MustExecute(q))
+	}
+
+	check := func(s *Session, wantPruned bool) {
+		t.Helper()
+		plans := s.MustExecute("SELECT containers_pruned FROM v_monitor.query_plans")
+		var pruned int64
+		for _, r := range plans.Rows {
+			pruned += r[0].I
+		}
+		if wantPruned && pruned == 0 {
+			t.Error("pruning enabled but containers_pruned = 0 across all plans")
+		}
+		if !wantPruned && pruned != 0 {
+			t.Errorf("pruning disabled but containers_pruned = %d", pruned)
+		}
+	}
+	check(on, true)
+	check(off, false)
+}
+
+func TestProfileGroupBy(t *testing.T) {
+	c := testCluster(t, 3)
+	s := sess(t, c, 0)
+	prunableTable(t, s, c)
+
+	res := s.MustExecute("PROFILE SELECT id, COUNT(*), SUM(val) FROM pz GROUP BY id")
+	var grp types.Row
+	for _, r := range res.Rows {
+		if r[0].S == "group-by" {
+			grp = r
+		}
+	}
+	if grp == nil {
+		t.Fatalf("no group-by operator row: %v", res.Rows)
+	}
+	if !strings.Contains(grp[6].S, "vectorized hash aggregation") {
+		t.Fatalf("group-by detail = %q", grp[6].S)
+	}
+	if grp[1].I != 300 || grp[2].I != 300 {
+		t.Fatalf("group-by rows_in=%d rows_out=%d, want 300/300", grp[1].I, grp[2].I)
+	}
+	if grp[3].I != 300 || grp[4].I != 0 {
+		t.Fatalf("group-by vectorized_rows=%d residual_rows=%d", grp[3].I, grp[4].I)
+	}
+
+	// An aggregate the kernels can't run (expression argument) falls back and
+	// says so.
+	res = s.MustExecute("PROFILE SELECT id, SUM(val + 1.0) FROM pz GROUP BY id")
+	grp = nil
+	for _, r := range res.Rows {
+		if r[0].S == "group-by" {
+			grp = r
+		}
+	}
+	if grp == nil || !strings.Contains(grp[6].S, "row-at-a-time fallback") {
+		t.Fatalf("fallback group-by row = %v", grp)
+	}
+}
+
+// TestAggEquivalenceProperty is the seeded equivalence suite: the vectorized
+// aggregation and join paths must return exactly what the row-at-a-time
+// reference returns — NULL group keys, empty groups, mixed INT/FLOAT
+// aggregates, duplicate join keys.
+func TestAggEquivalenceProperty(t *testing.T) {
+	queries := []string{
+		// NULL group keys and mixed INT/FLOAT aggregates.
+		"SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val), AVG(val) FROM t GROUP BY grp ORDER BY grp",
+		"SELECT grp, SUM(id), MIN(id), MAX(id), AVG(id) FROM t GROUP BY grp ORDER BY grp",
+		// Multi-column (generic) group keys.
+		"SELECT grp, name, COUNT(*) FROM t GROUP BY grp, name ORDER BY grp, name",
+		// Aggregates of a nullable column: COUNT(col) skips NULLs.
+		"SELECT grp, COUNT(val) FROM t GROUP BY grp ORDER BY grp",
+		// Empty input: zero groups with GROUP BY, one NULL-ish row without.
+		"SELECT grp, COUNT(*) FROM t WHERE id < 0 GROUP BY grp",
+		"SELECT COUNT(*), SUM(val), MIN(name) FROM t WHERE id < 0",
+		// Global aggregates over everything.
+		"SELECT COUNT(*), COUNT(grp), SUM(id), AVG(val) FROM t",
+		// Predicate + aggregation (exercises pruning + filtering upstream).
+		"SELECT grp, SUM(val) FROM t WHERE id >= 300 GROUP BY grp ORDER BY grp",
+		"SELECT name, MIN(val), MAX(val) FROM t WHERE grp IS NOT NULL GROUP BY name ORDER BY name",
+		"SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp LIMIT 3",
+	}
+	run := func(rowAtATime bool) []*Result {
+		c, err := NewCluster(Config{Nodes: 3, RowAtATimeScans: rowAtATime})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := c.Connect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		buildRandomTable(t, s, c, rand.New(rand.NewSource(7)), 600)
+		out := make([]*Result, len(queries))
+		for i, q := range queries {
+			out[i] = s.MustExecute(q)
+		}
+		return out
+	}
+	vec, ref := run(false), run(true)
+	for i := range queries {
+		sameResults(t, queries[i], vec[i], ref[i])
+	}
+}
+
+// TestJoinEquivalenceProperty diffs the vectorized multi-way join against the
+// row-at-a-time reference, duplicate and NULL keys included.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	queries := []string{
+		"SELECT o.id, c.name FROM o JOIN c ON o.cid = c.cid ORDER BY o.id, c.name",
+		// Duplicate keys on both sides: full cross-product per key.
+		"SELECT o.id, x.tag FROM o JOIN x ON o.cid = x.cid ORDER BY o.id, x.tag",
+		// Three-way join with a post-join residual WHERE.
+		"SELECT o.id, c.name, x.tag FROM o JOIN c ON o.cid = c.cid JOIN x ON o.cid = x.cid WHERE o.id < 150 ORDER BY o.id, x.tag",
+		// Join feeding aggregation.
+		"SELECT c.name, COUNT(*) FROM o JOIN c ON o.cid = c.cid GROUP BY c.name ORDER BY c.name",
+	}
+	run := func(rowAtATime bool) []*Result {
+		c, err := NewCluster(Config{Nodes: 3, RowAtATimeScans: rowAtATime})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := c.Connect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rng := rand.New(rand.NewSource(11))
+		s.MustExecute("CREATE TABLE o (id INTEGER, cid INTEGER) SEGMENTED BY HASH(id)")
+		s.MustExecute("CREATE TABLE c (cid INTEGER, name VARCHAR) SEGMENTED BY HASH(cid)")
+		s.MustExecute("CREATE TABLE x (cid INTEGER, tag VARCHAR) SEGMENTED BY HASH(cid)")
+		var ov, cv, xv []string
+		for i := 0; i < 300; i++ {
+			cid := fmt.Sprintf("%d", rng.Intn(20))
+			if rng.Intn(15) == 0 {
+				cid = "NULL"
+			}
+			ov = append(ov, fmt.Sprintf("(%d, %s)", i, cid))
+		}
+		for i := 0; i < 20; i++ {
+			cv = append(cv, fmt.Sprintf("(%d, 'cust%d')", i, i))
+		}
+		cv = append(cv, "(NULL, 'null-cust')")
+		// x holds duplicate cids: several tags per key.
+		for i := 0; i < 50; i++ {
+			xv = append(xv, fmt.Sprintf("(%d, 'tag%d')", rng.Intn(20), i))
+		}
+		s.MustExecute("INSERT INTO o VALUES " + strings.Join(ov, ", "))
+		s.MustExecute("INSERT INTO c VALUES " + strings.Join(cv, ", "))
+		s.MustExecute("INSERT INTO x VALUES " + strings.Join(xv, ", "))
+		if err := c.Moveout(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]*Result, len(queries))
+		for i, q := range queries {
+			out[i] = s.MustExecute(q)
+		}
+		return out
+	}
+	vec, ref := run(false), run(true)
+	for i := range queries {
+		if len(vec[i].Rows) == 0 {
+			t.Fatalf("%s: empty result, data generator broken", queries[i])
+		}
+		sameResults(t, queries[i], vec[i], ref[i])
+	}
+}

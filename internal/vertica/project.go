@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"vsfabric/internal/expr"
 	"vsfabric/internal/types"
@@ -11,13 +12,22 @@ import (
 )
 
 // project applies the SELECT list — star expansion, scalar expressions,
-// aggregates with optional GROUP BY — and the LIMIT clause.
-func project(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.Row, types.Schema, error) {
+// aggregates with optional GROUP BY — and the LIMIT clause. qp, when non-nil,
+// receives the group-by operator's profile row.
+func project(st *vsql.Select, rows []types.Row, schema types.Schema, qp *queryProfile) ([]types.Row, types.Schema, error) {
 	var out []types.Row
 	var outSchema types.Schema
 	var err error
 	if hasAggregates(st) || len(st.GroupBy) > 0 {
+		aggStart := profClock(qp)
 		out, outSchema, err = aggregate(st, rows, schema)
+		if qp != nil && err == nil {
+			qp.add(opStat{
+				name: "group-by", rowsIn: int64(len(rows)), rowsOut: int64(len(out)),
+				resRows: int64(len(rows)), dur: time.Since(aggStart),
+				detail: "row-at-a-time fallback",
+			})
+		}
 	} else {
 		out, outSchema, err = projectScalar(st, rows, schema)
 	}
@@ -65,7 +75,7 @@ func orderRows(rows []types.Row, schema types.Schema, keys []vsql.OrderItem) err
 // project2 is project for view expansion (the view's own SELECT list shapes
 // the rows the outer query sees).
 func project2(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.Row, types.Schema, error) {
-	return project(st, rows, schema)
+	return project(st, rows, schema, nil)
 }
 
 func projectScalar(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.Row, types.Schema, error) {
@@ -239,29 +249,33 @@ func (a *aggState) result(fn vsql.AggFn) types.Value {
 	}
 }
 
-// aggregate evaluates aggregates with optional GROUP BY. Non-aggregate items
-// must be grouping columns.
-func aggregate(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.Row, types.Schema, error) {
+// aggItemPlan is one select item of an aggregation: an aggregate function
+// over an argument expression, or (groupCol >= 0) a plain grouping column.
+type aggItemPlan struct {
+	agg      vsql.AggFn
+	arg      expr.Expr
+	groupCol int // index into groupIdx for plain columns
+}
+
+// buildAggPlan validates an aggregation's select items against the input
+// schema and builds the item plans, the GROUP BY column indexes, and the
+// output schema. Shared by the row-at-a-time aggregate() and the vectorized
+// pushdown (tryVectorizedAgg) so both type results identically.
+func buildAggPlan(st *vsql.Select, schema types.Schema) ([]aggItemPlan, []int, types.Schema, error) {
 	groupIdx := make([]int, 0, len(st.GroupBy))
 	for _, g := range st.GroupBy {
 		i := schema.ColIndex(g)
 		if i < 0 {
-			return nil, types.Schema{}, fmt.Errorf("vertica: GROUP BY column %q not found", g)
+			return nil, nil, types.Schema{}, fmt.Errorf("vertica: GROUP BY column %q not found", g)
 		}
 		groupIdx = append(groupIdx, i)
 	}
-	// Validate items and build output schema.
 	var outSchema types.Schema
-	type itemPlan struct {
-		agg      vsql.AggFn
-		arg      expr.Expr
-		groupCol int // index into groupIdx for plain columns
-	}
-	plans := make([]itemPlan, 0, len(st.Items))
+	plans := make([]aggItemPlan, 0, len(st.Items))
 	for _, it := range st.Items {
 		switch {
 		case it.Star:
-			return nil, types.Schema{}, fmt.Errorf("vertica: SELECT * cannot be mixed with aggregates")
+			return nil, nil, types.Schema{}, fmt.Errorf("vertica: SELECT * cannot be mixed with aggregates")
 		case it.Agg != "":
 			name := it.Alias
 			if name == "" {
@@ -277,11 +291,11 @@ func aggregate(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.
 				}
 			}
 			outSchema.Cols = append(outSchema.Cols, types.Column{Name: name, T: t})
-			plans = append(plans, itemPlan{agg: it.Agg, arg: it.Arg, groupCol: -1})
+			plans = append(plans, aggItemPlan{agg: it.Agg, arg: it.Arg, groupCol: -1})
 		default:
 			col, ok := it.Expr.(*expr.Col)
 			if !ok {
-				return nil, types.Schema{}, fmt.Errorf("vertica: non-aggregate select item must be a grouping column")
+				return nil, nil, types.Schema{}, fmt.Errorf("vertica: non-aggregate select item must be a grouping column")
 			}
 			gi := -1
 			for k, idx := range groupIdx {
@@ -291,15 +305,25 @@ func aggregate(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.
 				}
 			}
 			if gi < 0 {
-				return nil, types.Schema{}, fmt.Errorf("vertica: column %q must appear in GROUP BY", col.Name)
+				return nil, nil, types.Schema{}, fmt.Errorf("vertica: column %q must appear in GROUP BY", col.Name)
 			}
 			name := it.Alias
 			if name == "" {
 				name = col.Name
 			}
 			outSchema.Cols = append(outSchema.Cols, types.Column{Name: name, T: schema.Cols[groupIdx[gi]].T})
-			plans = append(plans, itemPlan{groupCol: gi})
+			plans = append(plans, aggItemPlan{groupCol: gi})
 		}
+	}
+	return plans, groupIdx, outSchema, nil
+}
+
+// aggregate evaluates aggregates with optional GROUP BY. Non-aggregate items
+// must be grouping columns.
+func aggregate(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.Row, types.Schema, error) {
+	plans, groupIdx, outSchema, err := buildAggPlan(st, schema)
+	if err != nil {
+		return nil, types.Schema{}, err
 	}
 
 	type group struct {
@@ -316,6 +340,13 @@ func aggregate(st *vsql.Select, rows []types.Row, schema types.Schema) ([]types.
 		var sb strings.Builder
 		for k, idx := range groupIdx {
 			vals[k] = r[idx]
+			// The null flag keeps a NULL key distinct from the string "NULL"
+			// (both render as "NULL").
+			if r[idx].Null {
+				sb.WriteByte('n')
+			} else {
+				sb.WriteByte('v')
+			}
 			sb.WriteString(r[idx].String())
 			sb.WriteByte(0)
 		}

@@ -53,9 +53,11 @@ type Session struct {
 	// obsv is the caller's observer for the current statement, extracted
 	// from the statement context (the sim cost recorder in benchmarks, a
 	// collector in tests); peer names the connecting client's host in the
-	// simulated topology (e.g. "s3"). Both are reset per statement.
-	obsv obs.Observer
-	peer string
+	// simulated topology (e.g. "s3"); curSQL is the statement's source text
+	// for v_monitor.query_plans. All are reset per statement.
+	obsv   obs.Observer
+	peer   string
+	curSQL string
 	// copyLocal marks the current COPY as reading a node-local file, so its
 	// resource event charges the node's disk instead of the network.
 	copyLocal bool
@@ -154,6 +156,7 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 	}
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
+	s.curSQL = sqlText
 	sp := s.startExecSpan(ctx, stmt, sqlText)
 	res, err := s.dispatch(ctx, stmt)
 	if sp != nil {
@@ -222,6 +225,8 @@ func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, e
 	case *vsql.Profile:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
 		return s.executeProfile(st)
+	case *vsql.Explain:
+		return s.executeExplain(st)
 	case *vsql.Insert:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedQuery})
 		return s.executeInsert(st)

@@ -1,0 +1,184 @@
+package vexec
+
+import (
+	"testing"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+func i64(v int64) types.Value   { return types.IntValue(v) }
+func f64(v float64) types.Value { return types.FloatValue(v) }
+func str(v string) types.Value  { return types.StringValue(v) }
+
+func wantValue(t *testing.T, got, want types.Value, what string) {
+	t.Helper()
+	if got.Null != want.Null || (!got.Null && (got.T != want.T || types.Compare(got, want) != 0)) {
+		t.Fatalf("%s = %v (T=%v null=%v), want %v (T=%v null=%v)",
+			what, got, got.T, got.Null, want, want.T, want.Null)
+	}
+}
+
+func TestHashAggInt64FastPath(t *testing.T) {
+	schema := intSchema()
+	b := mkBatch(t, schema, []types.Row{
+		{i64(1), f64(1.5), str("a"), types.BoolValue(true)},
+		{i64(2), f64(2.0), str("b"), types.BoolValue(true)},
+		{i64(1), f64(2.5), str("c"), types.BoolValue(true)},
+		{types.NullValue(types.Int64), f64(10.0), str("d"), types.BoolValue(true)},
+		{i64(2), types.NullValue(types.Float64), str("e"), types.BoolValue(true)},
+	})
+	spec := AggSpec{
+		GroupCols: []int{0},
+		Aggs: []AggExpr{
+			{Op: AggCount, Col: -1}, // COUNT(*)
+			{Op: AggSum, Col: 1},
+			{Op: AggMin, Col: 1},
+			{Op: AggAvg, Col: 1},
+		},
+	}
+	h := NewHashAgg(spec, schema)
+	if h.FastPath() != "int64" {
+		t.Fatalf("fast path = %q, want int64", h.FastPath())
+	}
+	h.Consume(b)
+	if h.NumGroups() != 3 {
+		t.Fatalf("groups = %d, want 3", h.NumGroups())
+	}
+	// First-seen group order: 1, 2, NULL.
+	wantValue(t, h.GroupKey(0)[0], i64(1), "key[0]")
+	wantValue(t, h.GroupKey(1)[0], i64(2), "key[1]")
+	wantValue(t, h.GroupKey(2)[0], types.NullValue(types.Int64), "key[2]")
+
+	wantValue(t, h.AggResult(0, 0), i64(2), "g1 count")
+	wantValue(t, h.AggResult(0, 1), f64(4.0), "g1 sum")
+	wantValue(t, h.AggResult(0, 2), f64(1.5), "g1 min")
+	wantValue(t, h.AggResult(0, 3), f64(2.0), "g1 avg")
+
+	wantValue(t, h.AggResult(1, 0), i64(2), "g2 count")
+	wantValue(t, h.AggResult(1, 1), f64(2.0), "g2 sum") // NULL input skipped
+	wantValue(t, h.AggResult(1, 3), f64(2.0), "g2 avg") // / 1 non-null, not / 2
+
+	wantValue(t, h.AggResult(2, 0), i64(1), "null-key count")
+	wantValue(t, h.AggResult(2, 1), f64(10.0), "null-key sum")
+
+	if h.Rows() != 5 || h.FallbackRows() != 0 {
+		t.Fatalf("rows=%d fallback=%d", h.Rows(), h.FallbackRows())
+	}
+}
+
+func TestHashAggIntSumStaysInt(t *testing.T) {
+	schema := intSchema()
+	b := mkBatch(t, schema, []types.Row{
+		{i64(5), f64(0), str(""), types.BoolValue(false)},
+		{i64(7), f64(0), str(""), types.BoolValue(false)},
+	})
+	h := NewHashAgg(AggSpec{Aggs: []AggExpr{
+		{Op: AggSum, Col: 0},
+		{Op: AggMax, Col: 0},
+		{Op: AggCount, Col: 0},
+	}}, schema)
+	h.Consume(b)
+	wantValue(t, h.AggResult(0, 0), i64(12), "sum(int)")
+	wantValue(t, h.AggResult(0, 1), i64(7), "max(int)")
+	wantValue(t, h.AggResult(0, 2), i64(2), "count(int)")
+}
+
+func TestHashAggGenericKeys(t *testing.T) {
+	schema := intSchema()
+	// GROUP BY (s, x): a string "NULL" must stay distinct from a NULL key.
+	b := mkBatch(t, schema, []types.Row{
+		{i64(1), f64(1), str("NULL"), types.BoolValue(false)},
+		{i64(1), f64(2), types.NullValue(types.Varchar), types.BoolValue(false)},
+		{i64(1), f64(3), str("NULL"), types.BoolValue(false)},
+	})
+	h := NewHashAgg(AggSpec{
+		GroupCols: []int{2, 0},
+		Aggs:      []AggExpr{{Op: AggSum, Col: 1}},
+	}, schema)
+	if h.FastPath() != "generic" {
+		t.Fatalf("fast path = %q, want generic", h.FastPath())
+	}
+	h.Consume(b)
+	if h.NumGroups() != 2 {
+		t.Fatalf("groups = %d, want 2 (\"NULL\" and NULL collided?)", h.NumGroups())
+	}
+	wantValue(t, h.GroupKey(0)[0], str("NULL"), "g0 key")
+	wantValue(t, h.GroupKey(1)[0], types.NullValue(types.Varchar), "g1 key")
+	wantValue(t, h.AggResult(0, 0), f64(4), "g0 sum")
+	wantValue(t, h.AggResult(1, 0), f64(2), "g1 sum")
+}
+
+func TestHashAggEmptyGlobalGroup(t *testing.T) {
+	schema := intSchema()
+	h := NewHashAgg(AggSpec{Aggs: []AggExpr{
+		{Op: AggCount, Col: -1},
+		{Op: AggSum, Col: 0},
+		{Op: AggMin, Col: 2},
+	}}, schema)
+	// Zero batches consumed: a global aggregate still yields one row.
+	if h.NumGroups() != 1 {
+		t.Fatalf("groups = %d, want 1", h.NumGroups())
+	}
+	if h.FastPath() != "global" {
+		t.Fatalf("fast path = %q, want global", h.FastPath())
+	}
+	wantValue(t, h.AggResult(0, 0), i64(0), "count over nothing")
+	if !h.AggResult(0, 1).Null || !h.AggResult(0, 2).Null {
+		t.Fatalf("sum/min over nothing should be NULL: %v %v", h.AggResult(0, 1), h.AggResult(0, 2))
+	}
+}
+
+func TestHashAggRLECountStar(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "k", T: types.Int64})
+	rle := &storage.Int64RLEColumn{RunEnds: []int32{3, 5}, RunVals: []int64{7, 9}}
+	full := &storage.Batch{
+		Schema: schema, Cols: []storage.Column{rle},
+		Sel: []int32{0, 1, 2, 3, 4},
+	}
+	h := NewHashAgg(AggSpec{
+		GroupCols: []int{0},
+		Aggs:      []AggExpr{{Op: AggCount, Col: -1}},
+	}, schema)
+	h.Consume(full)
+	if h.NumGroups() != 2 {
+		t.Fatalf("groups = %d, want 2", h.NumGroups())
+	}
+	wantValue(t, h.GroupKey(0)[0], i64(7), "g0 key")
+	wantValue(t, h.AggResult(0, 0), i64(3), "count(7)")
+	wantValue(t, h.AggResult(1, 0), i64(2), "count(9)")
+
+	// A narrowed selection vector must count only selected rows per run.
+	h2 := NewHashAgg(AggSpec{
+		GroupCols: []int{0},
+		Aggs:      []AggExpr{{Op: AggCount, Col: -1}},
+	}, schema)
+	h2.Consume(&storage.Batch{Schema: schema, Cols: []storage.Column{rle}, Sel: []int32{1, 2, 4}})
+	wantValue(t, h2.AggResult(0, 0), i64(2), "count(7) under sel")
+	wantValue(t, h2.AggResult(1, 0), i64(1), "count(9) under sel")
+}
+
+func TestHashAggManyGroupsGrowsTable(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "k", T: types.Int64})
+	rows := make([]types.Row, 1000)
+	for i := range rows {
+		rows[i] = types.Row{i64(int64(i % 300))}
+	}
+	b := mkBatch(t, schema, rows)
+	h := NewHashAgg(AggSpec{
+		GroupCols: []int{0},
+		Aggs:      []AggExpr{{Op: AggCount, Col: -1}},
+	}, schema)
+	h.Consume(b)
+	h.Consume(b)
+	if h.NumGroups() != 300 {
+		t.Fatalf("groups = %d, want 300", h.NumGroups())
+	}
+	for g := 0; g < 300; g++ {
+		// First-seen order means group g has key g even after table growth.
+		wantValue(t, h.GroupKey(g)[0], i64(int64(g)), "grown-table key")
+	}
+	// Per batch, keys 0..99 appear 4 times and 100..299 appear 3 times.
+	wantValue(t, h.AggResult(0, 0), i64(8), "count(0) after two batches")
+	wantValue(t, h.AggResult(299, 0), i64(6), "count(299) after two batches")
+}

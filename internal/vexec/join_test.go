@@ -1,0 +1,118 @@
+package vexec
+
+import (
+	"reflect"
+	"testing"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+type emitted struct{ lb, lr, rb, rr int32 }
+
+func collectJoin(left []*storage.Batch, lcol int, right []*storage.Batch, rcol int, buildLeft bool) []emitted {
+	var out []emitted
+	JoinBatches(left, lcol, right, rcol, buildLeft, func(lb, lr, rb, rr int32) {
+		out = append(out, emitted{lb, lr, rb, rr})
+	})
+	return out
+}
+
+func idBatch(t *testing.T, ids ...types.Value) *storage.Batch {
+	t.Helper()
+	schema := types.NewSchema(types.Column{Name: "id", T: ids[0].T})
+	rows := make([]types.Row, len(ids))
+	for i, v := range ids {
+		rows[i] = types.Row{v}
+	}
+	return mkBatch(t, schema, rows)
+}
+
+func TestJoinBatchesIntKeysBuildSideInvariant(t *testing.T) {
+	// Left ids: [1, 2, 2, NULL, 3] across two batches; right: [2, 2, 3, NULL, 5].
+	left := []*storage.Batch{
+		idBatch(t, i64(1), i64(2), i64(2)),
+		idBatch(t, types.NullValue(types.Int64), i64(3)),
+	}
+	right := []*storage.Batch{idBatch(t, i64(2), i64(2), i64(3), types.NullValue(types.Int64), i64(5))}
+
+	want := []emitted{
+		{0, 1, 0, 0}, {0, 1, 0, 1}, // left row (0,1)=2 matches right rows 0,1
+		{0, 2, 0, 0}, {0, 2, 0, 1}, // left row (0,2)=2
+		{1, 1, 0, 2}, // left row (1,1)=3 matches right row 2; NULLs never join
+	}
+	probeRight := collectJoin(left, 0, right, 0, false)
+	if !reflect.DeepEqual(probeRight, want) {
+		t.Fatalf("build right:\n got %v\nwant %v", probeRight, want)
+	}
+	// Building the left side instead must emit the identical left-major
+	// sequence — build-side choice is a cost decision, not a semantic one.
+	buildLeft := collectJoin(left, 0, right, 0, true)
+	if !reflect.DeepEqual(buildLeft, want) {
+		t.Fatalf("build left:\n got %v\nwant %v", buildLeft, want)
+	}
+}
+
+func TestJoinBatchesGenericKeys(t *testing.T) {
+	left := []*storage.Batch{idBatch(t, str("a"), str("b"), types.NullValue(types.Varchar))}
+	right := []*storage.Batch{idBatch(t, str("b"), str("b"), str("c"))}
+	want := []emitted{{0, 1, 0, 0}, {0, 1, 0, 1}}
+	for _, bl := range []bool{false, true} {
+		got := collectJoin(left, 0, right, 0, bl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("buildLeft=%v:\n got %v\nwant %v", bl, got, want)
+		}
+	}
+}
+
+func TestJoinBatchesFloatIntNormalization(t *testing.T) {
+	// 2.0 joins the integer 2; 2.5 joins nothing.
+	left := []*storage.Batch{idBatch(t, f64(2.0), f64(2.5))}
+	right := []*storage.Batch{idBatch(t, i64(2), i64(3))}
+	want := []emitted{{0, 0, 0, 0}}
+	for _, bl := range []bool{false, true} {
+		got := collectJoin(left, 0, right, 0, bl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("buildLeft=%v:\n got %v\nwant %v", bl, got, want)
+		}
+	}
+}
+
+func TestJoinBatchesEmptySides(t *testing.T) {
+	b := idBatch(t, i64(1))
+	if got := collectJoin(nil, 0, []*storage.Batch{b}, 0, false); got != nil {
+		t.Fatalf("empty left joined: %v", got)
+	}
+	if got := collectJoin([]*storage.Batch{b}, 0, nil, 0, true); got != nil {
+		t.Fatalf("empty right joined: %v", got)
+	}
+}
+
+func TestJoinBatchesRespectsSelection(t *testing.T) {
+	// A narrowed selection vector on either side excludes unselected rows.
+	left := []*storage.Batch{idBatch(t, i64(1), i64(2), i64(3))}
+	left[0].Sel = []int32{0, 2}
+	right := []*storage.Batch{idBatch(t, i64(2), i64(3))}
+	want := []emitted{{0, 2, 0, 1}}
+	for _, bl := range []bool{false, true} {
+		got := collectJoin(left, 0, right, 0, bl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("buildLeft=%v:\n got %v\nwant %v", bl, got, want)
+		}
+	}
+}
+
+func TestJoinKeyOf(t *testing.T) {
+	if _, ok := JoinKeyOf(types.NullValue(types.Int64)); ok {
+		t.Fatal("NULL should produce no join key")
+	}
+	ik, _ := JoinKeyOf(i64(2))
+	fk, _ := JoinKeyOf(f64(2.0))
+	if ik != fk {
+		t.Fatalf("2 and 2.0 keys differ: %v vs %v", ik, fk)
+	}
+	fk2, _ := JoinKeyOf(f64(2.5))
+	if ik == fk2 {
+		t.Fatal("2 and 2.5 keys collide")
+	}
+}

@@ -33,6 +33,9 @@ type Pred struct {
 	kernels  []Kernel
 	residual expr.Expr
 	schema   types.Schema
+	// zones holds the prunable conjunct shapes (column CMP literal, IS [NOT]
+	// NULL) tested against per-container zone maps by CanPrune.
+	zones []zoneCheck
 }
 
 // NumKernels returns how many conjuncts compiled to typed kernels.
@@ -53,6 +56,9 @@ func Compile(where expr.Expr, schema types.Schema, segIdx []int) *Pred {
 	}
 	var residual []expr.Expr
 	for _, c := range splitConjuncts(where, nil) {
+		if z, ok := collectZoneChecks(c, schema); ok {
+			p.zones = append(p.zones, z)
+		}
 		if k, ok := lower(c, schema, segIdx); ok {
 			if k != nil { // nil = always-true conjunct, dropped
 				p.kernels = append(p.kernels, k)

@@ -58,8 +58,8 @@ type OrderItem struct {
 // Select is a query statement.
 type Select struct {
 	Items   []SelectItem
-	From    *TableRef // nil for FROM-less SELECT (e.g. SELECT LAST_EPOCH())
-	Join    *JoinClause
+	From    *TableRef     // nil for FROM-less SELECT (e.g. SELECT LAST_EPOCH())
+	Joins   []*JoinClause // inner equi-joins, in syntactic order
 	Where   expr.Expr
 	GroupBy []string
 	OrderBy []OrderItem
@@ -77,6 +77,15 @@ type Profile struct {
 }
 
 func (*Profile) isStmt() {}
+
+// Explain wraps a SELECT to plan it without executing: the result set is the
+// planner's chosen strategy — join order, build sides, pushdowns, and
+// per-table container pruning from zone maps.
+type Explain struct {
+	Select *Select
+}
+
+func (*Explain) isStmt() {}
 
 // ColumnDef is one column in a CREATE TABLE.
 type ColumnDef struct {

@@ -106,6 +106,13 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &Profile{Select: sel}, nil
+	case p.isKw("EXPLAIN"):
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Select: sel}, nil
 	case p.isKw("CREATE"):
 		return p.parseCreate()
 	case p.isKw("DROP"):
@@ -136,7 +143,7 @@ func (p *parser) parseStatement() (Statement, error) {
 }
 
 // parseSelect parses [AT EPOCH n|LATEST] SELECT items [FROM t [JOIN u ON
-// a=b]] [WHERE p] [GROUP BY cols] [LIMIT n].
+// a=b]...] [WHERE p] [GROUP BY cols] [LIMIT n].
 func (p *parser) parseSelect() (*Select, error) {
 	sel := &Select{Limit: -1}
 	if p.acceptKw("AT") {
@@ -179,7 +186,7 @@ func (p *parser) parseSelect() (*Select, error) {
 			return nil, err
 		}
 		sel.From = tr
-		if p.acceptKw("JOIN") || p.acceptKw("INNER") {
+		for p.acceptKw("JOIN") || p.acceptKw("INNER") {
 			p.acceptKw("JOIN")
 			right, err := p.parseTableRef()
 			if err != nil {
@@ -199,7 +206,7 @@ func (p *parser) parseSelect() (*Select, error) {
 			if err != nil {
 				return nil, err
 			}
-			sel.Join = &JoinClause{Right: *right, LeftCol: lc, RightCol: rc}
+			sel.Joins = append(sel.Joins, &JoinClause{Right: *right, LeftCol: lc, RightCol: rc})
 		}
 	}
 	if p.acceptKw("WHERE") {

@@ -106,14 +106,45 @@ func TestParseGroupBy(t *testing.T) {
 
 func TestParseJoin(t *testing.T) {
 	sel := parseSelect(t, "SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k WHERE a.x > 0")
-	if sel.Join == nil {
-		t.Fatal("join not parsed")
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins = %d, want 1", len(sel.Joins))
 	}
-	if sel.From.Alias != "a" || sel.Join.Right.Alias != "b" {
-		t.Errorf("aliases: %q %q", sel.From.Alias, sel.Join.Right.Alias)
+	jc := sel.Joins[0]
+	if sel.From.Alias != "a" || jc.Right.Alias != "b" {
+		t.Errorf("aliases: %q %q", sel.From.Alias, jc.Right.Alias)
 	}
-	if sel.Join.LeftCol != "a.k" || sel.Join.RightCol != "b.k" {
-		t.Errorf("on: %q = %q", sel.Join.LeftCol, sel.Join.RightCol)
+	if jc.LeftCol != "a.k" || jc.RightCol != "b.k" {
+		t.Errorf("on: %q = %q", jc.LeftCol, jc.RightCol)
+	}
+}
+
+func TestParseMultiJoin(t *testing.T) {
+	sel := parseSelect(t, "SELECT o.id FROM o JOIN c ON o.cid = c.cid INNER JOIN r ON c.rid = r.rid WHERE o.amt > 5")
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(sel.Joins))
+	}
+	if sel.Joins[0].Right.Name != "c" || sel.Joins[1].Right.Name != "r" {
+		t.Errorf("join targets: %q %q", sel.Joins[0].Right.Name, sel.Joins[1].Right.Name)
+	}
+	if sel.Joins[1].LeftCol != "c.rid" || sel.Joins[1].RightCol != "r.rid" {
+		t.Errorf("second ON: %q = %q", sel.Joins[1].LeftCol, sel.Joins[1].RightCol)
+	}
+	if sel.Where == nil {
+		t.Error("WHERE lost after join list")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT grp, COUNT(*) FROM t WHERE v > 3 GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*Explain)
+	if !ok {
+		t.Fatalf("statement = %T, want *Explain", stmt)
+	}
+	if ex.Select == nil || ex.Select.From == nil || ex.Select.From.Name != "t" {
+		t.Errorf("wrapped select not parsed: %+v", ex.Select)
 	}
 }
 
