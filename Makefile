@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke recover-test rebalance-test
+.PHONY: check build vet lint test race bench bench-smoke recover-test rebalance-test wire-test wire-smoke
 
 # The full verification gate: what CI (and every PR) must keep green.
 check: build vet lint race
@@ -40,6 +40,26 @@ rebalance-test:
 	$(GO) test -race -run 'AlterCluster|NodeRecovery|RecoveringNode|AtEpochPinnedAcrossRebalance|MembershipCrashSweep|RecoveryCrashSweep' ./internal/vertica/
 	$(GO) test -race -run 'SentinelRoundTrip' ./internal/server/
 	$(GO) test -race -run 'ElasticClusterChaosAcceptance|V2SReplansAcrossMembershipChange' ./internal/core/
+
+# Wire-protocol gate: the binary frame codec (property tests plus the fuzz
+# seed corpora), the v1/v2 handshake-downgrade matrix, pipelining order and
+# concurrent-connection suites, the mid-COPY desync regression, and the
+# resource-pool admission suites — all under the race detector.
+wire-test:
+	$(GO) test -race -run 'Bin|WireCode|Handshake|Pipeline|ExecuteStream|PoolSentinels|MidCopy|CopyEngineError|FrameCodec|ReadFrameRejects|WriteFrameSingle' ./internal/server/
+	$(GO) test -race -run xxx -fuzz FuzzBinRequestDecode -fuzztime 5s ./internal/server/
+	$(GO) test -race -run xxx -fuzz FuzzBinDoneDecode -fuzztime 5s ./internal/server/
+	$(GO) test -race -run xxx -fuzz FuzzBinErrorDecode -fuzztime 5s ./internal/server/
+	$(GO) test -race ./internal/pool/
+	$(GO) test -race -run 'ResourcePool|SetResourcePool|Admission|PoolDDL' ./internal/vertica/
+
+# Closed-loop wire benchmark at smoke scale: diffs binary-v2 against
+# JSON-v1 result sets cell by cell and checks admission control bounds
+# engine concurrency with queue waits visible in the histogram and
+# v_monitor.resource_queue_events. Shape gates only; timings at this scale
+# are noise. Full runs (`go run ./cmd/wireload`) write BENCH_wire.json.
+wire-smoke:
+	$(GO) run ./cmd/wireload -smoke -out BENCH_wire.json
 
 # Microbenchmarks plus the throughput gates: BENCH_scan.json,
 # BENCH_agg.json, and BENCH_join.json record ns/op and rows/s for the

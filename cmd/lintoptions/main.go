@@ -6,6 +6,13 @@
 // functional options so misspelled keys and out-of-range values fail at
 // compile time or construction, not deep inside a job.
 //
+// It also flags ad-hoc timeout parameters on exported constructors: a
+// Dial*/New*/Connect*/Open* function taking a bare time.Duration grows a
+// new variant for every knob (DialTimeout, DialTimeoutWithRetry, ...).
+// Constructors take functional options (server.WithDialTimeout et al.) or a
+// config struct instead; the one deprecated shim kept for compatibility is
+// allowlisted.
+//
 // Run as `make lint` (part of `make check`). Exit status 1 lists offenders.
 package main
 
@@ -36,6 +43,37 @@ var allowed = map[string]bool{
 	// The designated stringly→typed shims.
 	"internal/core: ParseV2SOptions": true,
 	"internal/core: ParseS2VOptions": true,
+}
+
+// allowedDuration names the exported constructors that may keep a bare
+// time.Duration parameter: deprecated shims preserved for compatibility.
+var allowedDuration = map[string]bool{
+	"internal/server: DialTimeout": true,
+}
+
+// constructorPrefixes are the exported-function name prefixes the
+// timeout-parameter rule applies to.
+var constructorPrefixes = []string{"Dial", "New", "Connect", "Open"}
+
+// isDuration reports whether the type expression is time.Duration.
+func isDuration(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Duration" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "time"
+}
+
+// isConstructor reports whether an exported function name reads as a
+// constructor the duration rule covers.
+func isConstructor(name string) bool {
+	for _, p := range constructorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // isOptionsMap reports whether the type expression is map[string]string.
@@ -83,23 +121,26 @@ func lintFile(fset *token.FileSet, root, path string) ([]string, error) {
 		if rn != "" && !ast.IsExported(strings.TrimSuffix(rn, ".")) {
 			continue
 		}
-		takesMap := false
+		takesMap, takesDuration := false, false
 		for _, p := range fd.Type.Params.List {
 			if isOptionsMap(p.Type) {
 				takesMap = true
-				break
+			}
+			if isDuration(p.Type) {
+				takesDuration = true
 			}
 		}
-		if !takesMap {
-			continue
-		}
 		key := fmt.Sprintf("%s: %s%s", filepath.ToSlash(rel), rn, fd.Name.Name)
-		if allowed[key] {
-			continue
+		if takesMap && !allowed[key] {
+			pos := fset.Position(fd.Pos())
+			bad = append(bad, fmt.Sprintf("%s:%d: exported %s%s takes map[string]string; use typed options (V2SOptions/S2VOptions) or allowlist it in cmd/lintoptions",
+				pos.Filename, pos.Line, rn, fd.Name.Name))
 		}
-		pos := fset.Position(fd.Pos())
-		bad = append(bad, fmt.Sprintf("%s:%d: exported %s%s takes map[string]string; use typed options (V2SOptions/S2VOptions) or allowlist it in cmd/lintoptions",
-			pos.Filename, pos.Line, rn, fd.Name.Name))
+		if takesDuration && rn == "" && isConstructor(fd.Name.Name) && !allowedDuration[key] {
+			pos := fset.Position(fd.Pos())
+			bad = append(bad, fmt.Sprintf("%s:%d: exported constructor %s takes a bare time.Duration; use functional options (e.g. WithDialTimeout) or a config struct, or allowlist it in cmd/lintoptions",
+				pos.Filename, pos.Line, fd.Name.Name))
+		}
 	}
 	return bad, nil
 }

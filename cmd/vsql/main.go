@@ -49,7 +49,7 @@ func main() {
 	var local *vertica.Cluster // non-nil only for the in-process engine
 	switch {
 	case *connect != "":
-		conn, err := server.Dial(*connect)
+		conn, err := server.DialContext(context.Background(), *connect, server.WithPeerName("vsql"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vsql: %v\n", err)
 			os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"syscall"
 
+	"vsfabric/internal/pool"
 	"vsfabric/internal/vertica"
 )
 
@@ -102,6 +103,10 @@ func IsTransient(err error) bool {
 		// same statement succeeds against any other address.
 		errors.Is(err, vertica.ErrNodeRemoved),
 		errors.Is(err, vertica.ErrSessionLimit),
+		// Admission-control refusals clear as running statements release
+		// their pool slots: back off and retry (possibly on another node).
+		errors.Is(err, pool.ErrQueueTimeout),
+		errors.Is(err, pool.ErrRejected),
 		errors.Is(err, ErrConnRefused),
 		errors.Is(err, ErrConnDropped),
 		errors.Is(err, os.ErrDeadlineExceeded),

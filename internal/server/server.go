@@ -5,9 +5,12 @@
 // the connector can run over it through DialConnector.
 //
 // Wire format: every message is one frame — a 1-byte type, a 4-byte
-// big-endian payload length, and the payload. Requests are JSON ('Q' query,
-// 'C' copy-begin) or raw bytes ('D' copy data, 'E' copy end); responses are
-// JSON ('R' result, 'X' error).
+// big-endian payload length, and the payload. Two protocol versions share
+// that framing. v1 requests are JSON ('Q' query, 'C' copy-begin) or raw
+// bytes ('D' copy data, 'E' copy end); responses are JSON ('R' result,
+// 'X' error). v2 (negotiated by an 'H' hello frame, see wire.go) carries
+// binary requests ('q'/'c') tagged for pipelining and streams results as
+// columnar batch frames ('b') followed by a done frame ('z').
 package server
 
 import (
@@ -22,10 +25,12 @@ import (
 
 	"vsfabric/internal/obs"
 	"vsfabric/internal/resilience"
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
 	"vsfabric/internal/vertica"
 )
 
-// Frame types.
+// v1 frame types ('D'/'E' are shared with v2 COPY streams).
 const (
 	frameQuery    = 'Q'
 	frameCopy     = 'C'
@@ -62,40 +67,8 @@ type response struct {
 	// down node (retry/failover, the node returns), a removed node (fail over
 	// permanently, it never returns), a session-limit rejection (back off or
 	// connect elsewhere) — with errors.Is, exactly as in-process callers do.
+	// The code↔sentinel mapping lives in the wireCodes registry (wire.go).
 	Code string `json:"code,omitempty"`
-}
-
-// Wire codes for engine sentinels (response.Code).
-const (
-	codeNodeDown     = "node_down"
-	codeNodeRemoved  = "node_removed"
-	codeSessionLimit = "session_limit"
-)
-
-// sentinelCode maps an error chain to its wire code ("" when none applies).
-func sentinelCode(e error) string {
-	switch {
-	case errors.Is(e, vertica.ErrNodeRemoved):
-		return codeNodeRemoved
-	case errors.Is(e, vertica.ErrNodeDown):
-		return codeNodeDown
-	case errors.Is(e, vertica.ErrSessionLimit):
-		return codeSessionLimit
-	}
-	return ""
-}
-
-// sentinelFor is the client-side inverse of sentinelCode.
-func sentinelFor(code string) error {
-	switch code {
-	case codeNodeDown:
-		return vertica.ErrNodeDown
-	case codeNodeRemoved:
-		return vertica.ErrNodeRemoved
-	case codeSessionLimit:
-		return vertica.ErrSessionLimit
-	}
-	return nil
 }
 
 // writeFrame emits one frame with a single Write: header and payload are
@@ -130,6 +103,11 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 type Server struct {
 	cluster *vertica.Cluster
 	nodeID  int
+
+	// MaxProtocol caps the protocol version this server negotiates
+	// (0 means the newest this build speaks). Set to 1 to force JSON
+	// framing for every client — the downgrade path old servers exercise.
+	MaxProtocol int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -184,49 +162,192 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
+// handle sniffs the first frame to pick a protocol: an 'H' hello starts v2
+// negotiation, while a v1 JSON request means a legacy client that never
+// handshakes — it gets the v1 loop with its first request replayed.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case frameHello:
+		s.handleHello(conn, payload)
+	case frameQuery, frameCopy:
+		s.serveV1(conn, typ, payload)
+	default:
+		_ = sendError(conn, fmt.Errorf("%w: unexpected first frame %q", ErrProtocol, typ))
+	}
+}
+
+func (s *Server) handleHello(conn net.Conn, payload []byte) {
+	var h hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return
+	}
+	max := s.MaxProtocol
+	if max <= 0 || max > maxProtocol {
+		max = maxProtocol
+	}
+	ver := h.MaxVersion
+	if ver > max {
+		ver = max
+	}
+	if ver < protocolV1 {
+		ver = protocolV1
+	}
+	reply, _ := json.Marshal(hello{Version: ver})
+	if err := writeFrame(conn, frameHello, reply); err != nil {
+		return
+	}
+	if ver < protocolV2 {
+		// Downgraded: the client falls back to JSON framing.
+		s.serveV1(conn, 0, nil)
+		return
+	}
+	s.serveV2(conn)
+}
+
+// serveV1 runs the legacy JSON request loop. first/firstPayload replay a
+// request that was consumed while sniffing the protocol (0 = none).
+func (s *Server) serveV1(conn net.Conn, first byte, firstPayload []byte) {
 	sess, err := s.cluster.Connect(s.nodeID)
 	if err != nil {
 		_ = sendError(conn, err)
 		return
 	}
 	defer sess.Close()
+	typ, payload := first, firstPayload
 	for {
-		typ, payload, err := readFrame(conn)
-		if err != nil {
-			return // client hung up
+		if typ == 0 {
+			var err error
+			typ, payload, err = readFrame(conn)
+			if err != nil {
+				return // client hung up
+			}
 		}
 		switch typ {
 		case frameQuery:
 			var req request
 			if err := json.Unmarshal(payload, &req); err != nil {
 				_ = sendError(conn, err)
-				continue
+				break
 			}
 			res, err := sess.ExecuteContext(s.reqCtx(conn, req), req.SQL)
 			if err != nil {
 				_ = sendError(conn, err)
-				continue
+				break
 			}
 			_ = sendResult(conn, res)
 		case frameCopy:
 			var req request
 			if err := json.Unmarshal(payload, &req); err != nil {
 				_ = sendError(conn, err)
-				continue
+				break
 			}
-			res, err := sess.CopyFromContext(s.reqCtx(conn, req), req.SQL, &copyReader{conn: conn})
+			cr := &copyReader{conn: conn}
+			res, err := sess.CopyFromContext(s.reqCtx(conn, req), req.SQL, cr)
 			if err != nil {
+				if !copyRecoverable(sess, cr) {
+					_ = sendError(conn, fmt.Errorf("%w: COPY stream broken: %v", ErrProtocol, err))
+					return
+				}
 				_ = sendError(conn, err)
-				continue
+				break
 			}
 			_ = sendResult(conn, res)
 		default:
-			_ = sendError(conn, fmt.Errorf("server: unexpected frame %q", typ))
+			_ = sendError(conn, fmt.Errorf("%w: unexpected frame %q", ErrProtocol, typ))
+			return
+		}
+		typ, payload = 0, nil
+	}
+}
+
+// serveV2 runs the binary request loop: requests execute in arrival order
+// and every response frame echoes its request's tag, so clients pipeline
+// freely and match responses FIFO.
+func (s *Server) serveV2(conn net.Conn) {
+	sess, sessErr := s.cluster.Connect(s.nodeID)
+	if sess != nil {
+		defer sess.Close()
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return // client hung up
+		}
+		switch typ {
+		case frameBinQuery:
+			req, err := decodeBinRequest(payload)
+			if err != nil {
+				// No trustworthy tag to address a reply to: close.
+				_ = s.sendBinError(conn, req.Tag, err)
+				return
+			}
+			if sessErr != nil {
+				_ = s.sendBinError(conn, req.Tag, sessErr)
+				break
+			}
+			res, err := sess.ExecuteContext(s.reqCtx(conn, request{SQL: req.SQL, TraceID: req.TraceID, ParentID: req.ParentID, Peer: req.Peer}), req.SQL)
+			if err != nil {
+				_ = s.sendBinError(conn, req.Tag, err)
+				break
+			}
+			if err := s.sendBinResult(conn, req.Tag, res); err != nil {
+				return
+			}
+		case frameBinCopy:
+			req, err := decodeBinRequest(payload)
+			if err != nil {
+				_ = s.sendBinError(conn, req.Tag, err)
+				return
+			}
+			if sessErr != nil {
+				// The copy stream still owns the connection; without a
+				// session to drain into, close rather than desync.
+				_ = s.sendBinError(conn, req.Tag, sessErr)
+				return
+			}
+			cr := &copyReader{conn: conn}
+			res, err := sess.CopyFromContext(s.reqCtx(conn, request{SQL: req.SQL, TraceID: req.TraceID, ParentID: req.ParentID, Peer: req.Peer}), req.SQL, cr)
+			if err != nil {
+				if !copyRecoverable(sess, cr) {
+					_ = s.sendBinError(conn, req.Tag, fmt.Errorf("%w: COPY stream broken: %v", ErrProtocol, err))
+					return
+				}
+				_ = s.sendBinError(conn, req.Tag, err)
+				break
+			}
+			if err := s.sendBinResult(conn, req.Tag, res); err != nil {
+				return
+			}
+		default:
+			_ = s.sendBinError(conn, 0, fmt.Errorf("%w: unexpected frame %q", ErrProtocol, typ))
 			return
 		}
 	}
+}
+
+// copyRecoverable restores frame sync after a failed COPY. The engine can
+// fail a COPY before consuming the whole client stream; the unread 'D'
+// frames would otherwise be parsed as requests — the desync that used to
+// leak an open server-side transaction. If the stream is intact the
+// remaining frames are drained and the session continues (true). If the
+// stream itself broke (malformed frame, torn connection), any open explicit
+// transaction is rolled back so its locks and writes don't outlive the
+// connection, and the caller must close (false).
+func copyRecoverable(sess *vertica.Session, cr *copyReader) bool {
+	if !cr.broken {
+		if cr.drain() == nil {
+			return true
+		}
+	}
+	if sess.InTxn() {
+		_, _ = sess.Execute("ROLLBACK")
+	}
+	return false
 }
 
 // reqCtx builds the context one remote request executes under: the node's
@@ -253,6 +374,9 @@ type copyReader struct {
 	conn net.Conn
 	buf  []byte
 	done bool
+	// broken records a protocol violation mid-stream: the connection can no
+	// longer be re-synced to a frame boundary.
+	broken bool
 }
 
 func (c *copyReader) Read(p []byte) (int, error) {
@@ -262,6 +386,7 @@ func (c *copyReader) Read(p []byte) (int, error) {
 		}
 		typ, payload, err := readFrame(c.conn)
 		if err != nil {
+			c.broken = true
 			return 0, err
 		}
 		switch typ {
@@ -270,12 +395,25 @@ func (c *copyReader) Read(p []byte) (int, error) {
 		case frameCopyEnd:
 			c.done = true
 		default:
-			return 0, fmt.Errorf("server: unexpected frame %q during COPY", typ)
+			c.broken = true
+			return 0, fmt.Errorf("%w: unexpected frame %q during COPY", ErrProtocol, typ)
 		}
 	}
 	n := copy(p, c.buf)
 	c.buf = c.buf[n:]
 	return n, nil
+}
+
+// drain consumes the rest of the copy stream up to its 'E' frame, so the
+// connection is back on a request boundary after an engine-side COPY error.
+func (c *copyReader) drain() error {
+	var sink [4096]byte
+	for !c.done {
+		if _, err := c.Read(sink[:]); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	return nil
 }
 
 func sendResult(w io.Writer, res *vertica.Result) error {
@@ -293,6 +431,87 @@ func sendError(w io.Writer, e error) error {
 		Code:      sentinelCode(e),
 	})
 	return writeFrame(w, frameError, payload)
+}
+
+// coerceRows aligns row values with the declared result schema. Engine
+// results are permissive — an expression over a FLOAT column can yield
+// INTEGER-kinded values — but the columnar wire encoding is strict about
+// vector types. Rows are copied only when a value actually needs converting;
+// untouched rows alias the engine's (possibly shared) backing storage.
+func coerceRows(schema types.Schema, rows []types.Row) []types.Row {
+	out := rows
+	copied := false
+	for i, row := range rows {
+		rowCopied := false
+		for j, v := range row {
+			want := schema.Cols[j].T
+			if v.T == want || want == types.Unknown {
+				continue
+			}
+			if !copied {
+				out = append([]types.Row(nil), rows...)
+				copied = true
+			}
+			if !rowCopied {
+				out[i] = append(types.Row(nil), row...)
+				rowCopied = true
+			}
+			switch {
+			case v.Null:
+				out[i][j] = types.NullValue(want)
+			case want == types.Int64:
+				out[i][j] = types.IntValue(v.AsInt())
+			case want == types.Float64:
+				out[i][j] = types.FloatValue(v.AsFloat())
+			case want == types.Bool:
+				out[i][j] = types.BoolValue(v.AsBool())
+			default:
+				out[i][j] = types.StringValue(v.String())
+			}
+		}
+	}
+	return out
+}
+
+// sendBinResult streams one statement's outcome: zero or more columnar
+// batch frames (chunked so each stays well under the frame limit, and at
+// least one whenever the result carries a schema — zero-row schema probes
+// must arrive intact), then the done frame with the scalar outcome.
+func (s *Server) sendBinResult(conn net.Conn, tag uint32, res *vertica.Result) error {
+	if res.Schema.NumCols() > 0 {
+		rows := coerceRows(res.Schema, res.Rows)
+		for first := true; first || len(rows) > 0; first = false {
+			chunk := rows
+			if len(chunk) > wireBatchRows {
+				chunk = chunk[:wireBatchRows]
+			}
+			rows = rows[len(chunk):]
+			enc, err := storage.EncodeRows(res.Schema, chunk)
+			if err != nil {
+				return s.sendBinError(conn, tag, err)
+			}
+			payload := make([]byte, 4, 4+len(enc))
+			binary.BigEndian.PutUint32(payload, tag)
+			if err := writeFrame(conn, frameBatch, append(payload, enc...)); err != nil {
+				return err
+			}
+		}
+	}
+	return writeFrame(conn, frameDone, encodeBinDone(binDone{
+		Tag:          tag,
+		RowsAffected: res.RowsAffected,
+		Epoch:        res.Epoch,
+		Copy:         res.Copy,
+	}))
+}
+
+func (s *Server) sendBinError(conn net.Conn, tag uint32, e error) error {
+	return writeFrame(conn, frameBinError, encodeBinError(binError{
+		Tag:       tag,
+		Transient: resilience.IsTransient(e),
+		Code:      sentinelCode(e),
+		Msg:       e.Error(),
+	}))
 }
 
 // ErrRemote wraps errors reported by the server.

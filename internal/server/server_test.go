@@ -10,7 +10,6 @@ import (
 	"vsfabric/internal/vertica"
 )
 
-
 // startCluster brings up a cluster with one TCP server per node and returns
 // the connector mapping node addresses to TCP endpoints.
 func startCluster(t *testing.T, nodes int) (*vertica.Cluster, *DialConnector) {

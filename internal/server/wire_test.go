@@ -1,0 +1,605 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vsfabric/internal/pool"
+	"vsfabric/internal/resilience"
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+	"vsfabric/internal/vertica"
+)
+
+// --- binary codec property tests -----------------------------------------
+
+func TestBinRequestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	randString := func(max int) string {
+		b := make([]byte, rng.Intn(max))
+		rng.Read(b)
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		in := binRequest{
+			Tag:      rng.Uint32(),
+			TraceID:  rng.Uint64(),
+			ParentID: rng.Uint64(),
+			Peer:     randString(64),
+			SQL:      randString(512),
+		}
+		out, err := decodeBinRequest(encodeBinRequest(in))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if out != in {
+			t.Fatalf("iteration %d: %+v != %+v", i, out, in)
+		}
+	}
+}
+
+func TestBinDoneRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		in := binDone{
+			Tag:          rng.Uint32(),
+			RowsAffected: int64(rng.Uint32()),
+			Epoch:        rng.Uint64(),
+		}
+		if rng.Intn(2) == 0 {
+			cp := &vertica.CopyResult{Loaded: int64(rng.Intn(1e6)), Rejected: int64(rng.Intn(100))}
+			for j := rng.Intn(4); j > 0; j-- {
+				cp.RejectedSample = append(cp.RejectedSample, fmt.Sprintf("bad row %d", j))
+			}
+			in.Copy = cp
+		}
+		out, err := decodeBinDone(encodeBinDone(in))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if out.Tag != in.Tag || out.RowsAffected != in.RowsAffected || out.Epoch != in.Epoch {
+			t.Fatalf("iteration %d: %+v != %+v", i, out, in)
+		}
+		switch {
+		case (out.Copy == nil) != (in.Copy == nil):
+			t.Fatalf("iteration %d: copy presence mismatch", i)
+		case in.Copy != nil:
+			if out.Copy.Loaded != in.Copy.Loaded || out.Copy.Rejected != in.Copy.Rejected ||
+				len(out.Copy.RejectedSample) != len(in.Copy.RejectedSample) {
+				t.Fatalf("iteration %d: %+v != %+v", i, out.Copy, in.Copy)
+			}
+		}
+	}
+}
+
+func TestBinErrorRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	codes := []string{"", "node_down", "pool_queue_timeout", "protocol_error", "made_up"}
+	for i := 0; i < 500; i++ {
+		in := binError{
+			Tag:       rng.Uint32(),
+			Transient: rng.Intn(2) == 0,
+			Code:      codes[rng.Intn(len(codes))],
+			Msg:       fmt.Sprintf("error %d", rng.Uint32()),
+		}
+		out, err := decodeBinError(encodeBinError(in))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if out != in {
+			t.Fatalf("iteration %d: %+v != %+v", i, out, in)
+		}
+	}
+}
+
+// TestBinCodecRejectsTruncated feeds every prefix of valid frames to the
+// decoders: none may panic, and all must fail cleanly with ErrProtocol.
+func TestBinCodecRejectsTruncated(t *testing.T) {
+	req := encodeBinRequest(binRequest{Tag: 7, TraceID: 9, ParentID: 11, Peer: "exec-1", SQL: "SELECT 1"})
+	done := encodeBinDone(binDone{Tag: 7, RowsAffected: 3, Epoch: 12, Copy: &vertica.CopyResult{Loaded: 5, RejectedSample: []string{"x"}}})
+	berr := encodeBinError(binError{Tag: 7, Transient: true, Code: "node_down", Msg: "boom"})
+	for n := 0; n < len(req); n++ {
+		if _, err := decodeBinRequest(req[:n]); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("request prefix %d: %v", n, err)
+		}
+	}
+	for n := 0; n < len(done); n++ {
+		if _, err := decodeBinDone(done[:n]); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("done prefix %d: %v", n, err)
+		}
+	}
+	for n := 0; n < len(berr); n++ {
+		if _, err := decodeBinError(berr[:n]); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("error prefix %d: %v", n, err)
+		}
+	}
+	// Trailing garbage after a well-formed request must be rejected too:
+	// silently ignoring it would mask framing bugs.
+	if _, err := decodeBinRequest(append(append([]byte(nil), req...), 0xFF)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+}
+
+// FuzzBinRequestDecode asserts the request decoder never panics and that
+// anything it accepts re-encodes byte-identically (a decoded value is a
+// faithful reading, not a lossy one).
+func FuzzBinRequestDecode(f *testing.F) {
+	f.Add(encodeBinRequest(binRequest{Tag: 1, SQL: "SELECT 1"}))
+	f.Add(encodeBinRequest(binRequest{Tag: 2, TraceID: 3, ParentID: 4, Peer: "p", SQL: "COPY t FROM STDIN"}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeBinRequest(data)
+		if err != nil {
+			return
+		}
+		if got := encodeBinRequest(req); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data)
+		}
+	})
+}
+
+// FuzzBinDoneDecode does the same for the done-frame decoder, whose
+// variable-length copy-stats section is the richest part of the codec.
+func FuzzBinDoneDecode(f *testing.F) {
+	f.Add(encodeBinDone(binDone{Tag: 1, RowsAffected: 10, Epoch: 2}))
+	f.Add(encodeBinDone(binDone{Tag: 9, Copy: &vertica.CopyResult{Loaded: 4, Rejected: 1, RejectedSample: []string{"r"}}}))
+	f.Add([]byte{0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := decodeBinDone(data)
+		if err != nil {
+			return
+		}
+		if got := encodeBinDone(d); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data)
+		}
+	})
+}
+
+func FuzzBinErrorDecode(f *testing.F) {
+	f.Add(encodeBinError(binError{Tag: 1, Code: "node_down", Msg: "m"}))
+	f.Add(encodeBinError(binError{Tag: 2, Transient: true, Msg: "boom"}))
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeBinError(data)
+		if err != nil {
+			return
+		}
+		if got := encodeBinError(e); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data)
+		}
+	})
+}
+
+// TestWireCodeRegistry pins the registry round trip for every entry, and
+// the precedence that an error chain carrying both node sentinels reports
+// the more specific one.
+func TestWireCodeRegistry(t *testing.T) {
+	for _, wc := range wireCodes {
+		if got := sentinelCode(fmt.Errorf("wrapped: %w", wc.err)); got != wc.code {
+			t.Errorf("sentinelCode(%v) = %q, want %q", wc.err, got, wc.code)
+		}
+		if got := sentinelFor(wc.code); got != wc.err {
+			t.Errorf("sentinelFor(%q) = %v, want %v", wc.code, got, wc.err)
+		}
+	}
+	if sentinelCode(errors.New("plain")) != "" || sentinelFor("nope") != nil {
+		t.Error("unknown errors and codes must map to zero values")
+	}
+	both := fmt.Errorf("%w: %w", vertica.ErrNodeRemoved, vertica.ErrNodeDown)
+	if got := sentinelCode(both); got != "node_removed" {
+		t.Errorf("removed+down chain coded %q, want node_removed", got)
+	}
+}
+
+// --- protocol negotiation -------------------------------------------------
+
+// TestHandshakeDowngrade runs the same workload against servers capped at
+// each protocol version and a client capped at v1: every combination must
+// negotiate the min of the two and produce identical results.
+func TestHandshakeDowngrade(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	cases := []struct {
+		name           string
+		serverMax      int
+		clientOpts     []Option
+		wantNegotiated int
+	}{
+		{"v2-both", 0, nil, protocolV2},
+		{"server-v1", protocolV1, nil, protocolV1},
+		{"client-v1", 0, []Option{WithProtocol(protocolV1)}, protocolV1},
+		{"both-v1", protocolV1, []Option{WithProtocol(protocolV1)}, protocolV1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := New(cl, 0)
+			srv.MaxProtocol = tc.serverMax
+			ep, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := DialContext(bg, ep, tc.clientOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			table := "t_" + strings.ReplaceAll(tc.name, "-", "_")
+			for _, sql := range []string{
+				"CREATE TABLE " + table + " (id INTEGER, name VARCHAR)",
+				"INSERT INTO " + table + " VALUES (1, 'a'), (2, 'b')",
+			} {
+				if _, err := c.Execute(bg, sql); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := c.Execute(bg, "SELECT id, name FROM "+table+" ORDER BY id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 2 || res.Rows[1][1].S != "b" {
+				t.Fatalf("rows = %v", res.Rows)
+			}
+			if c.Protocol() != tc.wantNegotiated {
+				t.Fatalf("negotiated v%d, want v%d", c.Protocol(), tc.wantNegotiated)
+			}
+			// Zero-row results keep their schema on every protocol: the
+			// connector's schema probe depends on it.
+			probe, err := c.Execute(bg, "SELECT * FROM "+table+" WHERE id = 99")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if probe.Schema.NumCols() != 2 || len(probe.Rows) != 0 {
+				t.Fatalf("probe schema %v rows %v", probe.Schema, probe.Rows)
+			}
+		})
+	}
+}
+
+// --- pipelining -----------------------------------------------------------
+
+// TestPipelineOrderAndErrors queues a mixed batch (including a failing
+// statement mid-pipeline) and checks responses come back complete, in
+// order, with the failure isolated to its own slot.
+func TestPipelineOrderAndErrors(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(bg, "CREATE TABLE seq (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+
+	p := c.Pipeline()
+	const batch = 40
+	for i := 0; i < batch; i++ {
+		sql := fmt.Sprintf("INSERT INTO seq VALUES (%d)", i)
+		if i == 17 {
+			sql = "SELECT * FROM no_such_table"
+		}
+		if err := p.Queue(bg, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Queue(bg, "SELECT COUNT(*) FROM seq"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := p.Collect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != batch+1 {
+		t.Fatalf("%d results, want %d", len(results), batch+1)
+	}
+	for i, r := range results[:batch] {
+		if i == 17 {
+			if r.Err == nil || !errors.Is(r.Err, ErrRemote) {
+				t.Fatalf("slot 17: err = %v, want remote error", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+		if r.Result.RowsAffected != 1 {
+			t.Fatalf("slot %d: rows affected %d", i, r.Result.RowsAffected)
+		}
+	}
+	count := results[batch]
+	if count.Err != nil || count.Result.Rows[0][0].AsInt() != batch-1 {
+		t.Fatalf("final count: %+v", count)
+	}
+
+	// The pipeline resets after Collect and the connection still serves
+	// plain requests.
+	if err := p.Queue(bg, "SELECT 1 FROM seq WHERE n = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if results, err = p.Collect(bg); err != nil || len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("reused pipeline: %v %+v", err, results)
+	}
+	if _, err := c.Execute(bg, "SELECT COUNT(*) FROM seq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineConcurrentConnections drives many pipelining connections in
+// parallel (run under -race in CI) to shake out shared-state races in the
+// server's per-connection loops.
+func TestPipelineConcurrentConnections(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	setup, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Execute(bg, "CREATE TABLE race_t (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	const conns, perConn = 8, 25
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := DialContext(bg, ep)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			p := c.Pipeline()
+			for j := 0; j < perConn; j++ {
+				if err := p.Queue(bg, fmt.Sprintf("INSERT INTO race_t VALUES (%d)", id*perConn+j)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			results, err := p.Collect(bg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					t.Error(r.Err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	check, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	res, err := check.Execute(bg, "SELECT COUNT(*) FROM race_t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != conns*perConn {
+		t.Fatalf("count = %d, want %d", got, conns*perConn)
+	}
+}
+
+// --- streaming ------------------------------------------------------------
+
+// TestExecuteStreamBatches checks a large result arrives as multiple
+// columnar batches whose concatenation equals the boxed result.
+func TestExecuteStreamBatches(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(bg, "CREATE TABLE big (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	var ins strings.Builder
+	ins.WriteString("INSERT INTO big VALUES (0)")
+	const total = 3 * wireBatchRows / 2
+	for i := 1; i < total; i++ {
+		fmt.Fprintf(&ins, ", (%d)", i)
+	}
+	if _, err := c.Execute(bg, ins.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	var batches, rows int
+	res, err := c.ExecuteStream(bg, "SELECT n FROM big", func(schema types.Schema, cols []storage.Column, n int) error {
+		batches++
+		rows += n
+		if schema.NumCols() != 1 || len(cols) != 1 || cols[0].Len() != n {
+			return fmt.Errorf("batch shape: %d cols, %d rows", len(cols), n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != total {
+		t.Fatalf("streamed %d rows, want %d", rows, total)
+	}
+	if batches < 2 {
+		t.Fatalf("result of %d rows should stream in >1 batch, got %d", total, batches)
+	}
+	if len(res.Rows) != 0 || res.Schema.NumCols() != 1 {
+		t.Fatalf("streamed result should carry schema but no rows: %+v", res)
+	}
+}
+
+// --- error handling -------------------------------------------------------
+
+// TestPoolSentinelsOverWire checks admission-control refusals keep their
+// errors.Is identity and transient classification across the wire.
+func TestPoolSentinelsOverWire(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, sql := range []string{
+		"CREATE TABLE pt (n INTEGER)",
+		"INSERT INTO pt VALUES (1)",
+		"CREATE RESOURCE POOL tiny MAXCONCURRENCY 1 MAXQUEUEDEPTH NONE QUEUETIMEOUT '5ms'",
+		"SET RESOURCE_POOL = tiny",
+	} {
+		if _, err := c.Execute(bg, sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	rel, _, err := mustAdmit(t, cl, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := c.Execute(bg, "SELECT * FROM pt")
+	rel()
+	if !errors.Is(qerr, pool.ErrQueueTimeout) || !errors.Is(qerr, ErrRemote) {
+		t.Fatalf("queue timeout lost identity over wire: %v", qerr)
+	}
+	if !resilience.IsTransient(qerr) {
+		t.Fatalf("queue timeout should be transient over wire: %v", qerr)
+	}
+	// The session recovers once the pool drains.
+	if _, err := c.Execute(bg, "SELECT * FROM pt"); err != nil {
+		t.Fatalf("session did not recover after queue timeout: %v", err)
+	}
+}
+
+// TestMidCopyProtocolErrorAbortsTxn is the regression test for the frame
+// desync bug: a malformed frame inside a COPY stream used to leave the
+// server parsing copy data as requests, with the client's open transaction
+// holding its locks server-side. Now the server rolls the transaction back,
+// answers with a typed protocol error, and closes.
+func TestMidCopyProtocolErrorAbortsTxn(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, sql := range []string{
+		"CREATE TABLE ct (n INTEGER, s VARCHAR)",
+		"BEGIN",
+		"INSERT INTO ct VALUES (1, 'pre')",
+	} {
+		if _, err := c.Execute(bg, sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+
+	// Send the copy-begin by hand, then violate the protocol mid-stream: a
+	// 'Q' frame where only 'D'/'E' are legal.
+	tag, err := c.sendBinRequest(bg, frameBinCopy, "COPY ct FROM STDIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeFrame(bg, frameCopyData, []byte("2,mid\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeFrame(bg, frameQuery, []byte(`{"sql":"SELECT 1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.readBinResponse(bg, tag, nil)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("mid-copy violation: err = %v, want typed protocol error", err)
+	}
+	// The server must have closed the connection: re-syncing is impossible.
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := readFrame(c.conn); err == nil {
+		t.Fatal("server kept the connection open after a broken COPY stream")
+	}
+
+	// The aborted transaction must not leak: a fresh session sees no
+	// uncommitted rows and can write immediately (no lock left behind).
+	c2, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res, err := c2.Execute(bg, "SELECT COUNT(*) FROM ct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 0 {
+		t.Fatalf("%d rows visible from aborted txn, want 0", got)
+	}
+	if _, err := c2.Execute(bg, "INSERT INTO ct VALUES (9, 'post')"); err != nil {
+		t.Fatalf("aborted txn left the table locked: %v", err)
+	}
+}
+
+// TestCopyEngineErrorKeepsSession checks the benign sibling of the desync
+// case: when the engine rejects a COPY but the client stream is intact, the
+// session continues.
+func TestCopyEngineErrorKeepsSession(t *testing.T) {
+	cl := vertica.MustNewCluster(1)
+	srv := New(cl, 0)
+	ep, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialContext(bg, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CopyFrom(bg, "COPY no_such_table FROM STDIN", strings.NewReader("1\n2\n")); err == nil {
+		t.Fatal("COPY into a missing table should fail")
+	}
+	if _, err := c.Execute(bg, "SELECT LAST_EPOCH()"); err != nil {
+		t.Fatalf("session should survive a failed COPY: %v", err)
+	}
+}
+
+func mustAdmit(t *testing.T, cl *vertica.Cluster, name string) (func(), pool.Result, error) {
+	t.Helper()
+	p, err := cl.Pools().Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Admit(context.Background(), 0, "test-hold")
+}

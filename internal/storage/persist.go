@@ -171,23 +171,49 @@ func EncodeRows(schema types.Schema, rows []types.Row) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeRows reverses EncodeRows.
-func DecodeRows(data []byte) (types.Schema, []types.Row, error) {
+// EncodeColumns serializes column vectors with their schema, in the exact
+// layout of EncodeRows — the payload format of streamed wire result batches.
+// nrows must match every column's length.
+func EncodeColumns(schema types.Schema, cols []Column, nrows int) ([]byte, error) {
+	var buf bytes.Buffer
+	writeSchema(&buf, schema)
+	writeUvarint(&buf, uint64(nrows))
+	if nrows > 0 {
+		if err := writeColumns(&buf, cols); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeColumns reverses EncodeColumns/EncodeRows without materializing
+// rows: the decoded vectors can feed a Batch (or the wire) directly.
+// nrows 0 returns nil columns with the schema intact.
+func DecodeColumns(data []byte) (types.Schema, []Column, int, error) {
 	r := bytes.NewReader(data)
 	schema, err := readSchema(r)
 	if err != nil {
-		return schema, nil, err
+		return schema, nil, 0, err
 	}
 	n64, err := binary.ReadUvarint(r)
 	if err != nil {
-		return schema, nil, err
+		return schema, nil, 0, err
 	}
 	n := int(n64)
 	if n == 0 {
-		return schema, nil, nil
+		return schema, nil, 0, nil
 	}
 	cols, err := readColumns(r, schema.NumCols(), n)
 	if err != nil {
+		return schema, nil, 0, err
+	}
+	return schema, cols, n, nil
+}
+
+// DecodeRows reverses EncodeRows.
+func DecodeRows(data []byte) (types.Schema, []types.Row, error) {
+	schema, cols, n, err := DecodeColumns(data)
+	if err != nil || n == 0 {
 		return schema, nil, err
 	}
 	rows := make([]types.Row, n)

@@ -15,6 +15,7 @@ import (
 	"vsfabric/internal/dfs"
 	"vsfabric/internal/expr"
 	"vsfabric/internal/obs"
+	"vsfabric/internal/pool"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/txn"
@@ -183,6 +184,11 @@ type Cluster struct {
 	// backs the v_monitor.query_requests / load_streams system tables.
 	mon *obs.Collector
 
+	// pools is the resource manager: named admission-control pools that
+	// bound per-pool memory and concurrency, with queueing. Every statement
+	// passes through its session's pool before executing.
+	pools *pool.Manager
+
 	// Durable-mode state (zero when Config.DataDir is empty): the data
 	// directory, the decoded-container cache, and the current write-ahead
 	// log with its file sequence number. walMu guards the log pointer across
@@ -211,6 +217,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		udx:      make(map[string]UDxFunc),
 		sessions: make(map[int]int),
 		mon:      obs.NewCollector(),
+		pools:    pool.NewManager(),
 	}
 	nodes := make([]*Node, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -311,6 +318,10 @@ func (c *Cluster) LastEpoch() uint64 { return c.txm.LastEpoch() }
 
 // NextJobID returns a cluster-unique id suffix for connector temp tables.
 func (c *Cluster) NextJobID() uint64 { return c.jobSeq.Add(1) }
+
+// Pools exposes the cluster's resource-pool manager (for tests and tools;
+// normal administration goes through CREATE/ALTER RESOURCE POOL SQL).
+func (c *Cluster) Pools() *pool.Manager { return c.pools }
 
 // Obs exposes the cluster's monitoring collector: the span/counter store
 // behind the v_monitor system tables. Disable it (Obs().SetEnabled(false))

@@ -12,6 +12,7 @@ import (
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/obs"
+	"vsfabric/internal/pool"
 	"vsfabric/internal/rebalance"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/txn"
@@ -53,6 +54,9 @@ const (
 	opAddNode
 	opRemoveNode
 	opRebalance
+	opCreatePool
+	opAlterPool
+	opDropPool
 )
 
 // ddlPayload is the JSON body of a RecDDL record.
@@ -68,6 +72,10 @@ type ddlPayload struct {
 	// ring, so replaying the record reproduces the placement exactly.
 	Node int   `json:"node,omitempty"`
 	Ring []int `json:"ring,omitempty"`
+	// Pool is the resulting config of a create/alter-pool record (Name names
+	// the pool). Alter logs the full post-change config, so replay of both
+	// opcodes is a plain upsert and the log's last word wins.
+	Pool *pool.Config `json:"pool,omitempty"`
 }
 
 // storeManifest locates one store's durable files (paths relative to the
@@ -105,6 +113,10 @@ type manifest struct {
 	Removed []int           `json:"removed,omitempty"`
 	Tables  []tableManifest `json:"tables,omitempty"`
 	Views   []viewManifest  `json:"views,omitempty"`
+	// Pools carries the non-built-in resource pools: pool DDL lives only in
+	// the WAL, so a checkpoint (which truncates the log) must carry the
+	// surviving configs in the manifest.
+	Pools map[string]pool.Config `json:"pools,omitempty"`
 }
 
 func (c *Cluster) durable() bool { return c.dataDir != "" }
@@ -352,6 +364,12 @@ func (c *Cluster) openDurable() error {
 		}
 	}
 	c.cat.SetMembership(ring)
+
+	// Restore checkpointed resource pools; the WAL replay below upserts any
+	// pool DDL logged since.
+	for name, cfg := range m.Pools {
+		c.pools.Ensure(name, cfg)
+	}
 
 	// Rebuild the catalog, loading each store's containers and WOS snapshot.
 	// Each table is rebuilt on the exact ring its manifest recorded — a crash
@@ -693,6 +711,17 @@ func (c *Cluster) replayDDL(rec wal.Record) error {
 		}
 		c.cat.SetMembership(p.Ring)
 		return nil
+	case opCreatePool, opAlterPool:
+		if p.Pool == nil {
+			return fmt.Errorf("vertica: replay: pool record without config")
+		}
+		c.pools.Ensure(p.Name, *p.Pool)
+		return nil
+	case opDropPool:
+		if err := c.pools.Drop(p.Name); err != nil && err != pool.ErrNotFound {
+			return err
+		}
+		return nil
 	case opRebalance:
 		tbl, ok := c.cat.Table(p.Name)
 		if !ok {
@@ -736,6 +765,15 @@ func (c *Cluster) Checkpoint() error {
 		if n.State() == NodeRemoved {
 			m.Removed = append(m.Removed, n.ID)
 		}
+	}
+	for _, ps := range c.pools.List() {
+		if ps.Name == pool.GeneralPool {
+			continue
+		}
+		if m.Pools == nil {
+			m.Pools = make(map[string]pool.Config)
+		}
+		m.Pools[ps.Name] = ps.Cfg
 	}
 	for _, tbl := range c.cat.Tables() {
 		tm := tableManifest{Def: tbl.Def, CreatedEpoch: tbl.CreatedEpoch, Ring: tbl.Ring}

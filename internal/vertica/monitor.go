@@ -121,6 +121,12 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		}
 		return rows, schema, nil
 
+	case "v_monitor.resource_pools":
+		return resourcePoolRows(s.cluster.pools)
+
+	case "v_monitor.resource_queue_events":
+		return resourceQueueEventRows(s.cluster.pools)
+
 	case "v_monitor.job_traces":
 		return jobTraces(s.cluster.mon)
 

@@ -1,0 +1,246 @@
+package vertica
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vsfabric/internal/pool"
+	"vsfabric/internal/types"
+)
+
+func TestResourcePoolDDLAndMonitor(t *testing.T) {
+	c := MustNewCluster(1)
+	s, _ := c.Connect(0)
+	defer s.Close()
+
+	s.MustExecute("CREATE RESOURCE POOL etl MEMORYSIZE '64M' MAXCONCURRENCY 4 MAXQUEUEDEPTH 16 QUEUETIMEOUT '2s'")
+	if _, err := s.Execute("CREATE RESOURCE POOL etl"); err == nil {
+		t.Fatal("duplicate CREATE should fail")
+	}
+	s.MustExecute("CREATE RESOURCE POOL IF NOT EXISTS etl")
+	s.MustExecute("ALTER RESOURCE POOL etl MAXCONCURRENCY 2")
+
+	res := s.MustExecute("SELECT * FROM v_monitor.resource_pools")
+	var found bool
+	for _, r := range res.Rows {
+		if r[0].S == "etl" {
+			found = true
+			if r[1].I != 64<<20 || r[2].I != 2 || r[3].I != 16 || r[4].I != 2000 {
+				t.Fatalf("etl row: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("etl missing from v_monitor.resource_pools")
+	}
+
+	s.MustExecute("DROP RESOURCE POOL etl")
+	if _, err := s.Execute("DROP RESOURCE POOL etl"); err == nil {
+		t.Fatal("dropping a dropped pool should fail")
+	}
+	s.MustExecute("DROP RESOURCE POOL IF EXISTS etl")
+	if _, err := s.Execute("DROP RESOURCE POOL general"); err == nil {
+		t.Fatal("dropping general should fail")
+	}
+}
+
+func TestSetResourcePool(t *testing.T) {
+	c := MustNewCluster(1)
+	s, _ := c.Connect(0)
+	defer s.Close()
+	if _, err := s.Execute("SET RESOURCE_POOL = ghost"); err == nil {
+		t.Fatal("SET to unknown pool should fail")
+	}
+	if _, err := s.Execute("SET WHATEVER = 1"); err == nil {
+		t.Fatal("unknown parameter should fail")
+	}
+	s.MustExecute("CREATE RESOURCE POOL p MAXCONCURRENCY 1")
+	s.MustExecute("SET SESSION RESOURCE_POOL = p")
+	if s.poolName != "p" {
+		t.Fatalf("poolName = %q", s.poolName)
+	}
+	// Statements on a dropped pool fall back to general rather than failing.
+	s.MustExecute("DROP RESOURCE POOL p")
+	s.MustExecute("CREATE TABLE t (a INT)")
+	s.MustExecute("INSERT INTO t VALUES (1)")
+	if res := s.MustExecute("SELECT * FROM t"); len(res.Rows) != 1 {
+		t.Fatal("query after pool drop failed")
+	}
+}
+
+// TestAdmissionBoundsConcurrency runs many concurrent SELECT sessions
+// through a MAXCONCURRENCY 2 pool and asserts the engine never runs more
+// than 2 at once, queue waits surface in resource_queue_events and the
+// pool.queue histogram, and every statement still succeeds.
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	c := MustNewCluster(1)
+	setup, _ := c.Connect(0)
+	setup.MustExecute("CREATE TABLE t (a INT)")
+	setup.MustExecute("INSERT INTO t VALUES (1)")
+	setup.MustExecute("CREATE RESOURCE POOL tiny MAXCONCURRENCY 2 MAXQUEUEDEPTH NONE QUEUETIMEOUT '30s'")
+	setup.Close()
+
+	// Gate makes each admitted statement hold its slot until observed, via a
+	// UDx that blocks: concurrency peaks are deterministic, not timing-luck.
+	var cur, peak atomic.Int64
+	c.RegisterUDx("SLOWID", func(args []types.Value, _ map[string]string) (types.Value, error) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return args[0], nil
+	})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.Connect(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			if _, err := s.Execute("SET RESOURCE_POOL = tiny"); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 5; j++ {
+				if _, err := s.Execute("SELECT SLOWID(a) FROM t"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent statements, pool limit 2", p)
+	}
+
+	mon, _ := c.Connect(0)
+	defer mon.Close()
+	res := mon.MustExecute("SELECT * FROM v_monitor.resource_queue_events")
+	queued := 0
+	for _, r := range res.Rows {
+		if r[1].S == "tiny" && r[2].S == "queued" {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Fatal("no queued events recorded despite contention")
+	}
+	if h, ok := c.Obs().Histogram("pool.queue"); !ok || h.P99 <= 0 {
+		t.Fatalf("pool.queue histogram missing or empty: %+v ok=%v", h, ok)
+	}
+	st := poolStats(t, c, "tiny")
+	if st.Queued == 0 || st.Admitted < workers*5 {
+		t.Fatalf("pool stats: %+v", st)
+	}
+}
+
+func TestAdmissionQueueTimeoutSurfaces(t *testing.T) {
+	c := MustNewCluster(1)
+	s, _ := c.Connect(0)
+	defer s.Close()
+	s.MustExecute("CREATE TABLE t (a INT)")
+	s.MustExecute("INSERT INTO t VALUES (1)")
+	s.MustExecute("CREATE RESOURCE POOL p MAXCONCURRENCY 1 MAXQUEUEDEPTH NONE QUEUETIMEOUT '5ms'")
+
+	// Occupy the only slot out-of-band.
+	rel, _, err := mustPool(t, c, "p").Admit(context.Background(), 0, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	s.MustExecute("SET RESOURCE_POOL = p")
+	_, err = s.Execute("SELECT * FROM t")
+	if !errors.Is(err, pool.ErrQueueTimeout) {
+		t.Fatalf("got %v, want ErrQueueTimeout", err)
+	}
+	// Monitoring reads stay exempt — they must work on a saturated pool.
+	if _, err := s.Execute("SELECT * FROM v_monitor.resource_pools"); err != nil {
+		t.Fatalf("monitoring read blocked by admission: %v", err)
+	}
+	if st := poolStats(t, c, "p"); st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+func TestPoolDDLSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(Config{Nodes: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Connect(0)
+	s.MustExecute("CREATE RESOURCE POOL keep MEMORYSIZE '8M' MAXCONCURRENCY 3")
+	s.MustExecute("CREATE RESOURCE POOL gone")
+	s.MustExecute("ALTER RESOURCE POOL keep MAXQUEUEDEPTH 9")
+	s.MustExecute("DROP RESOURCE POOL gone")
+	s.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCluster(Config{Nodes: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st := poolStats(t, c2, "keep")
+	if st.Cfg.MemoryBytes != 8<<20 || st.Cfg.MaxConcurrency != 3 || st.Cfg.MaxQueueDepth != 9 {
+		t.Fatalf("replayed config: %+v", st.Cfg)
+	}
+	if _, err := c2.Pools().Get("gone"); !errors.Is(err, pool.ErrNotFound) {
+		t.Fatalf("dropped pool resurrected: %v", err)
+	}
+
+	// Across a checkpoint too: checkpointing truncates the WAL, so the
+	// manifest must carry the pool configs.
+	s2, _ := c2.Connect(0)
+	s2.MustExecute("CREATE TABLE t (a INT)")
+	s2.MustExecute("INSERT INTO t VALUES (1)")
+	if err := c2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewCluster(Config{Nodes: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	st = poolStats(t, c3, "keep")
+	if st.Cfg.MaxConcurrency != 3 {
+		t.Fatalf("pool lost across checkpoint: %+v", st.Cfg)
+	}
+}
+
+func poolStats(t *testing.T, c *Cluster, name string) pool.Stats {
+	t.Helper()
+	return mustPool(t, c, name).Snapshot()
+}
+
+func mustPool(t *testing.T, c *Cluster, name string) *pool.Pool {
+	t.Helper()
+	p, err := c.Pools().Get(name)
+	if err != nil {
+		t.Fatalf("pool %s: %v", name, err)
+	}
+	return p
+}

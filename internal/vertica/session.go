@@ -66,6 +66,10 @@ type Session struct {
 	// UnpinEpochs or Close.
 	pinRelease []func()
 
+	// poolName is the resource pool statements are admitted through,
+	// changed by SET SESSION RESOURCE_POOL. Empty means the general pool.
+	poolName string
+
 	closed bool
 }
 
@@ -157,6 +161,13 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
 	s.curSQL = sqlText
+	release, err := s.admitStmt(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if release != nil {
+		defer release()
+	}
 	sp := s.startExecSpan(ctx, stmt, sqlText)
 	res, err := s.dispatch(ctx, stmt)
 	if sp != nil {
@@ -254,6 +265,14 @@ func (s *Session) dispatch(ctx context.Context, stmt vsql.Statement) (*Result, e
 	case *vsql.AlterCluster:
 		s.record(sim.Event{Type: sim.FixedEv, FixedKind: sim.FixedTableDDL})
 		return s.executeAlterCluster(st)
+	case *vsql.CreateResourcePool:
+		return s.executeCreatePool(st)
+	case *vsql.AlterResourcePool:
+		return s.executeAlterPool(st)
+	case *vsql.DropResourcePool:
+		return s.executeDropPool(st)
+	case *vsql.Set:
+		return s.executeSet(st)
 	case *vsql.Begin:
 		if s.tx != nil {
 			return nil, fmt.Errorf("vertica: transaction already open")
@@ -313,6 +332,11 @@ func (s *Session) CopyFromContext(ctx context.Context, sql string, r io.Reader) 
 	}
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
+	release, err := s.admit(ctx, "copy", copyMemEstimate)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if ctx.Done() != nil {
 		r = &ctxReader{ctx: ctx, r: r}
 	}

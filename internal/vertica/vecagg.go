@@ -212,7 +212,7 @@ func (s *Session) tryVectorizedAgg(st *vsql.Select, vis storage.Visibility, stat
 		qp.add(opStat{
 			name: "group-by", rowsIn: ha.Rows(), rowsOut: int64(ha.NumGroups()),
 			vecRows: ha.Rows() - ha.FallbackRows(), resRows: ha.FallbackRows(),
-			dur: grpStart.Sub(scanStart),
+			dur:    grpStart.Sub(scanStart),
 			detail: fmt.Sprintf("vectorized hash aggregation (%s keys), %d groups", ha.FastPath(), ha.NumGroups()),
 		})
 	}

@@ -1,6 +1,8 @@
 package vsql
 
 import (
+	"time"
+
 	"vsfabric/internal/expr"
 	"vsfabric/internal/types"
 )
@@ -232,3 +234,48 @@ func (*Commit) isStmt() {}
 type Rollback struct{}
 
 func (*Rollback) isStmt() {}
+
+// PoolParams carries the optional clauses of CREATE/ALTER RESOURCE POOL.
+// Nil pointers mean "clause absent" so ALTER can change one knob without
+// resetting the others.
+type PoolParams struct {
+	MemoryBytes    *int64         // MEMORYSIZE '100M' | bytes | NONE (0 = unlimited)
+	MaxConcurrency *int           // MAXCONCURRENCY n | NONE (0 = unlimited)
+	MaxQueueDepth  *int           // MAXQUEUEDEPTH n | NONE (-1 = unlimited, 0 = never queue)
+	QueueTimeout   *time.Duration // QUEUETIMEOUT secs | 'duration' | NONE (0 = wait forever)
+}
+
+// CreateResourcePool creates a named admission-control pool.
+type CreateResourcePool struct {
+	Name        string
+	IfNotExists bool
+	Params      PoolParams
+}
+
+func (*CreateResourcePool) isStmt() {}
+
+// AlterResourcePool changes the named pool's admission policy; only the
+// clauses present are modified.
+type AlterResourcePool struct {
+	Name   string
+	Params PoolParams
+}
+
+func (*AlterResourcePool) isStmt() {}
+
+// DropResourcePool removes a pool. The built-in general pool is protected.
+type DropResourcePool struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropResourcePool) isStmt() {}
+
+// Set assigns a session parameter: SET [SESSION] <name> = <value>.
+// The only parameter today is RESOURCE_POOL.
+type Set struct {
+	Name  string
+	Value string
+}
+
+func (*Set) isStmt() {}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"vsfabric/internal/expr"
 	"vsfabric/internal/types"
@@ -137,6 +138,8 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.isKw("ROLLBACK"), p.isKw("ABORT"):
 		p.next()
 		return &Rollback{}, nil
+	case p.isKw("SET"):
+		return p.parseSet()
 	default:
 		return nil, fmt.Errorf("vsql: unrecognized statement near %q", p.peek().text)
 	}
@@ -619,6 +622,29 @@ func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
 	temp := p.acceptKw("TEMP") || p.acceptKw("TEMPORARY")
 	switch {
+	case !temp && p.acceptKw("RESOURCE"):
+		if err := p.expectKw("POOL"); err != nil {
+			return nil, err
+		}
+		cp := &CreateResourcePool{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			cp.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cp.Name = name
+		if err := p.parsePoolParams(&cp.Params); err != nil {
+			return nil, err
+		}
+		return cp, nil
 	case p.acceptKw("TABLE"):
 		ct := &CreateTable{Temp: temp}
 		if p.acceptKw("IF") {
@@ -757,6 +783,23 @@ func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
 	isView := false
 	switch {
+	case p.acceptKw("RESOURCE"):
+		if err := p.expectKw("POOL"); err != nil {
+			return nil, err
+		}
+		dp := &DropResourcePool{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			dp.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		dp.Name = name
+		return dp, nil
 	case p.acceptKw("TABLE"):
 	case p.acceptKw("VIEW"):
 		isView = true
@@ -784,6 +827,23 @@ func (p *parser) parseAlter() (Statement, error) {
 	p.next() // ALTER
 	if p.acceptKw("CLUSTER") {
 		return p.parseAlterCluster()
+	}
+	if p.acceptKw("RESOURCE") {
+		if err := p.expectKw("POOL"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ap := &AlterResourcePool{Name: name}
+		if err := p.parsePoolParams(&ap.Params); err != nil {
+			return nil, err
+		}
+		if ap.Params == (PoolParams{}) {
+			return nil, fmt.Errorf("vsql: ALTER RESOURCE POOL %s changes nothing", name)
+		}
+		return ap, nil
 	}
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
@@ -1002,5 +1062,156 @@ func (p *parser) parseCopy() (Statement, error) {
 		default:
 			return cp, nil
 		}
+	}
+}
+
+// parsePoolParams parses the optional CREATE/ALTER RESOURCE POOL clauses in
+// any order: MEMORYSIZE '100M'|bytes|NONE, MAXCONCURRENCY n|NONE,
+// MAXQUEUEDEPTH n|NONE, QUEUETIMEOUT secs|'30s'|NONE.
+func (p *parser) parsePoolParams(out *PoolParams) error {
+	for {
+		switch {
+		case p.acceptKw("MEMORYSIZE"):
+			v, err := p.poolMemSize()
+			if err != nil {
+				return err
+			}
+			out.MemoryBytes = &v
+		case p.acceptKw("MAXCONCURRENCY"):
+			v, err := p.poolCount("MAXCONCURRENCY", 0)
+			if err != nil {
+				return err
+			}
+			out.MaxConcurrency = &v
+		case p.acceptKw("MAXQUEUEDEPTH"):
+			v, err := p.poolCount("MAXQUEUEDEPTH", -1)
+			if err != nil {
+				return err
+			}
+			out.MaxQueueDepth = &v
+		case p.acceptKw("QUEUETIMEOUT"):
+			v, err := p.poolTimeout()
+			if err != nil {
+				return err
+			}
+			out.QueueTimeout = &v
+		default:
+			return nil
+		}
+	}
+}
+
+// poolMemSize parses NONE (0 = unlimited), a byte count, or a quoted size
+// like '100M' / '4G' / '512K' (optionally with a trailing B).
+func (p *parser) poolMemSize() (int64, error) {
+	t := p.peek()
+	switch {
+	case p.acceptKw("NONE"):
+		return 0, nil
+	case t.kind == tokNumber:
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("vsql: bad MEMORYSIZE %q", t.text)
+		}
+		return n, nil
+	case t.kind == tokString:
+		p.pos++
+		n, err := parseMemSize(t.text)
+		if err != nil {
+			return 0, err
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("vsql: expected MEMORYSIZE value near %q", t.text)
+	}
+}
+
+// parseMemSize converts "100M"-style size literals to bytes.
+func parseMemSize(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	s = strings.TrimSuffix(s, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "T"):
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("vsql: bad memory size %q", orig)
+	}
+	return n * mult, nil
+}
+
+// poolCount parses NONE (mapped to the given unlimited value) or a
+// non-negative integer.
+func (p *parser) poolCount(clause string, none int) (int, error) {
+	if p.acceptKw("NONE") {
+		return none, nil
+	}
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("vsql: expected %s count near %q", clause, t.text)
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("vsql: bad %s %q", clause, t.text)
+	}
+	return n, nil
+}
+
+// poolTimeout parses NONE (0 = wait forever), a number of seconds, or a
+// quoted Go duration like '750ms'.
+func (p *parser) poolTimeout() (time.Duration, error) {
+	if p.acceptKw("NONE") {
+		return 0, nil
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		secs, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || secs < 0 {
+			return 0, fmt.Errorf("vsql: bad QUEUETIMEOUT %q", t.text)
+		}
+		return time.Duration(secs * float64(time.Second)), nil
+	case tokString:
+		p.pos++
+		d, err := time.ParseDuration(t.text)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("vsql: bad QUEUETIMEOUT %q", t.text)
+		}
+		return d, nil
+	default:
+		return 0, fmt.Errorf("vsql: expected QUEUETIMEOUT value near %q", t.text)
+	}
+}
+
+// parseSet parses SET [SESSION] <name> = <ident|string|number>.
+func (p *parser) parseSet() (Statement, error) {
+	p.next() // SET
+	p.acceptKw("SESSION")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokIdent, tokString, tokNumber:
+		p.pos++
+		return &Set{Name: name, Value: t.text}, nil
+	default:
+		return nil, fmt.Errorf("vsql: expected value for SET %s near %q", name, t.text)
 	}
 }

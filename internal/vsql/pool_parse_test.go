@@ -1,0 +1,118 @@
+package vsql
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseCreateResourcePool(t *testing.T) {
+	st, err := Parse("CREATE RESOURCE POOL etl MEMORYSIZE '100M' MAXCONCURRENCY 8 MAXQUEUEDEPTH 32 QUEUETIMEOUT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := st.(*CreateResourcePool)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if cp.Name != "etl" || cp.IfNotExists {
+		t.Fatalf("name/ifnotexists: %+v", cp)
+	}
+	if cp.Params.MemoryBytes == nil || *cp.Params.MemoryBytes != 100<<20 {
+		t.Fatalf("memory: %+v", cp.Params.MemoryBytes)
+	}
+	if cp.Params.MaxConcurrency == nil || *cp.Params.MaxConcurrency != 8 {
+		t.Fatalf("concurrency: %+v", cp.Params.MaxConcurrency)
+	}
+	if cp.Params.MaxQueueDepth == nil || *cp.Params.MaxQueueDepth != 32 {
+		t.Fatalf("depth: %+v", cp.Params.MaxQueueDepth)
+	}
+	if cp.Params.QueueTimeout == nil || *cp.Params.QueueTimeout != 2*time.Second {
+		t.Fatalf("timeout: %+v", cp.Params.QueueTimeout)
+	}
+}
+
+func TestParseCreatePoolDefaultsAndNone(t *testing.T) {
+	st, err := Parse("CREATE RESOURCE POOL IF NOT EXISTS p MEMORYSIZE NONE MAXQUEUEDEPTH NONE QUEUETIMEOUT NONE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := st.(*CreateResourcePool)
+	if !cp.IfNotExists {
+		t.Fatal("IF NOT EXISTS not parsed")
+	}
+	if *cp.Params.MemoryBytes != 0 || *cp.Params.MaxQueueDepth != -1 || *cp.Params.QueueTimeout != 0 {
+		t.Fatalf("NONE values: %+v", cp.Params)
+	}
+	if cp.Params.MaxConcurrency != nil {
+		t.Fatal("absent clause should stay nil")
+	}
+}
+
+func TestParseMemSizes(t *testing.T) {
+	cases := map[string]int64{
+		"'64K'": 64 << 10, "'100M'": 100 << 20, "'4G'": 4 << 30, "'1T'": 1 << 40,
+		"'512KB'": 512 << 10, "1048576": 1 << 20,
+	}
+	for lit, want := range cases {
+		st, err := Parse("CREATE RESOURCE POOL x MEMORYSIZE " + lit)
+		if err != nil {
+			t.Fatalf("%s: %v", lit, err)
+		}
+		if got := *st.(*CreateResourcePool).Params.MemoryBytes; got != want {
+			t.Errorf("%s = %d, want %d", lit, got, want)
+		}
+	}
+	if _, err := Parse("CREATE RESOURCE POOL x MEMORYSIZE 'lots'"); err == nil {
+		t.Error("bad size literal should fail")
+	}
+}
+
+func TestParseAlterDropResourcePool(t *testing.T) {
+	st, err := Parse("ALTER RESOURCE POOL etl MAXCONCURRENCY NONE QUEUETIMEOUT '750ms'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := st.(*AlterResourcePool)
+	if ap.Name != "etl" || *ap.Params.MaxConcurrency != 0 || *ap.Params.QueueTimeout != 750*time.Millisecond {
+		t.Fatalf("%+v", ap)
+	}
+	if ap.Params.MemoryBytes != nil || ap.Params.MaxQueueDepth != nil {
+		t.Fatal("untouched clauses must be nil")
+	}
+	if _, err := Parse("ALTER RESOURCE POOL etl"); err == nil {
+		t.Error("ALTER with no clauses should fail")
+	}
+
+	st, err = Parse("DROP RESOURCE POOL IF EXISTS etl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := st.(*DropResourcePool)
+	if dp.Name != "etl" || !dp.IfExists {
+		t.Fatalf("%+v", dp)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	for _, sql := range []string{
+		"SET RESOURCE_POOL = etl",
+		"SET SESSION RESOURCE_POOL = 'etl'",
+		"set session resource_pool = etl;",
+	} {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		s := st.(*Set)
+		if s.Value != "etl" {
+			t.Fatalf("%s → %+v", sql, s)
+		}
+	}
+	if _, err := Parse("SET RESOURCE_POOL ="); err == nil {
+		t.Error("missing value should fail")
+	}
+	// CREATE TEMP RESOURCE POOL is nonsense and must not parse.
+	if _, err := Parse("CREATE TEMP RESOURCE POOL p"); err == nil {
+		t.Error("TEMP RESOURCE POOL should fail")
+	}
+}
