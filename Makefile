@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke recover-test rebalance-test wire-test wire-smoke
+.PHONY: check build vet lint test race bench bench-smoke recover-test rebalance-test wire-test wire-smoke obs-test
 
 # The full verification gate: what CI (and every PR) must keep green.
 check: build vet lint race
@@ -60,6 +60,20 @@ wire-test:
 # are noise. Full runs (`go run ./cmd/wireload`) write BENCH_wire.json.
 wire-smoke:
 	$(GO) run ./cmd/wireload -smoke -out BENCH_wire.json
+
+# Observability gate: the data-collector spool units (framing, rotation,
+# retention, crash-tail truncation), the engine-level dc suites (history
+# surviving a simulated kill, retention via SET_DATA_COLLECTOR_POLICY,
+# seeded query events), the /metrics + /healthz endpoint suites, and the
+# Chrome-trace exporter — all under the race detector — then the scanbench
+# overhead gate asserting dc spooling costs at most 5% on the selective
+# scan (500k rows: large enough that the fixed ~45µs/query spool cost is
+# measured against a realistic query, small enough for CI).
+obs-test:
+	$(GO) test -race ./internal/dc/
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'DC|QueryEvents|Metrics|Healthz|Counters|Profile|ChromeTrace' ./internal/vertica/
+	$(GO) run ./cmd/scanbench -rows 500000 -iters 5 -obs -gate -out BENCH_scan_obs.json
 
 # Microbenchmarks plus the throughput gates: BENCH_scan.json,
 # BENCH_agg.json, and BENCH_join.json record ns/op and rows/s for the

@@ -13,6 +13,13 @@
 // config struct instead; the one deprecated shim kept for compatibility is
 // allowlisted.
 //
+// Finally, it flags exported functions taking a map[string]interface{} (or
+// map[string]any) attribute bag anywhere outside internal/obs. Untyped bags
+// belong to the observability layer, whose span/event attributes are
+// genuinely open-schema; engine and connector APIs must spell their inputs
+// as typed structs so the compiler — not a runtime type switch — rejects a
+// wrong value.
+//
 // Run as `make lint` (part of `make check`). Exit status 1 lists offenders.
 package main
 
@@ -76,6 +83,26 @@ func isConstructor(name string) bool {
 	return false
 }
 
+// isAnyMap reports whether the type expression is map[string]interface{} or
+// map[string]any.
+func isAnyMap(e ast.Expr) bool {
+	m, ok := e.(*ast.MapType)
+	if !ok {
+		return false
+	}
+	k, ok := m.Key.(*ast.Ident)
+	if !ok || k.Name != "string" {
+		return false
+	}
+	switch v := m.Value.(type) {
+	case *ast.InterfaceType:
+		return len(v.Methods.List) == 0
+	case *ast.Ident:
+		return v.Name == "any"
+	}
+	return false
+}
+
 // isOptionsMap reports whether the type expression is map[string]string.
 func isOptionsMap(e ast.Expr) bool {
 	m, ok := e.(*ast.MapType)
@@ -121,10 +148,13 @@ func lintFile(fset *token.FileSet, root, path string) ([]string, error) {
 		if rn != "" && !ast.IsExported(strings.TrimSuffix(rn, ".")) {
 			continue
 		}
-		takesMap, takesDuration := false, false
+		takesMap, takesAnyMap, takesDuration := false, false, false
 		for _, p := range fd.Type.Params.List {
 			if isOptionsMap(p.Type) {
 				takesMap = true
+			}
+			if isAnyMap(p.Type) {
+				takesAnyMap = true
 			}
 			if isDuration(p.Type) {
 				takesDuration = true
@@ -134,6 +164,11 @@ func lintFile(fset *token.FileSet, root, path string) ([]string, error) {
 		if takesMap && !allowed[key] {
 			pos := fset.Position(fd.Pos())
 			bad = append(bad, fmt.Sprintf("%s:%d: exported %s%s takes map[string]string; use typed options (V2SOptions/S2VOptions) or allowlist it in cmd/lintoptions",
+				pos.Filename, pos.Line, rn, fd.Name.Name))
+		}
+		if takesAnyMap && !strings.HasPrefix(filepath.ToSlash(rel), "internal/obs") {
+			pos := fset.Position(fd.Pos())
+			bad = append(bad, fmt.Sprintf("%s:%d: exported %s%s takes map[string]interface{}; untyped attribute bags are reserved for internal/obs — use a typed struct",
 				pos.Filename, pos.Line, rn, fd.Name.Name))
 		}
 		if takesDuration && rn == "" && isConstructor(fd.Name.Name) && !allowedDuration[key] {
@@ -178,7 +213,7 @@ func run() error {
 		for _, b := range bad {
 			fmt.Fprintln(os.Stderr, b)
 		}
-		return fmt.Errorf("%d exported map[string]string options signature(s)", len(bad))
+		return fmt.Errorf("%d offending exported signature(s)", len(bad))
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 //	scanbench -rows 200000 -iters 5
 //	scanbench -out results.json
 //	scanbench -obs                  # also measure span+histogram overhead
+//	scanbench -obs -gate            # exit non-zero if dc spooling costs >5%
 package main
 
 import (
@@ -41,10 +42,16 @@ type Results struct {
 	// selective vectorized scan (only with -obs): the cost of span recording
 	// plus latency histogram updates on the query path.
 	ObsOverheadX float64 `json:"obs_overhead_x,omitempty"`
+	// DcOverheadX is the durable-cluster scan time with data-collector
+	// spooling over the same durable cluster with DisableDataCollector set
+	// (only with -obs): the added cost of encoding and appending each
+	// query's history records to disk. The -gate flag fails the run when
+	// this exceeds 1.05.
+	DcOverheadX float64 `json:"dc_overhead_x,omitempty"`
 }
 
-func buildSession(rows, nodes int, rowAtATime, obsOn bool) (*vertica.Session, error) {
-	c, err := vertica.NewCluster(vertica.Config{Nodes: nodes, RowAtATimeScans: rowAtATime})
+func buildSession(rows, nodes int, rowAtATime, obsOn bool, dataDir string, disableDC bool) (*vertica.Session, error) {
+	c, err := vertica.NewCluster(vertica.Config{Nodes: nodes, RowAtATimeScans: rowAtATime, DataDir: dataDir, DisableDataCollector: disableDC})
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +103,7 @@ func run() error {
 	iters := flag.Int("iters", 10, "timed iterations per configuration")
 	out := flag.String("out", "BENCH_scan.json", "output path")
 	obsOn := flag.Bool("obs", false, "also measure span+histogram recording overhead")
+	gate := flag.Bool("gate", false, "with -obs: exit non-zero if dc spooling overhead exceeds 5%")
 	flag.Parse()
 
 	const (
@@ -115,7 +123,7 @@ func run() error {
 	} {
 		// The headline configurations always time the observability-disabled
 		// fast path; overhead is measured separately below.
-		s, err := buildSession(*rows, *nodes, cfg.rowAtATime, false)
+		s, err := buildSession(*rows, *nodes, cfg.rowAtATime, false, "", false)
 		if err != nil {
 			return err
 		}
@@ -141,7 +149,7 @@ func run() error {
 			if on {
 				name = "scan_obs_on"
 			}
-			s, err := buildSession(*rows, *nodes, false, on)
+			s, err := buildSession(*rows, *nodes, false, on, "", false)
 			if err != nil {
 				return err
 			}
@@ -158,6 +166,78 @@ func run() error {
 			res.ObsOverheadX = float64(pair[1].NsPerOp) / float64(pair[0].NsPerOp)
 		}
 		fmt.Printf("observability overhead: %.3fx\n", res.ObsOverheadX)
+
+		// Durable data-collector overhead: two durable clusters running the
+		// same obs-enabled scan, identical except that one spools history to
+		// DataDir/dc and the other opts out via DisableDataCollector. Each
+		// configuration keeps its minimum single-query time across alternating
+		// repeats — noise (scheduler hiccups, container-layout variance
+		// between cluster builds) is one-sided slowness, so the per-query
+		// minimum is the robust estimate of the true cost on each side.
+		const repeats = 3
+		dcIters := *iters
+		if dcIters < 20 {
+			dcIters = 20
+		}
+		measure := func(disableDC bool, name string) (Measurement, error) {
+			dir, err := os.MkdirTemp("", "scanbench-dc-*")
+			if err != nil {
+				return Measurement{}, err
+			}
+			defer os.RemoveAll(dir)
+			s, err := buildSession(*rows, *nodes, false, true, dir, disableDC)
+			if err != nil {
+				return Measurement{}, err
+			}
+			defer s.Close()
+			if _, err := s.Execute(selective); err != nil { // warm-up
+				return Measurement{}, fmt.Errorf("%s: %w", name, err)
+			}
+			best := int64(0)
+			for i := 0; i < dcIters; i++ {
+				t0 := time.Now()
+				if _, err := s.Execute(selective); err != nil {
+					return Measurement{}, fmt.Errorf("%s: %w", name, err)
+				}
+				if ns := time.Since(t0).Nanoseconds(); best == 0 || ns < best {
+					best = ns
+				}
+			}
+			return Measurement{
+				Name:     name,
+				Query:    selective,
+				Iters:    dcIters,
+				NsPerOp:  best,
+				RowsPerS: float64(*rows) / (float64(best) / 1e9),
+			}, nil
+		}
+		var off, spool Measurement
+		for r := 0; r < repeats; r++ {
+			o, err := measure(true, "scan_obs_dc_off")
+			if err != nil {
+				return err
+			}
+			sp, err := measure(false, "scan_obs_dc_spool")
+			if err != nil {
+				return err
+			}
+			if off.NsPerOp == 0 || o.NsPerOp < off.NsPerOp {
+				off = o
+			}
+			if spool.NsPerOp == 0 || sp.NsPerOp < spool.NsPerOp {
+				spool = sp
+			}
+		}
+		res.Scans = append(res.Scans, off, spool)
+		fmt.Printf("%-22s %12d ns/op %14.0f rows/s\n", off.Name, off.NsPerOp, off.RowsPerS)
+		fmt.Printf("%-22s %12d ns/op %14.0f rows/s\n", spool.Name, spool.NsPerOp, spool.RowsPerS)
+		if off.NsPerOp > 0 {
+			res.DcOverheadX = float64(spool.NsPerOp) / float64(off.NsPerOp)
+		}
+		fmt.Printf("dc spooling overhead: %.3fx\n", res.DcOverheadX)
+		if *gate && res.DcOverheadX > 1.05 {
+			return fmt.Errorf("dc spooling overhead %.3fx exceeds the 1.05x gate", res.DcOverheadX)
+		}
 	}
 
 	data, err := json.MarshalIndent(&res, "", "  ")

@@ -19,10 +19,13 @@ import (
 )
 
 func main() {
-	cluster, err := vertica.NewCluster(vertica.Config{Nodes: 4})
+	// MetricsAddr serves node metrics and health over HTTP for the duration
+	// of the run: scrape /metrics (Prometheus text) or probe /healthz.
+	cluster, err := vertica.NewCluster(vertica.Config{Nodes: 4, MetricsAddr: "127.0.0.1:0"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("metrics endpoint: http://%s/metrics\n", cluster.MetricsAddr())
 	sc := spark.NewContext(spark.Conf{NumExecutors: 4, CoresPerExecutor: 4})
 	// Report connector spans to the cluster's own collector so the whole job
 	// comes back as one distributed trace in v_monitor.

@@ -1,0 +1,537 @@
+// Package dc implements the durable data collector: the subsystem that
+// spools observability history (query requests, job traces, resilience
+// events, resource-queue events, query plans, query events) to disk so the
+// v_monitor.dc_* tables can answer "what happened before the crash".
+//
+// Each component owns a directory of size-bounded rotating segment files.
+// Records are CRC32-framed ([u32 len][u32 crc][u64 unixnano + payload], the
+// WAL's framing), written straight through to the file descriptor — no
+// userspace buffering — so every acknowledged Append survives a process
+// kill; only a torn tail (a crash mid-frame) is lost, and reopening
+// truncates it away. Retention policies (max KB + max age, the
+// SET_DATA_COLLECTOR_POLICY knobs) prune whole closed segments oldest-first;
+// the active segment is never pruned.
+package dc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+var segMagic = []byte("VDCSEG01")
+
+// ErrCrashed is returned by every operation after a simulated crash
+// (FailAfterRecords) tears the active segment.
+var ErrCrashed = errors.New("dc: simulated crash")
+
+// DefaultMaxKB is the per-component disk budget when no policy is set.
+const DefaultMaxKB = 256
+
+// maxFrame bounds a single record's payload (guards scans against garbage
+// length prefixes).
+const maxFrame = 1 << 28
+
+// Policy is one component's retention policy: keep at most MaxKB kilobytes
+// of segments, and drop segments whose newest record is older than MaxAge
+// (0 = no age limit). Vertica's SET_DATA_COLLECTOR_POLICY exposes the same
+// two knobs.
+type Policy struct {
+	MaxKB  int64         `json:"max_kb"`
+	MaxAge time.Duration `json:"max_age_ns"`
+}
+
+func (p Policy) maxBytes() int64 {
+	kb := p.MaxKB
+	if kb <= 0 {
+		kb = DefaultMaxKB
+	}
+	return kb * 1024
+}
+
+// segTarget is the rotation threshold: segments close at ~1/4 of the byte
+// budget (clamped to [1KB, 64KB]) so retention has whole-segment granularity
+// without dropping a large fraction of history at once.
+func (p Policy) segTarget() int64 {
+	t := p.maxBytes() / 4
+	if t < 1<<10 {
+		t = 1 << 10
+	}
+	if t > 1<<16 {
+		t = 1 << 16
+	}
+	return t
+}
+
+// Record is one spooled entry: an opaque payload stamped with the time it
+// was recorded (the retention clock).
+type Record struct {
+	Time    time.Time
+	Payload []byte
+}
+
+// segment is one on-disk segment file's bookkeeping. Only the highest-seq
+// segment per component is open for appending.
+type segment struct {
+	path   string
+	seq    uint64
+	size   int64 // valid bytes (header + intact frames)
+	recs   int64
+	newest time.Time // newest record time (zero when empty)
+}
+
+// component is one spooled stream (query_requests, job_traces, ...).
+type component struct {
+	name   string
+	dir    string
+	pol    Policy
+	closed []*segment // oldest first
+	active *segment
+	f      *os.File // active segment's descriptor
+}
+
+// ComponentStats describes one component's on-disk state.
+type ComponentStats struct {
+	Component string
+	Segments  int
+	Bytes     int64
+	Records   int64
+	Oldest    time.Time
+	Newest    time.Time
+	Policy    Policy
+}
+
+// Spool is an open data-collector directory. Safe for concurrent use.
+type Spool struct {
+	mu    sync.Mutex
+	dir   string
+	comps map[string]*component
+
+	crashed   bool
+	failAfter int64 // <0 = disabled; 0 = crash on next append
+}
+
+// Open opens (or creates) the data-collector directory rooted at dir, with
+// one sub-directory per component. Existing segments are scanned: torn
+// tails — the signature of a crash mid-append — are truncated back to the
+// last intact frame, and the highest-sequence segment reopens for
+// appending. Persisted retention policies are loaded from policies.json.
+func Open(dir string, components []string) (*Spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Spool{dir: dir, comps: make(map[string]*component, len(components)), failAfter: -1}
+	pols, err := loadPolicies(filepath.Join(dir, "policies.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range components {
+		c := &component{name: name, dir: filepath.Join(dir, name), pol: pols[name]}
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := c.open(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dc: opening component %s: %w", name, err)
+		}
+		s.comps[name] = c
+	}
+	return s, nil
+}
+
+// open scans a component's existing segments, repairs the newest one's tail,
+// and opens it (or a fresh segment) for appending.
+func (c *component) open() error {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	var segs []*segment
+	for _, e := range ents {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "seg-%d.dc", &seq); err != nil || !strings.HasSuffix(e.Name(), ".dc") {
+			continue
+		}
+		segs = append(segs, &segment{path: filepath.Join(c.dir, e.Name()), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i, sg := range segs {
+		recs, valid, err := scanSegment(sg.path)
+		if err != nil {
+			return err
+		}
+		sg.size = valid
+		sg.recs = int64(len(recs))
+		for _, r := range recs {
+			if r.Time.After(sg.newest) {
+				sg.newest = r.Time
+			}
+		}
+		if i == len(segs)-1 {
+			// The crash, if any, tore this segment's tail: truncate back to
+			// the valid prefix so appends land after intact frames.
+			st, err := os.Stat(sg.path)
+			if err != nil {
+				return err
+			}
+			if st.Size() > valid {
+				if err := os.Truncate(sg.path, valid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(segs) == 0 {
+		return c.rotate(1)
+	}
+	c.closed = segs[:len(segs)-1]
+	c.active = segs[len(segs)-1]
+	f, err := os.OpenFile(c.active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	c.f = f
+	return nil
+}
+
+// rotate closes the active segment (if any) and starts seg-<seq>.
+func (c *component) rotate(seq uint64) error {
+	if c.f != nil {
+		if err := c.f.Close(); err != nil {
+			return err
+		}
+		c.closed = append(c.closed, c.active)
+		c.active, c.f = nil, nil
+	}
+	path := filepath.Join(c.dir, fmt.Sprintf("seg-%08d.dc", seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	c.active = &segment{path: path, seq: seq, size: int64(len(segMagic))}
+	c.f = f
+	return nil
+}
+
+// retain enforces the component's policy: while the oldest closed segment
+// either pushes the total size over budget or has aged out entirely, delete
+// it. Oldest-first, and never the active segment — at least the newest
+// history always survives.
+func (c *component) retain(now time.Time) error {
+	for len(c.closed) > 0 {
+		oldest := c.closed[0]
+		var total int64 = c.active.size
+		for _, sg := range c.closed {
+			total += sg.size
+		}
+		drop := total > c.pol.maxBytes()
+		if !drop && c.pol.MaxAge > 0 && !oldest.newest.IsZero() && now.Sub(oldest.newest) > c.pol.MaxAge {
+			drop = true
+		}
+		if !drop {
+			return nil
+		}
+		if err := os.Remove(oldest.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		c.closed = c.closed[1:]
+	}
+	return nil
+}
+
+// Append spools one record to a component. The frame reaches the file
+// descriptor before Append returns — a process kill afterwards cannot lose
+// it (only an OS/power failure between write and fsync can, matching the
+// durability class of Vertica's own data collector).
+func (s *Spool) Append(comp string, r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	c, ok := s.comps[comp]
+	if !ok {
+		return fmt.Errorf("dc: unknown component %q", comp)
+	}
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	fr := frame(r)
+	if s.failAfter == 0 {
+		// Simulated power cut: half the frame reaches the file, then the
+		// world ends. Reopen truncates the tear away.
+		c.f.Write(fr[:len(fr)/2])
+		s.crashed = true
+		return ErrCrashed
+	}
+	if s.failAfter > 0 {
+		s.failAfter--
+	}
+	if _, err := c.f.Write(fr); err != nil {
+		return err
+	}
+	c.active.size += int64(len(fr))
+	c.active.recs++
+	if r.Time.After(c.active.newest) {
+		c.active.newest = r.Time
+	}
+	if c.active.size >= c.pol.segTarget() {
+		if err := c.rotate(c.active.seq + 1); err != nil {
+			return err
+		}
+	}
+	return c.retain(time.Now())
+}
+
+// Records returns every intact record of a component, oldest segment first,
+// append order within each segment.
+func (s *Spool) Records(comp string) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	c, ok := s.comps[comp]
+	if !ok {
+		return nil, fmt.Errorf("dc: unknown component %q", comp)
+	}
+	var out []Record
+	for _, sg := range append(append([]*segment{}, c.closed...), c.active) {
+		recs, _, err := scanSegment(sg.path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// SetPolicy sets (and durably persists) a component's retention policy,
+// applying it immediately.
+func (s *Spool) SetPolicy(comp string, p Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	c, ok := s.comps[comp]
+	if !ok {
+		return fmt.Errorf("dc: unknown component %q", comp)
+	}
+	c.pol = p
+	pols := make(map[string]Policy, len(s.comps))
+	for name, cc := range s.comps {
+		if cc.pol != (Policy{}) {
+			pols[name] = cc.pol
+		}
+	}
+	if err := savePolicies(filepath.Join(s.dir, "policies.json"), pols); err != nil {
+		return err
+	}
+	return c.retain(time.Now())
+}
+
+// GetPolicy returns a component's retention policy (zero value = defaults)
+// and whether the component exists.
+func (s *Spool) GetPolicy(comp string) (Policy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.comps[comp]
+	if !ok {
+		return Policy{}, false
+	}
+	return c.pol, true
+}
+
+// Components returns the component names, sorted.
+func (s *Spool) Components() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.comps))
+	for name := range s.comps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots every component's on-disk state, sorted by name.
+func (s *Spool) Stats() []ComponentStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ComponentStats, 0, len(s.comps))
+	for name, c := range s.comps {
+		cs := ComponentStats{Component: name, Policy: c.pol}
+		for _, sg := range append(append([]*segment{}, c.closed...), c.active) {
+			cs.Segments++
+			cs.Bytes += sg.size
+			cs.Records += sg.recs
+			if !sg.newest.IsZero() {
+				if cs.Oldest.IsZero() || sg.newest.Before(cs.Oldest) {
+					cs.Oldest = sg.newest
+				}
+				if sg.newest.After(cs.Newest) {
+					cs.Newest = sg.newest
+				}
+			}
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out
+}
+
+// Sync fsyncs every active segment.
+func (s *Spool) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	for _, c := range s.comps {
+		if c.f != nil {
+			if err := c.f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FailAfterRecords installs the chaos hook: after n more successful appends
+// (across all components), the next record is torn mid-frame and every
+// subsequent operation returns ErrCrashed.
+func (s *Spool) FailAfterRecords(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAfter = int64(n)
+}
+
+// Close closes every open segment file.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, c := range s.comps {
+		if c.f != nil {
+			if err := c.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.f = nil
+		}
+	}
+	return first
+}
+
+// frame wraps a record as [u32 len][u32 crc][u64 unixnano][payload]; the CRC
+// covers the timestamp and payload.
+func frame(r Record) []byte {
+	body := make([]byte, 8+len(r.Payload))
+	binary.LittleEndian.PutUint64(body[:8], uint64(r.Time.UnixNano()))
+	copy(body[8:], r.Payload)
+	out := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(body))
+	copy(out[8:], body)
+	return out
+}
+
+// scanSegment decodes a segment's intact records and reports the byte length
+// of the valid prefix. A torn tail ends the scan without error; a missing
+// file yields no records.
+func scanSegment(path string) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	if len(data) < len(segMagic) {
+		return nil, 0, nil
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, 0, fmt.Errorf("dc: bad segment header in %s", path)
+	}
+	data = data[len(segMagic):]
+	valid := int64(len(segMagic))
+	var out []Record
+	for len(data) >= 8 {
+		n := binary.LittleEndian.Uint32(data[0:4])
+		sum := binary.LittleEndian.Uint32(data[4:8])
+		if n < 8 || n > maxFrame || len(data) < 8+int(n) {
+			break // torn tail
+		}
+		body := data[8 : 8+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			break // torn or corrupt tail
+		}
+		out = append(out, Record{
+			Time:    time.Unix(0, int64(binary.LittleEndian.Uint64(body[:8]))),
+			Payload: append([]byte(nil), body[8:]...),
+		})
+		data = data[8+n:]
+		valid += int64(8 + n)
+	}
+	return out, valid, nil
+}
+
+func loadPolicies(path string) (map[string]Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Policy{}, nil
+		}
+		return nil, err
+	}
+	out := map[string]Policy{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("dc: corrupt policies.json: %w", err)
+	}
+	return out, nil
+}
+
+// savePolicies writes the policy map atomically: temp file, fsync, rename,
+// directory fsync — the same discipline the durable catalog manifest uses.
+func savePolicies(path string, pols map[string]Policy) error {
+	data, err := json.MarshalIndent(pols, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

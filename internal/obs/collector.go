@@ -61,9 +61,16 @@ type Collector struct {
 	// taxonomy, so the store path runs a handful of times per process).
 	hists sync.Map
 
+	// tapSpan and tapEvent, when set via SetTap, observe every retained span
+	// and ring-worthy event after it lands — the durable data collector's
+	// feed. Called outside the collector's lock.
+	tapSpan  atomic.Pointer[func(Span)]
+	tapEvent atomic.Pointer[func(Event)]
+
 	mu       sync.Mutex
 	spans    *ring[Span]
 	events   *ring[Event]
+	qevents  *ring[QueryEvent]
 	counters map[string]int64
 }
 
@@ -76,6 +83,7 @@ func NewCollectorCap(capacity int) *Collector {
 	c := &Collector{
 		spans:    newRing[Span](capacity),
 		events:   newRing[Event](capacity),
+		qevents:  newRing[QueryEvent](capacity),
 		counters: make(map[string]int64),
 	}
 	c.enabled.Store(true)
@@ -94,8 +102,28 @@ func (c *Collector) Reset() {
 	defer c.mu.Unlock()
 	c.spans = newRing[Span](len(c.spans.buf))
 	c.events = newRing[Event](len(c.events.buf))
+	c.qevents = newRing[QueryEvent](len(c.qevents.buf))
 	c.counters = make(map[string]int64)
 	c.hists.Range(func(k, _ any) bool { c.hists.Delete(k); return true })
+}
+
+// SetTap installs (or clears, with nils) the span/event taps: onSpan observes
+// every span SpanEnd retains (after its ID is assigned), onEvent every event
+// kept in the ring. The cluster's durable data collector uses this to spool
+// history to disk without a second observer fan-out at every call site. Taps
+// run synchronously on the recording goroutine, outside the collector's lock,
+// and only while the collector is enabled.
+func (c *Collector) SetTap(onSpan func(Span), onEvent func(Event)) {
+	if onSpan == nil {
+		c.tapSpan.Store(nil)
+	} else {
+		c.tapSpan.Store(&onSpan)
+	}
+	if onEvent == nil {
+		c.tapEvent.Store(nil)
+	} else {
+		c.tapEvent.Store(&onEvent)
+	}
 }
 
 // SpanEnd records a completed span (assigning its ID), bumps the
@@ -111,6 +139,9 @@ func (c *Collector) SpanEnd(sp Span) {
 	c.spans.add(sp)
 	c.counters["span."+sp.Name]++
 	c.mu.Unlock()
+	if tap := c.tapSpan.Load(); tap != nil {
+		(*tap)(sp)
+	}
 }
 
 func (c *Collector) histFor(name string) *histogram {
@@ -138,6 +169,11 @@ func (c *Collector) Event(ev Event) {
 		c.events.add(ev)
 	}
 	c.mu.Unlock()
+	if ev.Payload == nil {
+		if tap := c.tapEvent.Load(); tap != nil {
+			(*tap)(ev)
+		}
+	}
 }
 
 // Add bumps a counter by delta directly, without recording an event. This is
@@ -174,6 +210,26 @@ func (c *Collector) Counters() map[string]int64 {
 	for k, v := range c.counters {
 		out[k] = v
 	}
+	return out
+}
+
+// Counter is one named counter's value, for ordered snapshots.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// SortedCounters returns every counter sorted by name — the deterministic
+// form v_monitor.counters and the /metrics endpoint render, so repeated
+// scrapes and test snapshots never depend on map iteration order.
+func (c *Collector) SortedCounters() []Counter {
+	c.mu.Lock()
+	out := make([]Counter, 0, len(c.counters))
+	for k, v := range c.counters {
+		out = append(out, Counter{Name: k, Value: v})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

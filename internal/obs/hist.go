@@ -50,9 +50,11 @@ type HistogramBucket struct {
 
 // Histogram is a point-in-time snapshot of one span name's latency
 // distribution, with percentiles derived from the log₂ buckets. Each
-// percentile is reported as the upper bound of the bucket the rank falls in,
-// so it over-estimates by at most 2x — the resolution bucketed histograms
-// trade for fixed memory and lock-free updates.
+// percentile is reported as the midpoint of the bucket the rank falls in: for
+// a true value v inside bucket [L, 2L) the midpoint 1.5L lies between 0.75·v
+// and 1.5·v, so the estimate under-reports by at most 25% and over-reports by
+// at most 50% — the resolution bucketed histograms trade for fixed memory and
+// lock-free updates. (The error bound is documented in DESIGN.md.)
 type Histogram struct {
 	Name    string
 	Count   int64
@@ -63,7 +65,23 @@ type Histogram struct {
 	Max     time.Duration // upper bound of the highest non-empty bucket
 }
 
-// Quantile returns the latency bound below which fraction q of samples fall.
+// bucketMidpoint estimates a bucket's representative latency as the midpoint
+// of [lower, upper). The first bucket's lower bound is 0 (it also absorbs
+// zero and negative durations), and the overflow bucket's upper bound is
+// MaxInt64, where a midpoint is meaningless — its lower bound stands in.
+func bucketMidpoint(ub time.Duration) time.Duration {
+	if ub == time.Duration(math.MaxInt64) {
+		return time.Duration(1) << 62
+	}
+	lower := ub / 2
+	if ub == 2 {
+		lower = 0
+	}
+	return (lower + ub) / 2
+}
+
+// Quantile returns the estimated latency below which fraction q of samples
+// fall: the midpoint of the bucket the rank lands in.
 func (h Histogram) Quantile(q float64) time.Duration {
 	if h.Count == 0 {
 		return 0
@@ -76,10 +94,10 @@ func (h Histogram) Quantile(q float64) time.Duration {
 	for _, b := range h.Buckets {
 		cum += b.Count
 		if cum >= rank {
-			return b.UpperBound
+			return bucketMidpoint(b.UpperBound)
 		}
 	}
-	return h.Max
+	return bucketMidpoint(h.Max)
 }
 
 // snapshot materializes the histogram under a name.

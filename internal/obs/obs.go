@@ -20,10 +20,10 @@ import (
 // Span is one completed, timed operation: a SQL execute, a COPY stream, a
 // V2S partition read, one S2V phase. Err is empty on success.
 type Span struct {
-	ID    uint64
-	Name  string // span taxonomy name, e.g. "execute", "copy", "v2s.partition", "s2v.phase1"
-	Node  string // database node involved ("" if none)
-	Peer  string // client/executor on the other end ("" if none)
+	ID     uint64
+	Name   string // span taxonomy name, e.g. "execute", "copy", "v2s.partition", "s2v.phase1"
+	Node   string // database node involved ("" if none)
+	Peer   string // client/executor on the other end ("" if none)
 	Detail string // SQL text, table name, or phase detail
 
 	// TraceID groups every span of one distributed job, SpanID identifies

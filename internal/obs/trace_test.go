@@ -171,14 +171,14 @@ func TestCollectorHistograms(t *testing.T) {
 	if h.Count != 100 {
 		t.Fatalf("count = %d, want 100", h.Count)
 	}
-	// 100ns lands in [64,128); p50 reports the bucket upper bound 128ns.
-	if h.P50 != 128*time.Nanosecond {
-		t.Fatalf("p50 = %v, want 128ns", h.P50)
+	// 100ns lands in [64,128); p50 reports the bucket midpoint 96ns.
+	if h.P50 != 96*time.Nanosecond {
+		t.Fatalf("p50 = %v, want 96ns", h.P50)
 	}
 	// The p95 rank (95) falls past the 90 fast samples into the 5µs bucket
-	// [4096,8192).
-	if h.P95 != 8192*time.Nanosecond || h.P99 != 8192*time.Nanosecond {
-		t.Fatalf("p95/p99 = %v/%v, want 8.192µs", h.P95, h.P99)
+	// [4096,8192), midpoint 6.144µs.
+	if h.P95 != 6144*time.Nanosecond || h.P99 != 6144*time.Nanosecond {
+		t.Fatalf("p95/p99 = %v/%v, want 6.144µs", h.P95, h.P99)
 	}
 	if h.Max != 8192*time.Nanosecond {
 		t.Fatalf("max = %v, want 8.192µs", h.Max)
@@ -208,9 +208,16 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	if (Histogram{}).Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile should be 0")
 	}
+	// The only sample sits in bucket [4,8); every quantile reports its
+	// midpoint, 6ns.
 	h := Histogram{Count: 1, Buckets: []HistogramBucket{{UpperBound: 8, Count: 1}}, Max: 8}
-	if h.Quantile(0) != 8 || h.Quantile(1) != 8 {
-		t.Fatal("single-sample quantiles should report the only bucket")
+	if h.Quantile(0) != 6 || h.Quantile(1) != 6 {
+		t.Fatal("single-sample quantiles should report the only bucket's midpoint")
+	}
+	// The first bucket's lower bound is 0, so its midpoint is 1ns.
+	h = Histogram{Count: 1, Buckets: []HistogramBucket{{UpperBound: 2, Count: 1}}, Max: 2}
+	if h.Quantile(0.5) != 1 {
+		t.Fatalf("first-bucket midpoint = %v, want 1ns", h.Quantile(0.5))
 	}
 }
 
@@ -322,5 +329,88 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 	if byName["s2v.job"]["detail"] != "job j -> t" {
 		t.Fatalf("root detail missing: %+v", byName["s2v.job"])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	// A collector that never saw a span must still emit a valid, loadable
+	// document: the process metadata record and nothing else.
+	c := NewCollector()
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("empty collector should export only process metadata, got %+v", doc.TraceEvents)
+	}
+}
+
+func TestWriteChromeTraceInFlightSpans(t *testing.T) {
+	// Spans still in flight (never ended) have not been recorded by the
+	// collector, so they must not appear in the export; ended spans that
+	// measured a zero duration are clamped to a positive dur so trace viewers
+	// keep them visible.
+	c := NewCollector()
+	inflight := Start(c, "still.running", "driver")
+	_ = inflight // deliberately not ended
+	zero := Start(c, "instant", "v-node-1")
+	zero.End(nil)
+	// Force the recorded duration to zero, the in-flight shape an importer
+	// would otherwise drop.
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (in-flight span must not be retained)", len(spans))
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "still.running" {
+			t.Fatal("in-flight span leaked into the export")
+		}
+		if ev.Ph == "X" && ev.Name == "instant" {
+			sawInstant = true
+			if ev.Dur <= 0 {
+				t.Fatalf("zero-duration span exported with dur=%v, want positive clamp", ev.Dur)
+			}
+		}
+	}
+	if !sawInstant {
+		t.Fatal("ended span missing from export")
+	}
+	// Ending the in-flight span later still lands it in the next export.
+	inflight.End(nil)
+	buf.Reset()
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("still.running")) {
+		t.Fatal("span ended after first export missing from second export")
 	}
 }

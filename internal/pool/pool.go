@@ -249,6 +249,12 @@ type Manager struct {
 	mu    sync.Mutex
 	pools map[string]*Pool
 
+	// OnEvent, when non-nil, observes every retained queue event — the
+	// durable data collector's feed. Set it before the manager is shared;
+	// it runs synchronously on the recording goroutine, outside the
+	// manager's locks.
+	OnEvent func(QueueEvent)
+
 	evMu   sync.Mutex
 	events []QueueEvent // ring
 	evNext int
@@ -371,6 +377,9 @@ func (m *Manager) record(ev QueueEvent) {
 		m.evFull = true
 	}
 	m.evMu.Unlock()
+	if m.OnEvent != nil {
+		m.OnEvent(ev)
+	}
 }
 
 // Events returns retained queue events, oldest first.

@@ -167,6 +167,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 // handshakes — it gets the v1 loop with its first request replayed.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.cluster.Obs().Add("server.connections", 1)
 	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsfabric/internal/catalog"
+	"vsfabric/internal/dc"
 	"vsfabric/internal/dfs"
 	"vsfabric/internal/expr"
 	"vsfabric/internal/obs"
@@ -150,6 +152,26 @@ type Config struct {
 	// kill-and-restart suite reopening the same directory). Nil allocates a
 	// private cache of ContainerCacheBytes.
 	Cache *storage.ContainerCache
+	// MetricsAddr, when set (e.g. "127.0.0.1:8085" or ":0"), starts an HTTP
+	// listener serving Prometheus-text /metrics and a /healthz probe that
+	// reflects the node state machine. Empty (the default) serves nothing.
+	MetricsAddr string
+	// SlowQueryThreshold raises a SLOW_QUERY event for statements running
+	// longer than this (0 = disabled). SET SESSION SLOW_QUERY_THRESHOLD
+	// overrides it per session.
+	SlowQueryThreshold time.Duration
+	// JoinBuildRows raises a JOIN_BUILD_SIDE_LARGE event when a hash join
+	// builds its table over more rows than this (0 = 64K default, <0 =
+	// disabled).
+	JoinBuildRows int64
+	// WALFsyncStall raises a WAL_FSYNC_STALL event when a WAL fsync takes
+	// longer than this (0 = 50ms default, <0 = disabled).
+	WALFsyncStall time.Duration
+	// DisableDataCollector keeps a durable cluster from spooling monitoring
+	// history to DataDir/dc. The v_monitor.dc_* tables then error; the
+	// in-memory v_monitor tables are unaffected. Used to isolate the
+	// spooling cost in benchmarks and to opt out on write-sensitive disks.
+	DisableDataCollector bool
 }
 
 // Cluster is a running database cluster.
@@ -199,6 +221,15 @@ type Cluster struct {
 	wlog       *wal.Log
 	walSeq     uint64
 	nextDiskID atomic.Uint64
+
+	// dcs is the durable data-collector spool (nil on in-memory clusters):
+	// monitoring history written through the collector's taps and read back
+	// by the v_monitor.dc_* tables.
+	dcs *dc.Spool
+
+	// metrics is the optional /metrics + /healthz HTTP endpoint
+	// (Config.MetricsAddr), nil when not serving.
+	metrics *metricsServer
 }
 
 // NewCluster creates a cluster with the given configuration.
@@ -234,13 +265,35 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err := c.openDurable(); err != nil {
 			return nil, fmt.Errorf("vertica: opening data directory %s: %w", cfg.DataDir, err)
 		}
+		if !cfg.DisableDataCollector {
+			if err := c.openDC(); err != nil {
+				return nil, fmt.Errorf("vertica: opening data collector under %s: %w", cfg.DataDir, err)
+			}
+		}
+	}
+	if cfg.MetricsAddr != "" {
+		if err := c.startMetrics(cfg.MetricsAddr); err != nil {
+			return nil, fmt.Errorf("vertica: starting metrics endpoint on %s: %w", cfg.MetricsAddr, err)
+		}
 	}
 	return c, nil
 }
 
 // Close detaches a durable cluster from its write-ahead log (flushing
-// buffered records). In-memory clusters need no Close.
+// buffered records), closes the data-collector spool, and stops the
+// metrics endpoint. In-memory clusters without a metrics listener need no
+// Close.
 func (c *Cluster) Close() error {
+	if c.metrics != nil {
+		c.metrics.stop()
+		c.metrics = nil
+	}
+	if c.dcs != nil {
+		c.mon.SetTap(nil, nil)
+		c.pools.OnEvent = nil
+		c.dcs.Close()
+		c.dcs = nil
+	}
 	c.txm.SetCommitLog(nil)
 	c.walMu.Lock()
 	l := c.wlog
@@ -356,6 +409,7 @@ func upper(s string) string {
 
 // registerBuiltins installs the engine's built-in scalar functions.
 func (c *Cluster) registerBuiltins() {
+	c.registerDCBuiltins()
 	c.RegisterUDx("LAST_EPOCH", func(args []types.Value, _ map[string]string) (types.Value, error) {
 		if len(args) != 0 {
 			return types.Value{}, fmt.Errorf("LAST_EPOCH takes no arguments")

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/obs"
@@ -496,13 +497,24 @@ func (c *Cluster) initFreshDir(sp *obs.ActiveSpan) error {
 }
 
 // attachWAL installs l as the cluster's current log, wiring the byte/fsync
-// counters and the transaction manager's commit hook.
+// counters, the WAL_FSYNC_STALL event raise, and the transaction manager's
+// commit hook.
 func (c *Cluster) attachWAL(l *wal.Log) {
 	l.OnWrite = func(n int64) {
 		c.mon.Add("wal.bytes", n)
 		c.mon.Add("wal.records", 1)
 	}
-	l.OnSync = func() { c.mon.Add("wal.fsyncs", 1) }
+	l.OnSync = func(d time.Duration) {
+		c.mon.Add("wal.fsyncs", 1)
+		if thr := c.walStallThreshold(); thr > 0 && d >= thr {
+			c.raiseQueryEvent(obs.QueryEvent{
+				Time: time.Now(), Type: obs.EvWALFsyncStall, Node: "v0",
+				Detail:    "WAL fsync exceeded stall threshold",
+				Value:     d.Microseconds(),
+				Threshold: thr.Microseconds(),
+			})
+		}
+	}
 	c.walMu.Lock()
 	c.wlog = l
 	c.walMu.Unlock()

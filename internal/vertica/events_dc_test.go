@@ -1,0 +1,296 @@
+package vertica
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vsfabric/internal/storage"
+	"vsfabric/internal/types"
+)
+
+// collectCol returns one string column of a system-table read.
+func collectCol(t *testing.T, s *Session, query string, col int) []string {
+	t.Helper()
+	res, err := s.Execute(query)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r[col].S)
+	}
+	return out
+}
+
+// TestDCQueryRequestsSurviveCrash is the tentpole's acceptance scenario: a
+// durable cluster spools query history to disk as it happens; a simulated
+// kill-9 mid-spool (torn frame on disk) loses nothing that was acked, and a
+// reopened cluster answers "what ran before the crash" from
+// v_monitor.dc_query_requests.
+func TestDCQueryRequestsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	cache := storage.NewContainerCache(0)
+	c := durableCluster(t, dir, cache)
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustExecute("CREATE TABLE crashq (id INTEGER, v VARCHAR) SEGMENTED BY HASH(id)")
+	s.MustExecute("INSERT INTO crashq VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	for i := 0; i < 8; i++ {
+		s.MustExecute(fmt.Sprintf("SELECT v FROM crashq WHERE id = %d", i%3+1))
+	}
+
+	// Everything acked so far must already be on disk.
+	preCrash := collectCol(t, s, "SELECT request FROM v_monitor.dc_query_requests", 0)
+	if len(preCrash) < 8 {
+		t.Fatalf("dc_query_requests has %d records before the crash, want >= 8", len(preCrash))
+	}
+
+	// Kill the spool mid-frame: the next append writes half a frame and
+	// fails, and every spool write after that fails too. Queries must keep
+	// working — observability never takes the database down.
+	c.DataCollector().FailAfterRecords(0)
+	for i := 0; i < 4; i++ {
+		s.MustExecute("SELECT COUNT(*) FROM crashq")
+	}
+	if got := c.Obs().Counter("dc.errors"); got == 0 {
+		t.Fatal("crashed spool recorded no dc.errors")
+	}
+	s.Close()
+	_ = c.Close()
+
+	// Reopen the same directory: the torn tail is truncated away and every
+	// pre-crash request is still there.
+	c2 := durableCluster(t, dir, cache)
+	defer c2.Close()
+	s2, err := c2.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recovered := make(map[string]int)
+	for _, q := range collectCol(t, s2, "SELECT request FROM v_monitor.dc_query_requests", 0) {
+		recovered[q]++
+	}
+	for _, q := range preCrash {
+		if recovered[q] == 0 {
+			t.Fatalf("request %q was acked before the crash but lost on reopen", q)
+		}
+		recovered[q]--
+	}
+
+	// The reopened spool appends again: new queries become new history.
+	s2.MustExecute("SELECT v FROM crashq WHERE id = 1")
+	after := collectCol(t, s2, "SELECT request FROM v_monitor.dc_query_requests", 0)
+	if len(after) <= len(preCrash) {
+		t.Fatalf("reopened spool did not grow: %d -> %d", len(preCrash), len(after))
+	}
+}
+
+// TestDCRetentionPolicySQL drives retention through the SQL surface:
+// SET_DATA_COLLECTOR_POLICY caps a component's disk budget, the oldest
+// segments fall off first, and v_monitor.data_collector reports the policy.
+func TestDCRetentionPolicySQL(t *testing.T) {
+	dir := t.TempDir()
+	c := durableCluster(t, dir, storage.NewContainerCache(0))
+	defer c.Close()
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.MustExecute("SELECT SET_DATA_COLLECTOR_POLICY('query_requests', 4, '')")
+	res := s.MustExecute("SELECT GET_DATA_COLLECTOR_POLICY('query_requests')")
+	if v, _ := res.Value(); !strings.Contains(v.S, "max 4 KB") {
+		t.Fatalf("GET_DATA_COLLECTOR_POLICY = %q", v.S)
+	}
+
+	s.MustExecute("CREATE TABLE ret (id INTEGER, v VARCHAR) SEGMENTED BY HASH(id)")
+	pad := strings.Repeat("x", 120)
+	first := fmt.Sprintf("SELECT id FROM ret WHERE v = 'first-%s'", pad)
+	s.MustExecute(first)
+	for i := 0; i < 200; i++ {
+		s.MustExecute(fmt.Sprintf("SELECT id FROM ret WHERE v = 'fill-%03d-%s'", i, pad))
+	}
+
+	reqs := collectCol(t, s, "SELECT request FROM v_monitor.dc_query_requests", 0)
+	for _, q := range reqs {
+		if q == first {
+			t.Fatal("oldest request survived a 4 KB budget that must have evicted it")
+		}
+	}
+	if want := fmt.Sprintf("SELECT id FROM ret WHERE v = 'fill-%03d-%s'", 199, pad); reqs[len(reqs)-1] != want {
+		t.Fatalf("newest request missing: tail is %q", reqs[len(reqs)-1])
+	}
+
+	res = s.MustExecute("SELECT bytes_on_disk, policy_max_kb FROM v_monitor.data_collector WHERE component = 'query_requests'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("data_collector rows: %v", res.Rows)
+	}
+	// Budget plus one active segment of slack: retention only drops closed
+	// segments, so the bound is max_kb plus the segment target.
+	if got := res.Rows[0][0].I; got > 8<<10 {
+		t.Fatalf("query_requests spool is %d bytes under a 4 KB policy", got)
+	}
+	if res.Rows[0][1].I != 4 {
+		t.Fatalf("policy_max_kb = %d, want 4", res.Rows[0][1].I)
+	}
+}
+
+// TestQueryEventsSeededWorkload seeds a workload that provokes four distinct
+// typed engine events and checks they surface in v_monitor.query_events,
+// inline in PROFILE, and as predictions in EXPLAIN.
+func TestQueryEventsSeededWorkload(t *testing.T) {
+	c, err := NewCluster(Config{
+		Nodes:            2,
+		JoinBuildRows:    1, // any hash-join build side trips JOIN_BUILD_SIDE_LARGE
+		NoZoneMapPruning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.MustExecute("CREATE TABLE ev_l (id INTEGER, v INTEGER) SEGMENTED BY HASH(id)")
+	s.MustExecute("CREATE TABLE ev_r (id INTEGER, tag VARCHAR) SEGMENTED BY HASH(id)")
+	var vals []string
+	for i := 0; i < 300; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, i*2))
+	}
+	s.MustExecute("INSERT INTO ev_l VALUES " + strings.Join(vals, ", "))
+	s.MustExecute("INSERT INTO ev_r VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	if err := c.Moveout(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ZONEMAP_PRUNE_SKIPPED: a prunable predicate with pruning disabled.
+	s.MustExecute("SELECT v FROM ev_l WHERE id >= 250")
+	// GROUP_BY_FALLBACK_ROW_PATH + JOIN_BUILD_SIDE_LARGE: aggregate over a join.
+	s.MustExecute("SELECT COUNT(*) FROM ev_l JOIN ev_r ON ev_l.id = ev_r.id GROUP BY tag")
+	// SLOW_QUERY: a 1ns session threshold makes any statement slow.
+	s.MustExecute("SET SESSION SLOW_QUERY_THRESHOLD = '1ns'")
+	s.MustExecute("SELECT COUNT(*) FROM ev_l")
+	s.MustExecute("SET SESSION SLOW_QUERY_THRESHOLD = '0'")
+
+	types := make(map[string]int)
+	for _, ty := range collectCol(t, s, "SELECT event_type FROM v_monitor.query_events", 0) {
+		types[ty]++
+	}
+	for _, want := range []string{
+		"ZONEMAP_PRUNE_SKIPPED", "GROUP_BY_FALLBACK_ROW_PATH", "JOIN_BUILD_SIDE_LARGE", "SLOW_QUERY",
+	} {
+		if types[want] == 0 {
+			t.Errorf("query_events missing %s (got %v)", want, types)
+		}
+	}
+	if len(types) < 4 {
+		t.Fatalf("query_events has %d distinct types, want >= 4: %v", len(types), types)
+	}
+
+	// Monitoring reads must not raise events about themselves.
+	before := len(collectCol(t, s, "SELECT event_type FROM v_monitor.query_events", 0))
+	s.MustExecute("SELECT event_type FROM v_monitor.query_events")
+	if after := len(collectCol(t, s, "SELECT event_type FROM v_monitor.query_events", 0)); after != before {
+		t.Fatalf("reading query_events raised %d events", after-before)
+	}
+
+	// PROFILE surfaces the statement's own events inline, before "total".
+	res := s.MustExecute("PROFILE SELECT COUNT(*) FROM ev_l JOIN ev_r ON ev_l.id = ev_r.id GROUP BY tag")
+	var evRows []string
+	for _, r := range res.Rows {
+		if strings.HasPrefix(r[0].S, "event: ") {
+			evRows = append(evRows, r[0].S)
+		}
+	}
+	if len(evRows) == 0 {
+		t.Fatalf("PROFILE has no event rows: %v", res.Rows)
+	}
+	if last := res.Rows[len(res.Rows)-1][0].S; last != "total" {
+		t.Fatalf("last PROFILE row = %q, want total", last)
+	}
+
+	// EXPLAIN predicts the events the plan can already prove.
+	res = s.MustExecute("EXPLAIN SELECT COUNT(*) FROM ev_l JOIN ev_r ON ev_l.id = ev_r.id GROUP BY tag")
+	found := false
+	for _, r := range res.Rows {
+		if r[1].S == "event" && r[2].S == "GROUP_BY_FALLBACK_ROW_PATH" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EXPLAIN predicts no GROUP_BY_FALLBACK_ROW_PATH event: %v", res.Rows)
+	}
+	res = s.MustExecute("EXPLAIN SELECT v FROM ev_l WHERE id >= 250")
+	found = false
+	for _, r := range res.Rows {
+		if r[1].S == "event" && r[2].S == "ZONEMAP_PRUNE_SKIPPED" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EXPLAIN predicts no ZONEMAP_PRUNE_SKIPPED event: %v", res.Rows)
+	}
+}
+
+// TestQueryEventsPoolQueueWait provokes POOL_QUEUE_WAIT with a single-slot
+// pool and statements that hold their slot long enough to guarantee a queue.
+func TestQueryEventsPoolQueueWait(t *testing.T) {
+	c := testCluster(t, 1)
+	setup := sess(t, c, 0)
+	setup.MustExecute("CREATE TABLE pq (id INTEGER)")
+	setup.MustExecute("INSERT INTO pq VALUES (1)")
+	setup.MustExecute("CREATE RESOURCE POOL tiny MAXCONCURRENCY 1 MAXQUEUEDEPTH NONE QUEUETIMEOUT '30s'")
+	c.RegisterUDx("HOLD", func(args []types.Value, _ map[string]string) (types.Value, error) {
+		time.Sleep(2 * time.Millisecond)
+		return args[0], nil
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.Connect(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			if _, err := s.Execute("SET RESOURCE_POOL = tiny"); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 5; j++ {
+				if _, err := s.Execute("SELECT HOLD(id) FROM pq"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mon := sess(t, c, 0)
+	res := mon.MustExecute("SELECT event_type, value FROM v_monitor.query_events")
+	n := 0
+	for _, r := range res.Rows {
+		if r[0].S == "POOL_QUEUE_WAIT" {
+			n++
+			if r[1].I <= 0 {
+				t.Fatalf("POOL_QUEUE_WAIT with non-positive wait: %v", r)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no POOL_QUEUE_WAIT event despite guaranteed contention on a 1-slot pool")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/expr"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
 	"vsfabric/internal/storage"
 	"vsfabric/internal/types"
@@ -42,6 +43,7 @@ type scanStats struct {
 	vectorized  bool   // the batch pipeline ran (vs row-at-a-time reference)
 	contScanned int64  // ROS containers decoded
 	contPruned  int64  // ROS containers skipped via zone maps
+	contNoStats int64  // ROS containers that could not be pruned for lack of stats
 }
 
 func newScanStats() *scanStats {
@@ -89,6 +91,20 @@ func (s *Session) executeSelectProf(st *vsql.Select, qp *queryProfile) (*Result,
 		s.recordPlan(stats, len(res.Rows), vis.Epoch)
 		res.Epoch = vis.Epoch
 		return res, nil
+	}
+	if hasAggregates(st) || len(st.GroupBy) > 0 {
+		// The vectorized hash-aggregation pushdown declined: this aggregate
+		// runs on the row-at-a-time reference path. Say why.
+		detail := "aggregation shape not eligible for vectorized kernels"
+		switch {
+		case s.cluster.cfg.RowAtATimeScans:
+			detail = "RowAtATimeScans ablation forces the row-at-a-time path"
+		case len(st.Joins) > 0:
+			detail = "aggregate over a join runs row-at-a-time"
+		case st.From != nil && !baseTableOnly(s, st.From):
+			detail = "aggregate over a non-base relation runs row-at-a-time"
+		}
+		s.raiseEvent(obs.EvGroupByFallback, detail, 0, 0)
 	}
 	rows, schema, err := s.sourceRows(st, vis, stats)
 	if err != nil {
@@ -290,6 +306,11 @@ func (s *Session) joinedRows(st *vsql.Select, vis storage.Visibility, stats *sca
 			}
 			if ok {
 				stats.vectorized = true
+				buildRows := int64(len(right))
+				if step.buildLeft {
+					buildRows = nLeft
+				}
+				s.raiseJoinBuildEvent(buildRows, buildSideName(step.buildLeft), step.clause.LeftCol, step.clause.RightCol)
 				if stats.prof != nil {
 					build := "right"
 					if step.buildLeft {
@@ -339,6 +360,11 @@ func (s *Session) joinedRows(st *vsql.Select, vis storage.Visibility, stats *sca
 		if vec {
 			stats.vectorized = true
 		}
+		buildRows := int64(len(right))
+		if step.buildLeft {
+			buildRows = int64(len(rows))
+		}
+		s.raiseJoinBuildEvent(buildRows, buildSideName(step.buildLeft), step.clause.LeftCol, step.clause.RightCol)
 		if stats.prof != nil {
 			kind := "hash join"
 			if vec {
@@ -380,6 +406,14 @@ func (s *Session) joinedRows(st *vsql.Select, vis storage.Visibility, stats *sca
 		})
 	}
 	return out, schema, nil
+}
+
+// buildSideName names a hash join's build side for event details.
+func buildSideName(buildLeft bool) string {
+	if buildLeft {
+		return "left"
+	}
+	return "right"
 }
 
 // hasAggregates reports whether any select item aggregates.
@@ -519,14 +553,15 @@ type segJob struct {
 
 // segResult is the outcome of scanning one segment.
 type segResult struct {
-	rows       []types.Row
-	count      int64
-	scanRows   float64
-	shuffleB   float64           // bytes gathered to the coordinator (0 when local)
-	fstats     vexec.FilterStats // kernel/residual work split (profile scans only)
-	contSeen   int64             // ROS containers considered
-	contPruned int64             // ROS containers skipped via zone maps
-	err        error
+	rows        []types.Row
+	count       int64
+	scanRows    float64
+	shuffleB    float64           // bytes gathered to the coordinator (0 when local)
+	fstats      vexec.FilterStats // kernel/residual work split (profile scans only)
+	contSeen    int64             // ROS containers considered
+	contPruned  int64             // ROS containers skipped via zone maps
+	contNoStats int64             // ROS containers with prunable predicates but no stats
+	err         error
 }
 
 // buildSegJobs lists the (store, home node) pairs a table scan visits:
@@ -564,9 +599,18 @@ func (s *Session) buildSegJobs(tbl *catalog.Table, hr vhash.Range) ([]segJob, er
 // selection vector. Pruning on stats that cover deleted rows too is a sound
 // superset test: excluding [min, max] excludes every visible row.
 func (s *Session) pruneFunc(pred *vexec.Pred, res *segResult) func([]storage.ColStats, int) bool {
-	check := pred.HasZoneChecks() && !s.cluster.cfg.NoZoneMapPruning
+	zoneable := pred.HasZoneChecks()
+	check := zoneable && !s.cluster.cfg.NoZoneMapPruning
 	return func(stats []storage.ColStats, rowCount int) bool {
 		res.contSeen++
+		if len(stats) == 0 {
+			// Container carries no zone maps: a prunable predicate loses its
+			// chance here. Counted so the engine can raise a query event.
+			if zoneable {
+				res.contNoStats++
+			}
+			return false
+		}
 		if check && pred.CanPrune(stats, rowCount) {
 			res.contPruned++
 			return true
@@ -627,7 +671,7 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 	var out []types.Row
 	var count int64
 	var fstats vexec.FilterStats
-	var scanned int64
+	var scanned, contSeen, contNoStats int64
 	for i, res := range results {
 		if res.err != nil {
 			return nil, 0, types.Schema{}, res.err
@@ -642,8 +686,12 @@ func (s *Session) scanTable(tbl *catalog.Table, where expr.Expr, vis storage.Vis
 		fstats.ResidualRows += res.fstats.ResidualRows
 		stats.contScanned += res.contSeen - res.contPruned
 		stats.contPruned += res.contPruned
+		stats.contNoStats += res.contNoStats
+		contSeen += res.contSeen
+		contNoStats += res.contNoStats
 		out = append(out, res.rows...)
 	}
+	s.raiseZoneMapSkipped(tbl.Def.Name, pred.HasZoneChecks(), contNoStats, contSeen)
 	if opts.limit >= 0 && int64(len(out)) > opts.limit {
 		out = out[:opts.limit]
 	}

@@ -2,7 +2,6 @@ package vertica
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -106,17 +105,11 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 			types.Column{Name: "counter_name", T: types.Varchar},
 			types.Column{Name: "counter_value", T: types.Int64},
 		)
-		counters := s.cluster.mon.Counters()
-		names := make([]string, 0, len(counters))
-		for n := range counters {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		var rows []types.Row
-		for _, n := range names {
+		for _, ctr := range s.cluster.mon.SortedCounters() {
 			rows = append(rows, types.Row{
-				types.StringValue(n),
-				types.IntValue(counters[n]),
+				types.StringValue(ctr.Name),
+				types.IntValue(ctr.Value),
 			})
 		}
 		return rows, schema, nil
@@ -225,6 +218,12 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		}
 		return rows, schema, nil
 
+	case "v_monitor.query_events":
+		return queryEventRows(s.cluster.mon)
+
+	case "v_monitor.data_collector":
+		return s.cluster.dataCollectorRows()
+
 	case "v_monitor.rebalance_operations":
 		schema := types.NewSchema(
 			types.Column{Name: "operation_id", T: types.Int64},
@@ -258,8 +257,43 @@ func (s *Session) monitorTable(name string, vis storage.Visibility) ([]types.Row
 		return rows, schema, nil
 
 	default:
+		// v_monitor.dc_<component> reads the durable data-collector spool:
+		// the on-disk history that survives restarts, unlike the in-memory
+		// rings every other v_monitor table draws from.
+		if comp, ok := strings.CutPrefix(name, "v_monitor.dc_"); ok {
+			return s.cluster.dcTableRows(comp)
+		}
 		return nil, types.Schema{}, fmt.Errorf("vertica: unknown system table %q", name)
 	}
+}
+
+// queryEventRows renders v_monitor.query_events from the collector's typed
+// query-event ring.
+func queryEventRows(mon *obs.Collector) ([]types.Row, types.Schema, error) {
+	schema := types.NewSchema(
+		types.Column{Name: "event_time", T: types.Varchar},
+		types.Column{Name: "event_type", T: types.Varchar},
+		types.Column{Name: "node_name", T: types.Varchar},
+		types.Column{Name: "trace_id", T: types.Varchar},
+		types.Column{Name: "query", T: types.Varchar},
+		types.Column{Name: "detail", T: types.Varchar},
+		types.Column{Name: "value", T: types.Int64},
+		types.Column{Name: "threshold", T: types.Int64},
+	)
+	var rows []types.Row
+	for _, ev := range mon.QueryEvents() {
+		rows = append(rows, types.Row{
+			types.StringValue(ev.Time.Format(time.RFC3339Nano)),
+			types.StringValue(string(ev.Type)),
+			types.StringValue(ev.Node),
+			types.StringValue(fmt.Sprintf("%016x", ev.TraceID)),
+			types.StringValue(ev.Query),
+			types.StringValue(ev.Detail),
+			types.IntValue(ev.Value),
+			types.IntValue(ev.Threshold),
+		})
+	}
+	return rows, schema, nil
 }
 
 // jobTraces rolls every retained distributed trace up to one row per root
@@ -341,8 +375,9 @@ func jobTraces(mon *obs.Collector) ([]types.Row, types.Schema, error) {
 
 // latencyHistograms renders the collector's per-span-name log₂ latency
 // distributions: sample counts, derived percentiles (as fractional
-// microseconds — bucket upper bounds, so each over-estimates by at most 2x),
-// and the raw buckets as "upper_bound_ns:count" pairs.
+// microseconds — bucket midpoints, under-reporting by at most 25% and
+// over-reporting by at most 50%), and the raw buckets as
+// "upper_bound_ns:count" pairs.
 func latencyHistograms(mon *obs.Collector) ([]types.Row, types.Schema, error) {
 	schema := types.NewSchema(
 		types.Column{Name: "operation", T: types.Varchar},

@@ -6,6 +6,7 @@ import (
 
 	"vsfabric/internal/catalog"
 	"vsfabric/internal/expr"
+	"vsfabric/internal/obs"
 	"vsfabric/internal/types"
 	"vsfabric/internal/vexec"
 	"vsfabric/internal/vsql"
@@ -228,10 +229,14 @@ func (s *Session) executeExplain(ex *vsql.Explain) (*Result, error) {
 	}
 
 	grouped := hasAggregates(st) || len(st.GroupBy) > 0
+	// zoneSkip remembers that some scan had prunable zone checks it will not
+	// be allowed to use, so the plan can predict a ZONEMAP_PRUNE_SKIPPED event.
+	zoneSkip := false
 	scanDetail := func(base scanPlanInfo, pushed string) string {
 		d := fmt.Sprintf("%d segments, %d kernels", base.segments, base.kernels)
 		if base.zoneChecks {
 			if s.cluster.cfg.NoZoneMapPruning {
+				zoneSkip = true
 				d += ", zone-map pruning disabled"
 			} else {
 				d += fmt.Sprintf(", zone maps prune %d/%d containers", base.pruned, base.containers)
@@ -314,6 +319,16 @@ func (s *Session) executeExplain(ex *vsql.Explain) (*Result, error) {
 	}
 	if st.Limit >= 0 {
 		add("limit", "", st.Limit, 0, 0, fmt.Sprintf("LIMIT %d", st.Limit))
+	}
+	// Predicted query events: conditions the plan can already prove will
+	// raise a typed event at execution time (see internal/vertica/events.go).
+	if grouped && (s.cluster.cfg.RowAtATimeScans || len(st.Joins) > 0 || !vectorAggEligible(s, st)) {
+		add("event", string(obs.EvGroupByFallback), 0, 0, 0,
+			"aggregation will run on the row-at-a-time path")
+	}
+	if zoneSkip {
+		add("event", string(obs.EvZoneMapPruneSkipped), 0, 0, 0,
+			"prunable predicate, but zone-map pruning is disabled by configuration")
 	}
 	return result()
 }

@@ -40,7 +40,9 @@ type planTracker struct {
 // planHistory bounds the tracker: the oldest plans age out first.
 const planHistory = 512
 
-func (t *planTracker) record(r planRecord) {
+// record files r (assigning its ID) and returns the stored record, so the
+// caller can spool it to the durable data collector.
+func (t *planTracker) record(r planRecord) planRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
@@ -49,6 +51,7 @@ func (t *planTracker) record(r planRecord) {
 	if len(t.recs) > planHistory {
 		t.recs = append(t.recs[:0:0], t.recs[len(t.recs)-planHistory:]...)
 	}
+	return r
 }
 
 func (t *planTracker) snapshot() []planRecord {
@@ -71,7 +74,7 @@ func (s *Session) recordPlan(stats *scanStats, rowsOut int, epoch uint64) {
 			est += int64(n)
 		}
 	}
-	s.cluster.plans.record(planRecord{
+	rec := s.cluster.plans.record(planRecord{
 		Query:             s.curSQL,
 		Table:             stats.table,
 		JoinOrder:         stats.joinOrder,
@@ -83,4 +86,5 @@ func (s *Session) recordPlan(stats *scanStats, rowsOut int, epoch uint64) {
 		Vectorized:        stats.vectorized,
 		Epoch:             epoch,
 	})
+	s.cluster.dcAppendPlan(rec)
 }

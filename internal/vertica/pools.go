@@ -93,8 +93,9 @@ func (s *Session) executeDropPool(st *vsql.DropResourcePool) (*Result, error) {
 	return &Result{}, nil
 }
 
-// executeSet handles SET [SESSION] <param> = <value>. RESOURCE_POOL is the
-// only session parameter today.
+// executeSet handles SET [SESSION] <param> = <value>: RESOURCE_POOL routes
+// admission, SLOW_QUERY_THRESHOLD overrides the cluster's SLOW_QUERY event
+// threshold for this session ('0' disables it).
 func (s *Session) executeSet(st *vsql.Set) (*Result, error) {
 	switch strings.ToUpper(st.Name) {
 	case "RESOURCE_POOL":
@@ -102,6 +103,17 @@ func (s *Session) executeSet(st *vsql.Set) (*Result, error) {
 			return nil, fmt.Errorf("vertica: %w: %s", err, st.Value)
 		}
 		s.poolName = st.Value
+		return &Result{}, nil
+	case "SLOW_QUERY_THRESHOLD":
+		d, err := time.ParseDuration(st.Value)
+		if err != nil {
+			if st.Value == "0" {
+				d = 0
+			} else {
+				return nil, fmt.Errorf("vertica: bad SLOW_QUERY_THRESHOLD %q: %v", st.Value, err)
+			}
+		}
+		s.slowQuery, s.slowQuerySet = d, true
 		return &Result{}, nil
 	default:
 		return nil, fmt.Errorf("vertica: unknown session parameter %q", st.Name)
@@ -155,6 +167,8 @@ func (s *Session) admit(ctx context.Context, kind string, mem int64) (func(), er
 	s.cluster.mon.Add("pool.admitted", 1)
 	if res.Queued {
 		s.cluster.mon.Add("pool.queued", 1)
+		s.raiseEvent(obs.EvPoolQueueWait, "pool "+p.Name()+" admission queue ("+kind+")",
+			res.Waited.Microseconds(), 0)
 		sp := obs.Span{
 			Name: "pool.queue", Node: s.node.Name, Peer: s.peer,
 			Detail: p.Name() + ":" + kind,

@@ -57,6 +57,18 @@ func (s *Session) executeProfile(p *vsql.Profile) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Inline query events: everything the statement raised while executing,
+	// rendered as pseudo-operators ahead of the "total" row. Value and
+	// threshold land in the detail column — their unit varies by event type.
+	for _, ev := range s.stmtEvents {
+		detail := ev.Detail
+		if ev.Threshold != 0 {
+			detail = fmt.Sprintf("%s (value %d over threshold %d)", detail, ev.Value, ev.Threshold)
+		} else if ev.Value != 0 {
+			detail = fmt.Sprintf("%s (value %d)", detail, ev.Value)
+		}
+		qp.add(opStat{name: "event: " + string(ev.Type), detail: detail})
+	}
 	qp.add(opStat{
 		name:    "total",
 		rowsOut: int64(len(res.Rows)),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"vsfabric/internal/obs"
 	"vsfabric/internal/sim"
@@ -69,6 +70,19 @@ type Session struct {
 	// poolName is the resource pool statements are admitted through,
 	// changed by SET SESSION RESOURCE_POOL. Empty means the general pool.
 	poolName string
+
+	// Query-event state, reset per statement: sysStmt marks monitoring reads
+	// (they never raise events), curTrace is the statement's trace id, and
+	// stmtEvents accumulates the typed events the statement raised (PROFILE
+	// renders them inline).
+	sysStmt    bool
+	curTrace   uint64
+	stmtEvents []obs.QueryEvent
+
+	// slowQuery overrides the cluster's SLOW_QUERY threshold when
+	// slowQuerySet (SET SESSION SLOW_QUERY_THRESHOLD).
+	slowQuery    time.Duration
+	slowQuerySet bool
 
 	closed bool
 }
@@ -161,6 +175,9 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
 	s.curSQL = sqlText
+	s.sysStmt = systemRead(stmt)
+	s.curTrace = obs.SpanContextFrom(ctx).TraceID
+	s.stmtEvents = nil
 	release, err := s.admitStmt(ctx, stmt)
 	if err != nil {
 		return nil, err
@@ -169,7 +186,12 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 		defer release()
 	}
 	sp := s.startExecSpan(ctx, stmt, sqlText)
+	if sp != nil {
+		s.curTrace = sp.SpanContext().TraceID
+	}
+	start := time.Now()
 	res, err := s.dispatch(ctx, stmt)
+	dur := time.Since(start)
 	if sp != nil {
 		if res != nil {
 			rows := int64(len(res.Rows))
@@ -179,6 +201,10 @@ func (s *Session) executeStmtCtx(ctx context.Context, stmt vsql.Statement, sqlTe
 			sp.AddRows(rows)
 		}
 		sp.End(err)
+		if thr := s.slowQueryThreshold(); thr > 0 && dur >= thr {
+			s.raiseEvent(obs.EvSlowQuery, "statement exceeded slow-query threshold",
+				dur.Microseconds(), thr.Microseconds())
+		}
 	}
 	return res, err
 }
@@ -332,6 +358,9 @@ func (s *Session) CopyFromContext(ctx context.Context, sql string, r io.Reader) 
 	}
 	s.obsv = obs.From(ctx)
 	s.peer = obs.Peer(ctx)
+	s.sysStmt = false
+	s.curTrace = obs.SpanContextFrom(ctx).TraceID
+	s.stmtEvents = nil
 	release, err := s.admit(ctx, "copy", copyMemEstimate)
 	if err != nil {
 		return nil, err

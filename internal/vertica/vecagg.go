@@ -160,7 +160,7 @@ func (s *Session) tryVectorizedAgg(st *vsql.Select, vis storage.Visibility, stat
 	// Sequential phase: one hash table consumes every batch in segment order.
 	ha := vexec.NewHashAgg(spec, schema)
 	var fstats vexec.FilterStats
-	var scanned int64
+	var scanned, contSeen, contNoStats int64
 	for i := range results {
 		res := &results[i]
 		if res.err != nil {
@@ -172,10 +172,14 @@ func (s *Session) tryVectorizedAgg(st *vsql.Select, vis storage.Visibility, stat
 		fstats.ResidualRows += res.fstats.ResidualRows
 		stats.contScanned += res.contSeen - res.contPruned
 		stats.contPruned += res.contPruned
+		stats.contNoStats += res.contNoStats
+		contSeen += res.contSeen
+		contNoStats += res.contNoStats
 		for _, b := range res.batches {
 			ha.Consume(b)
 		}
 	}
+	s.raiseZoneMapSkipped(tbl.Def.Name, pred.HasZoneChecks(), contNoStats, contSeen)
 
 	out := make([]types.Row, 0, ha.NumGroups())
 	for g := 0; g < ha.NumGroups(); g++ {

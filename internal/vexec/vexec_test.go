@@ -84,8 +84,8 @@ func runBoth(t *testing.T, where expr.Expr, b *storage.Batch, wantKernels int) [
 	return b.Sel
 }
 
-func col(n string) expr.Expr            { return &expr.Col{Name: n} }
-func lit(v types.Value) expr.Expr       { return &expr.Lit{V: v} }
+func col(n string) expr.Expr      { return &expr.Col{Name: n} }
+func lit(v types.Value) expr.Expr { return &expr.Lit{V: v} }
 func cmp(op expr.CmpOp, l, r expr.Expr) expr.Expr {
 	return &expr.Cmp{Op: op, L: l, R: r}
 }

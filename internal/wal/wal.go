@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Type identifies a WAL record.
@@ -190,9 +191,11 @@ type Log struct {
 	failAfter int64 // <0 = disabled; 0 = crash on next append
 
 	// OnWrite and OnSync feed the observability counters (wal.bytes,
-	// wal.records, wal.fsyncs). Set them before the log is shared.
+	// wal.records, wal.fsyncs). OnSync receives the measured fsync duration
+	// so slow syncs can raise stall events. Set them before the log is
+	// shared.
 	OnWrite func(bytes int64)
-	OnSync  func()
+	OnSync  func(d time.Duration)
 }
 
 // Open opens (or creates) a log for appending, writing the file header when
@@ -302,11 +305,12 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	if l.OnSync != nil {
-		l.OnSync()
+		l.OnSync(time.Since(start))
 	}
 	return nil
 }
